@@ -1,0 +1,45 @@
+"""Ablation — the cost and necessity of purification (Lemma 1).
+
+DESIGN.md calls out purification as a design choice to ablate: every
+polynomial solver purifies first, and the graph-based solvers rely on it for
+their structural preconditions.  This module measures the purification step
+in isolation and the end-to-end solver with purification included, on
+databases with a controlled amount of irrelevant noise.
+"""
+
+from repro.certainty import certain_cycle_query, certain_terminal_cycles, purify
+from repro.query import cycle_query_ac, cycle_query_c
+from repro.workloads import ring_instance, synthetic_instance
+
+
+def test_purification_cost_with_noise(benchmark):
+    query = cycle_query_c(2)
+    db = synthetic_instance(query, seed=5, domain_size=20, witnesses=15, noise_per_relation=40)
+    purified = benchmark(purify, db, query)
+    assert len(purified) <= len(db)
+
+
+def test_solver_end_to_end_with_noise(benchmark):
+    query = cycle_query_c(2)
+    db = synthetic_instance(query, seed=5, domain_size=20, witnesses=15, noise_per_relation=40)
+    result = benchmark(certain_terminal_cycles, db, query)
+    assert result in (True, False)
+
+
+def test_theorem4_purification_share(benchmark):
+    query, db = ring_instance(3, copies=10, chords=5, encoded_fraction=0.5, seed=6)
+    # Add irrelevant ring edges pointing at vertices with no outgoing edge.
+    r1 = query.schema()["R1"]
+    for i in range(30):
+        db.add(r1.fact(f"noise{i}", f"dead_end{i}"))
+    result = benchmark(certain_cycle_query, db, query)
+    assert result in (True, False)
+
+
+def test_purify_only_theorem4_instance(benchmark):
+    query, db = ring_instance(3, copies=10, chords=5, encoded_fraction=0.5, seed=6)
+    r1 = query.schema()["R1"]
+    for i in range(30):
+        db.add(r1.fact(f"noise{i}", f"dead_end{i}"))
+    purified = benchmark(purify, db, query)
+    assert len(purified) < len(db)

@@ -1,0 +1,33 @@
+"""E12 — #CERTAINTY: repair counting and the uniform-repair probability."""
+
+from repro.counting import count_satisfying_repairs, repair_frequency
+from repro.probability import BIDDatabase, probability_by_worlds
+from repro.query import fuxman_miller_cfree_example
+from repro.workloads import figure1_database, figure1_query, uniform_random_instance
+
+
+def test_counting_on_figure1(benchmark):
+    db = figure1_database()
+    query = figure1_query()
+    count = benchmark(count_satisfying_repairs, db, query)
+    assert count == 3
+
+
+def test_repair_frequency_matches_uniform_probability(benchmark):
+    query = fuxman_miller_cfree_example()
+    db = uniform_random_instance(query, seed=6, domain_size=2, facts_per_relation=3)
+
+    def both():
+        frequency = repair_frequency(db, query)
+        probability = probability_by_worlds(BIDDatabase.uniform_repairs(db), query)
+        return frequency, probability
+
+    frequency, probability = benchmark(both)
+    assert frequency == probability
+
+
+def test_counting_medium_instance(benchmark):
+    query = fuxman_miller_cfree_example()
+    db = uniform_random_instance(query, seed=8, domain_size=3, facts_per_relation=6)
+    count = benchmark(count_satisfying_repairs, db, query)
+    assert count >= 0

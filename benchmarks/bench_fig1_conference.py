@@ -1,0 +1,47 @@
+"""E1 — Figure 1: the conference-planning example.
+
+Regenerates the four repairs of the Figure 1 database, checks that the query
+"Will Rome host some A conference?" holds in exactly three of them (hence is
+not certain), and measures repair enumeration and the FO certainty check.
+"""
+
+from repro.certainty import certain_fo
+from repro.model.repairs import enumerate_repairs
+from repro.query import satisfies
+from repro.workloads import figure1_database, figure1_query
+
+
+def test_fig1_repair_enumeration(benchmark):
+    db = figure1_database()
+    query = figure1_query()
+
+    def enumerate_and_count():
+        repairs = list(enumerate_repairs(db))
+        return len(repairs), sum(1 for r in repairs if satisfies(r, query))
+
+    total, satisfied = benchmark(enumerate_and_count)
+    assert total == 4 and satisfied == 3  # the paper: true in 3 of 4 repairs
+
+
+def test_fig1_certainty_via_fo_solver(benchmark):
+    db = figure1_database()
+    query = figure1_query()
+    certain = benchmark(certain_fo, db, query)
+    assert certain is False
+
+
+def test_fig1_certainty_at_scale(benchmark):
+    """The same query over a database with 200 extra conference rows."""
+    db = figure1_database()
+    query = figure1_query()
+    conference = db.schema["C"]
+    ranking = db.schema["R"]
+    for i in range(200):
+        # Every added conference is uncertain about both its city and its rank,
+        # so the enlarged database still has a repair falsifying the query.
+        db.add(conference.fact(f"CONF{i}", 2000 + (i % 20), "Rome"))
+        db.add(conference.fact(f"CONF{i}", 2000 + (i % 20), "Paris"))
+        db.add(ranking.fact(f"CONF{i}", "A"))
+        db.add(ranking.fact(f"CONF{i}", "B"))
+    certain = benchmark(certain_fo, db, query)
+    assert certain is False

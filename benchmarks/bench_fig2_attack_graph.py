@@ -1,0 +1,45 @@
+"""E2 — Figure 2: join tree, closures and attack graph of q1.
+
+Measures attack-graph construction (the classifier's core primitive) on the
+paper's q1 and on larger random queries, and asserts the structure reported
+in Examples 2–4 (G ⤳ F is the only strong attack; strong 2- and 3-cycles
+exist).
+"""
+
+from repro.attacks import AttackGraph, enumerate_cycles, has_strong_cycle
+from repro.core import ComplexityBand, classify
+from repro.query import build_join_tree, figure2_q1
+from repro.workloads import random_acyclic_query
+
+
+def test_fig2_join_tree_construction(benchmark):
+    query = figure2_q1()
+    tree = benchmark(build_join_tree, query)
+    assert tree.satisfies_connectedness()
+
+
+def test_fig2_attack_graph_construction(benchmark):
+    query = figure2_q1()
+    graph = benchmark(AttackGraph, query)
+    strong = [a for a in graph.attacks if a.is_strong]
+    assert len(strong) == 1
+    assert (strong[0].source.name, strong[0].target.name) == ("S", "R")
+
+
+def test_fig2_cycle_classification(benchmark):
+    graph = AttackGraph(figure2_q1())
+    cycles = benchmark(enumerate_cycles, graph)
+    assert any(c.is_strong and c.length == 2 for c in cycles)
+    assert any(c.is_strong and c.length == 3 for c in cycles)
+    assert has_strong_cycle(graph)
+
+
+def test_fig2_full_classification(benchmark):
+    classification = benchmark(classify, figure2_q1())
+    assert classification.band is ComplexityBand.CONP_COMPLETE
+
+
+def test_attack_graph_on_larger_random_query(benchmark):
+    query = random_acyclic_query(seed=42, atoms=8, max_arity=4)
+    graph = benchmark(AttackGraph, query)
+    assert len(graph.atoms) == 8

@@ -1,0 +1,43 @@
+"""E3 — Figure 4 / Theorem 3: weak terminal cycles.
+
+Asserts the attack-graph structure of the Figure 4 query (three weak
+terminal 2-cycles plus the unattacked R0), and measures the Theorem 3 solver
+against the brute-force oracle on the same instances — the solver must agree
+and stay fast while the oracle's cost explodes with the number of
+conflicting blocks.
+"""
+
+from repro.attacks import AttackGraph, enumerate_cycles
+from repro.certainty import certain_brute_force, certain_terminal_cycles
+from repro.core import ComplexityBand, classify
+from repro.query import figure4_query
+from repro.workloads import synthetic_instance
+
+
+def test_fig4_classification(benchmark):
+    classification = benchmark(classify, figure4_query())
+    assert classification.band is ComplexityBand.PTIME_NOT_FO
+    cycles = enumerate_cycles(AttackGraph(figure4_query()))
+    assert len(cycles) == 3 and all(c.is_weak and c.is_terminal for c in cycles)
+
+
+def test_fig4_theorem3_solver_small(benchmark):
+    query = figure4_query()
+    db = synthetic_instance(query, seed=1, domain_size=3, witnesses=2, noise_per_relation=2)
+    certain = benchmark(certain_terminal_cycles, db, query)
+    assert certain == certain_brute_force(db, query)
+
+
+def test_fig4_theorem3_solver_medium(benchmark):
+    query = figure4_query(include_r0=False)
+    db = synthetic_instance(query, seed=2, domain_size=6, witnesses=8, noise_per_relation=6)
+    result = benchmark(certain_terminal_cycles, db, query)
+    assert result in (True, False)
+
+
+def test_fig4_oracle_small(benchmark):
+    """The exponential oracle on the same small instance (reference point)."""
+    query = figure4_query()
+    db = synthetic_instance(query, seed=1, domain_size=3, witnesses=2, noise_per_relation=2)
+    certain = benchmark(certain_brute_force, db, query)
+    assert certain == certain_terminal_cycles(db, query)

@@ -1,0 +1,48 @@
+"""E4 — Figures 5–7 / Theorem 4: AC(3) and its fact-graph algorithm.
+
+Reproduces the Figure 6 instance (not certain; the Figure 7 repairs falsify
+it) and measures the Theorem 4 algorithm on Figure 6 and on larger ring
+instances.
+"""
+
+from repro.certainty import certain_brute_force, certain_cycle_query
+from repro.core import ComplexityBand, classify
+from repro.model.repairs import is_repair
+from repro.query import cycle_query_ac, satisfies
+from repro.workloads import figure6_database, figure7_falsifying_repairs, ring_instance
+
+
+def test_fig6_theorem4_algorithm(benchmark):
+    db = figure6_database()
+    query = cycle_query_ac(3)
+    certain = benchmark(certain_cycle_query, db, query)
+    assert certain is False
+    assert certain == certain_brute_force(db, query)
+
+
+def test_fig7_falsifying_repairs(benchmark):
+    db = figure6_database()
+    query = cycle_query_ac(3)
+
+    def check_repairs():
+        repairs = figure7_falsifying_repairs()
+        return all(is_repair(db, r) and not satisfies(r, query) for r in repairs)
+
+    assert benchmark(check_repairs)
+
+
+def test_ac3_classification(benchmark):
+    classification = benchmark(classify, cycle_query_ac(3))
+    assert classification.band is ComplexityBand.PTIME_CYCLE_QUERY
+
+
+def test_ac3_ring_instance_medium(benchmark):
+    query, db = ring_instance(3, copies=8, chords=6, encoded_fraction=0.5, seed=3)
+    result = benchmark(certain_cycle_query, db, query)
+    assert result in (True, False)
+
+
+def test_ac4_ring_instance(benchmark):
+    query, db = ring_instance(4, copies=6, chords=4, encoded_fraction=0.5, seed=4)
+    result = benchmark(certain_cycle_query, db, query)
+    assert result in (True, False)

@@ -1,0 +1,23 @@
+"""E11 — Section 8: classifying a whole corpus on the tractability frontier."""
+
+from repro.core import ComplexityBand, band_counts, classify, classify_corpus
+from repro.workloads import mixed_corpus, random_corpus
+
+
+def test_census_of_mixed_corpus(benchmark):
+    corpus = mixed_corpus(40, seed=17)
+    classifications = benchmark(classify_corpus, corpus)
+    counts = band_counts(classifications)
+    assert sum(counts.values()) == len(corpus)
+    assert counts[ComplexityBand.FO] > 0
+    assert counts[ComplexityBand.CONP_COMPLETE] > 0
+
+
+def test_classification_throughput_random_queries(benchmark):
+    corpus = random_corpus(60, seed=23)
+
+    def classify_all():
+        return [classify(q).band for q in corpus]
+
+    bands = benchmark(classify_all)
+    assert len(bands) == 60

@@ -1,0 +1,27 @@
+"""E9 — Lemmas 2–7: structural properties checked over a query corpus."""
+
+from repro.attacks import AttackGraph, lemma_report
+from repro.query import is_acyclic
+from repro.workloads import mixed_corpus
+
+
+def test_lemma_checks_over_corpus(benchmark):
+    corpus = [q for q in mixed_corpus(20, seed=13) if not q.has_self_join and is_acyclic(q)]
+
+    def check_all():
+        violations = 0
+        for query in corpus:
+            graph = AttackGraph(query)
+            violations += sum(1 for _, holds in lemma_report(graph) if not holds)
+        return violations
+
+    assert benchmark(check_all) == 0
+
+
+def test_lemma_checks_single_large_query(benchmark):
+    from repro.workloads import random_acyclic_query
+
+    query = random_acyclic_query(seed=7, atoms=8, max_arity=4)
+    graph = AttackGraph(query)
+    report = benchmark(lemma_report, graph)
+    assert all(holds for _, holds in report)

@@ -1,0 +1,49 @@
+"""E10 — Section 7: IsSafe, safe-plan evaluation, and Proposition 1."""
+
+from repro.probability import (
+    BIDDatabase,
+    compare_frontiers,
+    is_safe,
+    probability_by_worlds,
+    probability_safe_plan,
+    proposition1_holds,
+)
+from repro.query import figure2_q1, fuxman_miller_cfree_example, kolaitis_pema_q0, parse_query
+from repro.workloads import named_corpus, uniform_random_instance
+
+SAFE_QUERY = parse_query("A(x | y), B(x | z)")
+
+
+def test_issafe_over_corpus(benchmark):
+    corpus = [q for q in named_corpus() if not q.has_self_join]
+    verdicts = benchmark(lambda: [is_safe(q) for q in corpus])
+    assert len(verdicts) == len(corpus)
+    assert not is_safe(kolaitis_pema_q0())
+
+
+def test_safe_plan_evaluation(benchmark):
+    db = uniform_random_instance(SAFE_QUERY, seed=2, domain_size=4, facts_per_relation=8)
+    bid = BIDDatabase.uniform_repairs(db)
+    result = benchmark(probability_safe_plan, bid, SAFE_QUERY)
+    assert 0 <= result <= 1
+
+
+def test_world_enumeration_evaluation(benchmark):
+    """The exponential evaluator on a small instance (reference point)."""
+    db = uniform_random_instance(SAFE_QUERY, seed=2, domain_size=3, facts_per_relation=4)
+    bid = BIDDatabase.uniform_repairs(db)
+    exact = benchmark(probability_by_worlds, bid, SAFE_QUERY)
+    assert exact == probability_safe_plan(bid, SAFE_QUERY)
+
+
+def test_proposition1_check(benchmark):
+    query = fuxman_miller_cfree_example()
+    db = uniform_random_instance(query, seed=4, domain_size=3, facts_per_relation=4)
+    bid = BIDDatabase.uniform_repairs(db)
+    assert benchmark(proposition1_holds, bid, query)
+
+
+def test_frontier_comparison(benchmark):
+    queries = [SAFE_QUERY, fuxman_miller_cfree_example(), figure2_q1(), kolaitis_pema_q0()]
+    comparisons = benchmark(compare_frontiers, queries)
+    assert all(c.consistent_with_theorem6 for c in comparisons)

@@ -1,0 +1,37 @@
+"""E5 — Theorem 1: first-order expressibility and the certain FO rewriting.
+
+Measures construction and evaluation of the certain first-order rewriting
+for FO-band queries and checks agreement with the operational peeling solver
+and the brute-force oracle.
+"""
+
+from repro.certainty import certain_brute_force, certain_fo
+from repro.core import ComplexityBand, classify
+from repro.fo import certain_rewriting, evaluate_sentence
+from repro.query import fuxman_miller_cfree_example, path_query
+from repro.workloads import synthetic_instance, uniform_random_instance
+
+
+def test_rewriting_construction(benchmark):
+    formula = benchmark(certain_rewriting, path_query(4))
+    assert formula.free_variables() == frozenset()
+
+
+def test_fo_solver_on_fm_query(benchmark):
+    query = fuxman_miller_cfree_example()
+    db = synthetic_instance(query, seed=7, domain_size=8, witnesses=10, noise_per_relation=10)
+    result = benchmark(certain_fo, db, query)
+    assert result == certain_brute_force(db, query)
+
+
+def test_rewriting_evaluation_matches_oracle(benchmark):
+    query = fuxman_miller_cfree_example()
+    formula = certain_rewriting(query)
+    db = uniform_random_instance(query, seed=5, domain_size=3, facts_per_relation=5)
+
+    result = benchmark(evaluate_sentence, db, formula)
+    assert result == certain_brute_force(db, query)
+
+
+def test_classification_of_fo_band(benchmark):
+    assert benchmark(classify, fuxman_miller_cfree_example()).band is ComplexityBand.FO

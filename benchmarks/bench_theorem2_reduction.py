@@ -1,0 +1,44 @@
+"""E6 — Theorem 2: the reduction from CERTAINTY(q0) to strong-cycle queries.
+
+Measures the θ̂ reduction and checks that it preserves certainty (verified
+against the brute-force oracle on small instances), i.e. the equivalence at
+the heart of the coNP-completeness proof.
+"""
+
+from repro.certainty import Theorem2Reduction, certain_brute_force, purify
+from repro.query import figure2_q1, kolaitis_pema_q0
+from repro.workloads import uniform_random_instance
+
+
+def test_reduction_transform(benchmark):
+    reduction = Theorem2Reduction(figure2_q1())
+    db0 = uniform_random_instance(kolaitis_pema_q0(), seed=11, domain_size=4, facts_per_relation=12)
+    transformed = benchmark(reduction.transform, db0)
+    assert len(transformed) <= len(figure2_q1()) * len(db0) ** 2
+
+
+def test_reduction_preserves_certainty(benchmark):
+    q0 = kolaitis_pema_q0()
+    target = figure2_q1()
+    reduction = Theorem2Reduction(target)
+
+    def round_trip(seed):
+        db0 = uniform_random_instance(q0, seed=seed, domain_size=3, facts_per_relation=4)
+        source = certain_brute_force(purify(db0, q0), q0)
+        image = certain_brute_force(reduction.transform(db0), target)
+        return source == image
+
+    def run_trials():
+        return all(round_trip(seed) for seed in range(5))
+
+    assert benchmark(run_trials)
+
+
+def test_brute_force_on_reduced_hard_instance(benchmark):
+    """Brute force on the coNP-complete target query (reference for scaling)."""
+    q0 = kolaitis_pema_q0()
+    target = figure2_q1()
+    db0 = uniform_random_instance(q0, seed=3, domain_size=3, facts_per_relation=5)
+    transformed = Theorem2Reduction(target).transform(db0)
+    result = benchmark(certain_brute_force, transformed, target)
+    assert result in (True, False)

@@ -1,0 +1,44 @@
+"""E8 — Theorem 4 / Corollary 1: AC(k) and C(k) scaling in size and in k.
+
+Measures the fact-graph algorithm as the number of ring copies grows and as
+``k`` grows, and cross-checks the direct C(k) algorithm against the Lemma 9
+reduction on a small instance.
+"""
+
+import pytest
+
+from repro.certainty import (
+    certain_brute_force,
+    certain_ck_via_reduction,
+    certain_cycle_query,
+)
+from repro.query import cycle_query_c
+from repro.workloads import ring_instance, uniform_random_instance
+
+
+@pytest.mark.parametrize("copies", [4, 8, 16])
+def test_theorem4_scaling_in_database_size(benchmark, copies):
+    query, db = ring_instance(3, copies=copies, chords=copies // 2, encoded_fraction=0.5, seed=copies)
+    result = benchmark(certain_cycle_query, db, query)
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_theorem4_scaling_in_k(benchmark, k):
+    query, db = ring_instance(k, copies=5, chords=3, encoded_fraction=0.5, seed=k)
+    result = benchmark(certain_cycle_query, db, query)
+    assert result in (True, False)
+
+
+def test_ck_direct_vs_lemma9_reduction(benchmark):
+    query = cycle_query_c(3)
+    db = uniform_random_instance(query, seed=9, domain_size=3, facts_per_relation=4)
+    direct = benchmark(certain_cycle_query, db, query)
+    assert direct == certain_ck_via_reduction(db, query) == certain_brute_force(db, query)
+
+
+def test_ck_oracle_reference(benchmark):
+    query = cycle_query_c(3)
+    db = uniform_random_instance(query, seed=9, domain_size=3, facts_per_relation=4)
+    result = benchmark(certain_brute_force, db, query)
+    assert result == certain_cycle_query(db, query)

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so that the test suite and benchmarks can run
+even when the package has not been installed (e.g. in offline environments
+where ``pip install -e .`` cannot build its isolated environment; use
+``python setup.py develop`` or rely on this path hook instead).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

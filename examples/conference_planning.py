@@ -1,0 +1,56 @@
+"""The conference-planning scenario of Figure 1, end to end.
+
+Reproduces the paper's introductory example: an uncertain database with two
+conflicting blocks, its four repairs, the query "Will Rome host some A
+conference?" (true in three of the four repairs, hence not certain), plus
+repair counting and the uniform-repair probability.
+
+Run with:  python examples/conference_planning.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import classify, enumerate_repairs, is_certain, parse_query, satisfies
+from repro.certainty import brute_force_with_certificate, certain_answers
+from repro.counting import counting_summary
+from repro.probability import BIDDatabase, probability_by_worlds
+from repro.workloads import figure1_database, figure1_query
+
+
+def main() -> None:
+    db = figure1_database()
+    query = figure1_query()
+
+    print("Figure 1 — uncertain conference database")
+    print(db.pretty())
+
+    print("\nrepairs and query satisfaction (q = ∃x∃y C(x,y,'Rome') ∧ R(x,'A')):")
+    for index, repair in enumerate(enumerate_repairs(db), start=1):
+        verdict = "satisfies q" if satisfies(repair, query) else "FALSIFIES q"
+        rendered = ", ".join(sorted(str(f) for f in repair))
+        print(f"  repair {index}: {verdict}\n    {rendered}")
+
+    print("\nclassification:", classify(query).band)
+    print("certain?", is_certain(db, query))
+
+    certificate = brute_force_with_certificate(db, query)
+    print("falsifying repair (the 'no' certificate):")
+    for fact in sorted(certificate.falsifying_repair, key=str):
+        print("   ", fact)
+
+    satisfying, total, frequency = counting_summary(db, query)
+    print(f"\n#CERTAINTY: {satisfying} of {total} repairs satisfy q (frequency {frequency})")
+    bid = BIDDatabase.uniform_repairs(db)
+    print("uniform-repair probability Pr(q):", probability_by_worlds(bid, query))
+
+    # The non-Boolean variant: which conferences are certainly A-ranked?
+    open_query = parse_query("R(x | 'A')", free=["x"], schema=db.schema)
+    answers = certain_answers(db, open_query)
+    print("conferences certainly ranked A:", sorted(value.value for (value,) in answers))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Uncertainty and probability (Section 7): BID databases, IsSafe, Pr(q).
+
+Turns the Figure 1 database into a block-independent-disjoint probabilistic
+database with uniform repair probabilities, evaluates query probabilities,
+checks Proposition 1, and compares the CERTAINTY and PROBABILITY frontiers
+on a handful of queries (Theorem 6 / Corollary 2).
+
+Run with:  python examples/probabilistic_bridge.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import classify, is_certain, parse_query
+from repro.probability import (
+    BIDDatabase,
+    compare_frontiers,
+    frontier_comparison_table,
+    probability_by_worlds,
+    probability_safe_plan,
+    proposition1_holds,
+    safety_trace,
+)
+from repro.query import cycle_query_ac, figure2_q1, fuxman_miller_cfree_example, kolaitis_pema_q0
+from repro.workloads import figure1_database, figure1_query
+
+
+def main() -> None:
+    db = figure1_database()
+    query = figure1_query()
+    bid = BIDDatabase.uniform_repairs(db)
+
+    print("Figure 1 database as a BID probabilistic database (uniform repairs)")
+    for block in db.blocks():
+        for fact in sorted(block, key=str):
+            print(f"  Pr({fact}) = {bid.probability(fact)}")
+
+    print("\nPr(q) by world enumeration:", probability_by_worlds(bid, query))
+    print("db ∈ CERTAINTY(q)?", is_certain(db, query))
+    print("Proposition 1 holds?", proposition1_holds(bid, query))
+
+    safe_query = parse_query("A(x | y), B(x | z)")
+    verdict, trace = safety_trace(safe_query)
+    print(f"\nIsSafe({safe_query}) = {verdict}")
+    for step in trace:
+        print("   ", step)
+    from repro.workloads import uniform_random_instance
+
+    sample = uniform_random_instance(safe_query, seed=1, domain_size=3, facts_per_relation=5)
+    sample_bid = BIDDatabase.uniform_repairs(sample)
+    print("safe-plan Pr(q):", probability_safe_plan(sample_bid, safe_query))
+    print("world-sum Pr(q):", probability_by_worlds(sample_bid, safe_query))
+
+    print("\nCERTAINTY frontier versus PROBABILITY frontier (Theorem 6 / Corollary 2):")
+    comparisons = compare_frontiers(
+        [safe_query, fuxman_miller_cfree_example(), figure2_q1(), kolaitis_pema_q0(), cycle_query_ac(2)]
+    )
+    print(frontier_comparison_table(comparisons))
+    print(
+        "\nNote how every safe query is FO-expressible (Theorem 6), while many "
+        "FO-expressible queries are unsafe — the probabilistic route gives no "
+        "new tractable CERTAINTY cases (Section 7.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

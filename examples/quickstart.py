@@ -1,0 +1,62 @@
+"""Quickstart: model an uncertain database, classify a query, answer it certainly.
+
+Run with:  python examples/quickstart.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import (
+    UncertainDatabase,
+    certain_answers,
+    classify,
+    is_certain,
+    parse_facts,
+    parse_query,
+)
+
+
+def main() -> None:
+    # An employee directory where primary keys may be violated: each employee
+    # (key: name) should have one department, each department (key: dept) one
+    # city — but ingestion produced conflicting rows.
+    query = parse_query("Emp(name | dept), Dept(dept | city)")
+    schema = query.schema()
+    db = UncertainDatabase(
+        parse_facts(
+            [
+                "Emp('ada' | 'db')",
+                "Emp('bob' | 'os')",
+                "Emp('bob' | 'net')",      # conflicting department for bob
+                "Dept('db' | 'Mons')",
+                "Dept('os' | 'Mons')",
+                "Dept('net' | 'Paris')",
+                "Dept('net' | 'Lille')",   # conflicting city for net
+            ],
+            schema=schema,
+        )
+    )
+    print("uncertain database:")
+    print(db.pretty())
+    print(f"\nblocks: {db.num_blocks()}, conflicting blocks: {len(db.conflicting_blocks())}")
+
+    # 1. Where does the Boolean query sit on the tractability frontier?
+    classification = classify(query)
+    print("\nclassification of the Boolean query:")
+    print(classification.explain())
+
+    # 2. Is it certain that *some* employee works in a located department?
+    print("\nCERTAINTY(q):", is_certain(db, query))
+
+    # 3. Certain answers of the open query "which employees certainly work in
+    #    a department located in Mons?"
+    open_query = parse_query("Emp(name | dept), Dept(dept | 'Mons')", free=["name"], schema=schema)
+    answers = certain_answers(db, open_query)
+    names = sorted(value.value for (value,) in answers)
+    print("employees certainly located in Mons:", names)
+
+
+if __name__ == "__main__":
+    main()

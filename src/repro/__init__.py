@@ -1,0 +1,126 @@
+"""repro — certain conjunctive query answering over uncertain databases.
+
+A production-quality reproduction of
+
+    Jef Wijsen, *Charting the Tractability Frontier of Certain Conjunctive
+    Query Answering*, PODS 2013 (arXiv:1301.1003).
+
+The library models uncertain databases (relations whose primary keys may be
+violated), builds attack graphs of acyclic self-join-free conjunctive
+queries, classifies ``CERTAINTY(q)`` on the tractability frontier
+(FO / P-not-FO / open / coNP-complete), and ships the paper's polynomial
+algorithms (FO rewriting, Theorem 3, Theorem 4), its reductions (Theorem 2,
+Lemma 9), the brute-force oracle, and the probabilistic-database bridge of
+Section 7.
+
+Quickstart
+----------
+>>> from repro import parse_query, parse_facts, UncertainDatabase, classify, is_certain
+>>> q = parse_query("C(x, y | 'Rome'), R(x | 'A')")
+>>> db = UncertainDatabase(parse_facts([
+...     "C('PODS', 2016 | 'Rome')", "C('PODS', 2016 | 'Paris')",
+...     "C('KDD', 2017 | 'Rome')",
+...     "R('PODS' | 'A')", "R('KDD' | 'A')", "R('KDD' | 'B')",
+... ], schema=q.schema()))
+>>> classify(q).band.name
+'FO'
+>>> is_certain(db, q)
+False
+"""
+
+from .attacks import Attack, AttackCycle, AttackGraph
+from .certainty import (
+    CertaintyOutcome,
+    IntractableQueryError,
+    UnsupportedQueryError,
+    certain_answers,
+    certain_brute_force,
+    certain_cycle_query,
+    certain_fo,
+    certain_terminal_cycles,
+    is_certain,
+    purify,
+    solve,
+    theorem2_reduction,
+)
+from .core import Classification, ComplexityBand, classify, classify_corpus, frontier_table
+from .fo import certain_rewriting, evaluate_sentence
+from .model import (
+    Atom,
+    Constant,
+    DatabaseSchema,
+    Fact,
+    RelationSchema,
+    UncertainDatabase,
+    Valuation,
+    Variable,
+    count_repairs,
+    enumerate_repairs,
+)
+from .probability import BIDDatabase, is_safe, probability, probability_safe_plan
+from .query import (
+    ConjunctiveQuery,
+    JoinTree,
+    build_join_tree,
+    cycle_query_ac,
+    cycle_query_c,
+    figure2_q1,
+    figure4_query,
+    kolaitis_pema_q0,
+    parse_facts,
+    parse_query,
+    satisfies,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Attack",
+    "AttackCycle",
+    "AttackGraph",
+    "BIDDatabase",
+    "CertaintyOutcome",
+    "Classification",
+    "ComplexityBand",
+    "ConjunctiveQuery",
+    "Constant",
+    "DatabaseSchema",
+    "Fact",
+    "IntractableQueryError",
+    "JoinTree",
+    "RelationSchema",
+    "UncertainDatabase",
+    "UnsupportedQueryError",
+    "Valuation",
+    "Variable",
+    "__version__",
+    "build_join_tree",
+    "certain_answers",
+    "certain_brute_force",
+    "certain_cycle_query",
+    "certain_fo",
+    "certain_rewriting",
+    "certain_terminal_cycles",
+    "classify",
+    "classify_corpus",
+    "count_repairs",
+    "cycle_query_ac",
+    "cycle_query_c",
+    "enumerate_repairs",
+    "evaluate_sentence",
+    "figure2_q1",
+    "figure4_query",
+    "frontier_table",
+    "is_certain",
+    "is_safe",
+    "kolaitis_pema_q0",
+    "parse_facts",
+    "parse_query",
+    "probability",
+    "probability_safe_plan",
+    "purify",
+    "satisfies",
+    "solve",
+    "theorem2_reduction",
+]

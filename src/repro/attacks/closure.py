@@ -1,0 +1,48 @@
+"""Closure sets underlying attack graphs.
+
+Definition 2 of the paper: for an atom ``F`` of a query ``q``,
+
+    ``F^{+,q} = {x ∈ vars(q) | K(q \\ {F}) ⊨ key(F) → x}``
+
+is the attribute closure of ``key(F)`` with respect to the functional
+dependencies of the *other* atoms.  Definition 5 introduces
+
+    ``F^{⊞,q} = {x ∈ vars(q) | K(q) ⊨ key(F) → x}``
+
+the closure with respect to *all* atoms, which is used to classify attacks
+as weak or strong.  Trivially ``F^{+,q} ⊆ F^{⊞,q}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ..model.atoms import Atom
+from ..model.symbols import Variable
+from ..query.conjunctive import ConjunctiveQuery
+
+
+def plus_closure(query: ConjunctiveQuery, atom: Atom) -> FrozenSet[Variable]:
+    """``F^{+,q}``: closure of ``key(F)`` under ``K(q \\ {F})``, within vars(q)."""
+    if atom not in query:
+        raise ValueError(f"atom {atom} does not belong to query {query}")
+    fds = query.key_fds(exclude=[atom])
+    return fds.closure(atom.key_variables) & query.variables
+
+
+def box_closure(query: ConjunctiveQuery, atom: Atom) -> FrozenSet[Variable]:
+    """``F^{⊞,q}``: closure of ``key(F)`` under ``K(q)``, within vars(q)."""
+    if atom not in query:
+        raise ValueError(f"atom {atom} does not belong to query {query}")
+    fds = query.key_fds()
+    return fds.closure(atom.key_variables) & query.variables
+
+
+def all_plus_closures(query: ConjunctiveQuery) -> Dict[Atom, FrozenSet[Variable]]:
+    """``F^{+,q}`` for every atom of the query."""
+    return {atom: plus_closure(query, atom) for atom in query.atoms}
+
+
+def all_box_closures(query: ConjunctiveQuery) -> Dict[Atom, FrozenSet[Variable]]:
+    """``F^{⊞,q}`` for every atom of the query."""
+    return {atom: box_closure(query, atom) for atom in query.atoms}

@@ -1,0 +1,126 @@
+"""Structural properties of attack graphs stated as lemmas in the paper.
+
+Each function checks one lemma on a concrete attack graph and returns
+``True`` when the lemma's statement holds (as it must, if the implementation
+is correct).  They serve three purposes: executable documentation of the
+paper's structure, sanity checks in the test suite (including property-based
+tests over random queries), and the building blocks of experiment E9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..model.atoms import Atom
+from .cycles import (
+    cycle_is_terminal,
+    enumerate_cycles,
+    has_strong_cycle,
+    strongly_connected_components,
+)
+from .graph import AttackGraph
+
+
+def check_lemma2(graph: AttackGraph) -> bool:
+    """Lemma 2: if ``F ⤳ G`` then ``key(G) ⊄ F^{+,q}`` and ``vars(F) ⊄ F^{+,q}``."""
+    for attack in graph.attacks:
+        closure = graph.plus_closures[attack.source]
+        if attack.target.key_variables.issubset(closure):
+            return False
+        if attack.source.variables.issubset(closure):
+            return False
+    return True
+
+
+def check_lemma3(graph: AttackGraph) -> bool:
+    """Lemma 3: ``F ⤳ G`` and ``G ⤳ H`` imply ``F ⤳ H`` or ``G ⤳ F`` (F, G, H distinct)."""
+    atoms = graph.atoms
+    for f in atoms:
+        for g in graph.attacks_from(f):
+            if g == f:
+                continue
+            for h in graph.attacks_from(g):
+                if h == f or h == g:
+                    continue
+                if not (graph.has_attack(f, h) or graph.has_attack(g, f)):
+                    return False
+    return True
+
+
+def check_lemma4(graph: AttackGraph) -> bool:
+    """Lemma 4: a strong cycle exists iff a strong cycle of length 2 exists."""
+    cycles = enumerate_cycles(graph)
+    any_strong = any(c.is_strong for c in cycles)
+    strong_two = any(c.is_strong and c.length == 2 for c in cycles)
+    if any_strong and not strong_two:
+        return False
+    # Also check agreement with the quadratic-time test used by the classifier.
+    return any_strong == has_strong_cycle(graph)
+
+
+def check_lemma6(graph: AttackGraph) -> bool:
+    """Lemma 6: if every cycle is terminal then every cycle has length 2."""
+    cycles = enumerate_cycles(graph)
+    if all(c.is_terminal for c in cycles):
+        return all(c.length == 2 for c in cycles)
+    return True
+
+
+def check_plus_subset_box(graph: AttackGraph) -> bool:
+    """The remark after Definition 5: ``F^{+,q} ⊆ F^{⊞,q}`` for every atom."""
+    return all(
+        graph.plus_closures[atom].issubset(graph.box_closures[atom]) for atom in graph.atoms
+    )
+
+
+def check_lemma7(graph: AttackGraph) -> bool:
+    """Lemma 7, for graphs where every cycle is terminal and every atom is on a cycle.
+
+    1. A variable occurring in two distinct cycles occurs in the key of every
+       atom of those cycles.
+    2. For weak attacks ``F ⤳ G`` (within such graphs), ``key(G) ⊆ vars(F)``.
+
+    Returns ``True`` vacuously when the premise does not hold.
+    """
+    cycles = enumerate_cycles(graph)
+    if not cycles:
+        return True
+    if not all(c.is_terminal for c in cycles):
+        return True
+    on_cycle = set()
+    for cycle in cycles:
+        on_cycle.update(cycle.atoms)
+    if set(graph.atoms) != on_cycle:
+        return True
+    # Part 1.
+    for i, first in enumerate(cycles):
+        for second in cycles[i + 1 :]:
+            if set(first.atoms) == set(second.atoms):
+                continue
+            shared_vars = set()
+            for atom in first.atoms:
+                shared_vars |= atom.variables
+            other_vars = set()
+            for atom in second.atoms:
+                other_vars |= atom.variables
+            for variable in shared_vars & other_vars:
+                for atom in list(first.atoms) + list(second.atoms):
+                    if variable in atom.variables and variable not in atom.key_variables:
+                        return False
+    # Part 2.
+    for attack in graph.attacks:
+        if attack.is_weak and not attack.target.key_variables.issubset(attack.source.variables):
+            return False
+    return True
+
+
+def lemma_report(graph: AttackGraph) -> List[Tuple[str, bool]]:
+    """Evaluate every lemma check on *graph* and return (name, holds) pairs."""
+    return [
+        ("lemma2", check_lemma2(graph)),
+        ("lemma3", check_lemma3(graph)),
+        ("lemma4", check_lemma4(graph)),
+        ("lemma6", check_lemma6(graph)),
+        ("lemma7", check_lemma7(graph)),
+        ("plus_subset_box", check_plus_subset_box(graph)),
+    ]

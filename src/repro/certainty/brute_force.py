@@ -1,0 +1,123 @@
+"""Exponential but always-correct CERTAINTY solver (the oracle).
+
+``CERTAINTY(q)`` is in coNP for first-order ``q``: a "no" certificate is a
+repair falsifying the query.  The brute-force solver searches for such a
+falsifying repair.  It is used as ground truth for every polynomial solver
+in the test suite and in the agreement experiments, and as the fallback for
+queries classified coNP-complete or open.
+
+Two optimisations keep it usable on small-to-medium instances without
+affecting correctness:
+
+* witnesses (valuation images ``θ(q) ⊆ db``) are computed once; a repair
+  satisfies ``q`` iff it fully contains one of them;
+* the search branches only over blocks that intersect some witness, and
+  prunes a branch as soon as every witness is already broken (a falsifying
+  repair exists) or some witness is already fully selected (this branch can
+  never falsify).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..model.atoms import Fact
+from ..model.database import BlockKey, UncertainDatabase
+from ..model.repairs import enumerate_repairs
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import satisfies, witnesses
+
+
+class BruteForceResult:
+    """Outcome of a brute-force certainty check."""
+
+    def __init__(self, certain: bool, falsifying_repair: Optional[FrozenSet[Fact]]) -> None:
+        self.certain = certain
+        self.falsifying_repair = falsifying_repair
+
+    def __bool__(self) -> bool:
+        return self.certain
+
+    def __repr__(self) -> str:
+        return f"BruteForceResult(certain={self.certain})"
+
+
+def certain_by_enumeration(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """Decide certainty by enumerating every repair (no pruning).
+
+    Exponential in the number of conflicting blocks; kept as the most
+    literal transcription of the definition for use in tests on tiny inputs.
+    """
+    return all(satisfies(repair, query) for repair in enumerate_repairs(db))
+
+
+def certain_brute_force(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """Decide ``db ∈ CERTAINTY(q)`` with the pruned witness-based search."""
+    return brute_force_with_certificate(db, query).certain
+
+
+def brute_force_with_certificate(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+) -> BruteForceResult:
+    """Decide certainty and, when the answer is "no", exhibit a falsifying repair."""
+    if query.is_empty:
+        return BruteForceResult(True, None)
+    witness_sets = witnesses(query, db.facts)
+    if not witness_sets:
+        # No repair can satisfy the query; any repair falsifies it.
+        repair = next(enumerate_repairs(db))
+        return BruteForceResult(False, repair)
+
+    # Blocks that contain at least one fact used by some witness.
+    relevant_blocks: List[BlockKey] = []
+    seen_blocks: Set[BlockKey] = set()
+    for witness in witness_sets:
+        for fact in witness:
+            if fact.block_key not in seen_blocks:
+                seen_blocks.add(fact.block_key)
+                relevant_blocks.append(fact.block_key)
+    relevant_blocks.sort(key=lambda key: (key[0], tuple(str(c) for c in key[1])))
+
+    witness_lists: List[FrozenSet[Fact]] = witness_sets
+    choice: Dict[BlockKey, Fact] = {}
+
+    def witness_state(witness: FrozenSet[Fact]) -> str:
+        """'broken' if some fact of the witness was rejected, 'complete' if all
+        its blocks are decided in its favour, else 'open'."""
+        complete = True
+        for fact in witness:
+            chosen = choice.get(fact.block_key)
+            if chosen is None:
+                complete = False
+            elif chosen != fact:
+                return "broken"
+        return "complete" if complete else "open"
+
+    def search(position: int) -> Optional[Dict[BlockKey, Fact]]:
+        states = [witness_state(w) for w in witness_lists]
+        if any(state == "complete" for state in states):
+            return None  # this branch satisfies the query; cannot falsify
+        if all(state == "broken" for state in states):
+            return dict(choice)  # every witness destroyed: falsifying repair found
+        if position == len(relevant_blocks):
+            return dict(choice)
+        block_key = relevant_blocks[position]
+        for fact in sorted(db.block(block_key), key=str):
+            choice[block_key] = fact
+            found = search(position + 1)
+            if found is not None:
+                return found
+            del choice[block_key]
+        return None
+
+    partial = search(0)
+    if partial is None:
+        return BruteForceResult(True, None)
+    # Extend the partial choice over relevant blocks to a full repair.
+    repair: Set[Fact] = set(partial.values())
+    for block in db.blocks():
+        key = next(iter(block)).block_key
+        if key not in partial:
+            repair.add(sorted(block, key=str)[0])
+    return BruteForceResult(False, frozenset(repair))

@@ -1,0 +1,15 @@
+"""Exceptions raised by the CERTAINTY solvers."""
+
+from __future__ import annotations
+
+
+class CertaintyError(Exception):
+    """Base class for solver errors."""
+
+
+class UnsupportedQueryError(CertaintyError):
+    """The query falls outside the scope of the requested algorithm."""
+
+
+class IntractableQueryError(CertaintyError):
+    """CERTAINTY(q) is coNP-complete (or open) and no exponential fallback was allowed."""

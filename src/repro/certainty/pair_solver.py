@@ -1,0 +1,271 @@
+"""Polynomial CERTAINTY solver for two-atom queries (Kolaitis–Pema coverage).
+
+Kolaitis and Pema (IPL 2012) showed that for every self-join-free query
+``q = {F, G}`` with exactly two atoms, ``CERTAINTY(q)`` is either in P or
+coNP-complete.  In the paper's terminology the dichotomy reads: coNP-complete
+when the attack graph of ``q`` has a strong cycle, in P otherwise.  The
+tractable non-FO case (a *weak* attack cycle ``F ⇄ G``) is what the base
+case of Theorem 3 needs.
+
+Kolaitis and Pema solve that case by reduction to maximum independent sets
+in claw-free graphs (Minty's algorithm).  This module instead decides it
+with a direct graph-marking algorithm that generalises the technique of the
+paper's own Theorem 4, documented in DESIGN.md:
+
+* every block of ``F``'s relation (resp. ``G``'s) becomes a vertex;
+* every fact becomes a directed edge from its own block to the block of the
+  partner atom determined by its values (for a weak cycle, ``key(G)`` is
+  contained in ``vars(F)`` and vice versa, so the partner block is fully
+  determined), labelled with the fact's values for the shared non-key
+  variables;
+* a repair picks one outgoing edge per vertex; it satisfies the query iff it
+  picks both halves of a *join pair*: two anti-parallel edges with equal
+  labels.  After purification (Lemma 1) every edge is half of a join pair,
+  so the graph decomposes into strongly connected components with no edges
+  between them.
+
+A falsifying repair exists iff **every** component admits a marked cycle
+that is not a join pair, which happens iff the component contains either an
+anti-parallel pair of edges with *different* labels, or an elementary cycle
+(on block vertices) of length greater than two.  Hence ``db ∈ CERTAINTY(q)``
+iff some component has neither — which the solver checks in polynomial time.
+The solver is validated against the brute-force oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..attacks.cycles import has_strong_cycle
+from ..attacks.graph import AttackGraph
+from ..model.atoms import Atom, Fact
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant, Variable, is_constant
+from ..query.conjunctive import ConjunctiveQuery
+from .exceptions import IntractableQueryError, UnsupportedQueryError
+from .peeling import match_full_atom, peel_certain, empty_base_case
+from .purify import purify
+
+#: Vertex of the block digraph: (side, key constants) where side is "F" or "G".
+_Node = Tuple[str, Tuple[Constant, ...]]
+
+
+class _Edge:
+    """A fact viewed as an edge of the block digraph."""
+
+    __slots__ = ("source", "target", "label", "fact")
+
+    def __init__(self, source: _Node, target: _Node, label: Tuple[Constant, ...], fact: Fact) -> None:
+        self.source = source
+        self.target = target
+        self.label = label
+        self.fact = fact
+
+
+def is_two_atom_query(query: ConjunctiveQuery) -> bool:
+    """``True`` iff the query has exactly two atoms and no self-join."""
+    return len(query) == 2 and not query.has_self_join
+
+
+def certain_two_atom(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """Decide ``db ∈ CERTAINTY(q)`` for a two-atom self-join-free query.
+
+    Dispatches on the attack graph: acyclic → peeling recursion (FO case);
+    weak 2-cycle → graph-marking algorithm; strong cycle →
+    :class:`IntractableQueryError` (the caller may fall back to brute force).
+    """
+    if not is_two_atom_query(query):
+        raise UnsupportedQueryError("certain_two_atom expects exactly two atoms without self-join")
+    graph = AttackGraph(query)
+    if graph.is_acyclic():
+        return peel_certain(db, query, empty_base_case)
+    if has_strong_cycle(graph):
+        raise IntractableQueryError(
+            f"CERTAINTY({query}) is coNP-complete (strong attack cycle); no polynomial algorithm applies"
+        )
+    return certain_weak_cycle_pair(db, query)
+
+
+def certain_weak_cycle_pair(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """The graph-marking decision procedure for a weak attack cycle ``F ⇄ G``."""
+    if not is_two_atom_query(query):
+        raise UnsupportedQueryError("certain_weak_cycle_pair expects exactly two atoms")
+    first, second = query.atoms
+    for one, other in ((first, second), (second, first)):
+        if not one.key_variables.issubset(other.variables):
+            raise UnsupportedQueryError(
+                f"key({one}) is not contained in vars({other}); "
+                "the query does not have a weak attack cycle"
+            )
+    purified = purify(db, query)
+    if not purified:
+        return False
+
+    edges, adjacency = _build_block_graph(purified, first, second)
+    components = _strongly_connected_components(adjacency)
+    for component in components:
+        if len(component) < 2:
+            # An isolated vertex cannot appear: every edge lies on a 2-cycle
+            # after purification.  Treat it defensively as non-falsifiable.
+            return True
+        if not _component_falsifiable(component, edges, adjacency):
+            return True
+    return False
+
+
+# -- graph construction ------------------------------------------------------------
+
+
+def _build_block_graph(
+    db: UncertainDatabase,
+    first: Atom,
+    second: Atom,
+) -> Tuple[List[_Edge], Dict[_Node, Set[_Node]]]:
+    shared = first.variables & second.variables
+    key_vars = first.key_variables | second.key_variables
+    extra = sorted(shared - key_vars, key=lambda v: v.name)
+
+    edges: List[_Edge] = []
+    adjacency: Dict[_Node, Set[_Node]] = defaultdict(set)
+
+    def add_side(own: Atom, own_side: str, partner: Atom, partner_side: str) -> None:
+        for fact in db.relation_facts(own.relation.name):
+            binding = match_full_atom(own, fact)
+            if binding is None:
+                continue  # cannot happen on a purified database
+            source: _Node = (own_side, fact.key_terms)
+            target_key = tuple(
+                term if is_constant(term) else binding[term] for term in partner.key_terms
+            )
+            target: _Node = (partner_side, target_key)
+            label = tuple(binding[v] for v in extra)
+            edges.append(_Edge(source, target, label, fact))
+            adjacency[source].add(target)
+            adjacency.setdefault(target, set())
+
+    add_side(first, "F", second, "G")
+    add_side(second, "G", first, "F")
+    return edges, adjacency
+
+
+def _strongly_connected_components(adjacency: Dict[_Node, Set[_Node]]) -> List[FrozenSet[_Node]]:
+    """Iterative Tarjan SCC over the block digraph."""
+    index: Dict[_Node, int] = {}
+    lowlink: Dict[_Node, int] = {}
+    on_stack: Set[_Node] = set()
+    stack: List[_Node] = []
+    components: List[FrozenSet[_Node]] = []
+    counter = [0]
+
+    for root in sorted(adjacency, key=str):
+        if root in index:
+            continue
+        work: List[Tuple[_Node, List[_Node], int]] = [(root, sorted(adjacency[root], key=str), 0)]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors, position = work.pop()
+            advanced = False
+            while position < len(successors):
+                successor = successors[position]
+                position += 1
+                if successor not in index:
+                    work.append((node, successors, position))
+                    index[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, sorted(adjacency[successor], key=str), 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: Set[_Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+# -- per-component decision -----------------------------------------------------------
+
+
+def _component_falsifiable(
+    component: FrozenSet[_Node],
+    edges: Sequence[_Edge],
+    adjacency: Dict[_Node, Set[_Node]],
+) -> bool:
+    """Can the falsifier pick one fact per block of this component without
+    completing a join pair?"""
+    local_edges = [e for e in edges if e.source in component and e.target in component]
+
+    # Case (a): an anti-parallel pair of facts with different labels.
+    labels: Dict[Tuple[_Node, _Node], Set[Tuple[Constant, ...]]] = defaultdict(set)
+    for edge in local_edges:
+        labels[(edge.source, edge.target)].add(edge.label)
+    for (source, target), label_set in labels.items():
+        reverse = labels.get((target, source))
+        if reverse is None:
+            continue
+        if len(label_set | reverse) >= 2:
+            return True
+
+    # Case (b): an elementary cycle of length > 2 on the block vertices.
+    simple: Dict[_Node, Set[_Node]] = {
+        node: {n for n in adjacency.get(node, set()) if n in component} for node in component
+    }
+    return _has_long_cycle(simple)
+
+
+def _has_long_cycle(simple: Dict[_Node, Set[_Node]]) -> bool:
+    """Does the simple digraph contain an elementary cycle of length > 2?
+
+    Following the technique of Theorem 4 (specialised to ``k = 2``): such a
+    cycle exists iff there are vertices ``n1 → n2 → n3`` with ``n3 ≠ n1`` and
+    a path from ``n3`` back to ``n1`` that uses no edge leaving ``n1`` or
+    ``n2``.
+    """
+    for n1 in simple:
+        for n2 in simple[n1]:
+            if n2 == n1:
+                continue
+            for n3 in simple.get(n2, set()):
+                if n3 == n1 or n3 == n2:
+                    continue
+                if _reaches(simple, n3, n1, blocked_sources={n1, n2}):
+                    return True
+    return False
+
+
+def _reaches(
+    simple: Dict[_Node, Set[_Node]],
+    start: _Node,
+    goal: _Node,
+    blocked_sources: Set[_Node],
+) -> bool:
+    seen: Set[_Node] = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if node == goal:
+            return True
+        if node in blocked_sources:
+            continue
+        for successor in simple.get(node, set()):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return False

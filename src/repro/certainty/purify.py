@@ -1,0 +1,63 @@
+"""Purification of uncertain databases (Lemma 1).
+
+An uncertain database ``db`` is *purified* relative to a query ``q`` when
+every fact of ``db`` occurs in some valuation image ``θ(q) ⊆ db``.  Lemma 1
+shows that any database can be purified in polynomial time without changing
+membership in ``CERTAINTY(q)``: repeatedly find a fact that participates in
+no witness and drop its *entire block* (the falsifier can "spend" that block
+on the irrelevant fact, so the block contributes nothing to certainty).
+
+All polynomial solvers in this package purify first; the graph-based
+algorithms (Theorem 4 and the weak-cycle pair solver) furthermore rely on
+purification for their structural preconditions (every edge of the fact
+graph lies on a witness cycle).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from ..model.atoms import Fact
+from ..model.database import UncertainDatabase
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import FactIndex, iterate_valuations
+
+
+def relevant_facts(db: UncertainDatabase, query: ConjunctiveQuery) -> FrozenSet[Fact]:
+    """The facts of *db* that occur in at least one witness ``θ(q) ⊆ db``."""
+    index = FactIndex(db.facts)
+    used: Set[Fact] = set()
+    for valuation in iterate_valuations(query, index):
+        for atom in query.atoms:
+            used.add(valuation.ground(atom))
+    return frozenset(used)
+
+
+def purify(db: UncertainDatabase, query: ConjunctiveQuery) -> UncertainDatabase:
+    """Return a purified copy of *db* relative to *query* (Lemma 1).
+
+    The loop removes, as long as one exists, the block of a fact that is not
+    part of any witness, and repeats (removals can cascade because witnesses
+    may lose their support).  Certainty is preserved:
+    ``purify(db, q) ∈ CERTAINTY(q)  ⇔  db ∈ CERTAINTY(q)``.
+    """
+    current = db.copy()
+    if query.is_empty:
+        return current
+    while True:
+        used = relevant_facts(current, query)
+        stale_blocks = {
+            fact.block_key for fact in current.facts if fact not in used
+        }
+        if not stale_blocks:
+            return current
+        for block_key in stale_blocks:
+            current.remove_block(block_key)
+
+
+def is_purified(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """``True`` iff every fact of *db* participates in some witness of *query*."""
+    if query.is_empty:
+        return True
+    used = relevant_facts(db, query)
+    return all(fact in used for fact in db.facts)

@@ -1,0 +1,106 @@
+"""The polynomial-time reductions of the paper, materialised as executable code.
+
+* :func:`theorem2_reduction` — the many-one reduction at the heart of
+  Theorem 2: from ``CERTAINTY(q0)`` (``q0 = {R0(x|y), S0(y,z|x)}``, known to
+  be coNP-complete) to ``CERTAINTY(q)`` for any acyclic self-join-free ``q``
+  whose attack graph has a strong cycle.  Every valuation ``θ`` over
+  ``{x,y,z}`` witnessing ``q0`` in the source database is mapped to a
+  valuation ``θ̂`` over ``vars(q)`` according to the six regions of the Venn
+  diagram of ``F^{+,q}``, ``G^{+,q}`` and ``F^{⊞,q}`` (Figure 3), and the
+  target database is ``{θ̂(H) | H ∈ q, θ ∈ V}``.
+
+* :func:`lemma9_expand` (re-exported from :mod:`repro.certainty.cycle_query`)
+  — the AC0 reduction that adds full all-key relations.
+
+These reductions prove hardness in the paper; here they are used to *verify*
+the equivalences they claim on concrete instances (experiment E6) and to
+manufacture hard instances for the brute-force solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..attacks.closure import box_closure, plus_closure
+from ..attacks.cycles import strong_two_cycle
+from ..attacks.graph import AttackGraph
+from ..model.atoms import Atom, Fact
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant, Variable
+from ..model.valuation import Valuation
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import all_valuations
+from ..query.families import kolaitis_pema_q0
+from .cycle_query import lemma9_expand
+from .exceptions import UnsupportedQueryError
+from .purify import purify
+
+__all__ = ["Theorem2Reduction", "theorem2_reduction", "lemma9_expand"]
+
+
+class Theorem2Reduction:
+    """The θ̂ construction for a fixed target query ``q`` with a strong cycle."""
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        if query.has_self_join:
+            raise UnsupportedQueryError("Theorem 2 applies to self-join-free queries")
+        self.query = query
+        graph = AttackGraph(query)
+        witness = strong_two_cycle(graph)
+        if witness is None:
+            raise UnsupportedQueryError(
+                f"the attack graph of {query} has no strong cycle; Theorem 2 does not apply"
+            )
+        self.attacker, self.attacked = witness  # attacker ⤳ attacked is strong, mutual attack
+        self.plus_f = plus_closure(query, self.attacker)
+        self.plus_g = plus_closure(query, self.attacked)
+        self.box_f = box_closure(query, self.attacker)
+        self.source_query = kolaitis_pema_q0()
+
+    # -- the θ̂ mapping ---------------------------------------------------------------
+
+    def hat_value(self, variable: Variable, x: Constant, y: Constant, z: Constant) -> Constant:
+        """``θ̂(u)`` for ``θ = {x ↦ x, y ↦ y, z ↦ z}`` following the six Venn regions."""
+        in_plus_f = variable in self.plus_f
+        in_plus_g = variable in self.plus_g
+        in_box_f = variable in self.box_f
+        if in_plus_f and in_plus_g:
+            return Constant("d")
+        if in_plus_f and not in_plus_g:
+            return x
+        if in_plus_g and not in_box_f:
+            return Constant((y.value, z.value))
+        if in_plus_g and in_box_f and not in_plus_f:
+            return y
+        if in_box_f and not in_plus_f and not in_plus_g:
+            return Constant((x.value, y.value))
+        return Constant((x.value, y.value, z.value))
+
+    def hat_valuation(self, x: Constant, y: Constant, z: Constant) -> Valuation:
+        """The valuation ``θ̂`` over ``vars(q)`` induced by ``(x, y, z)``."""
+        return Valuation({v: self.hat_value(v, x, y, z) for v in self.query.variables})
+
+    # -- the database mapping ------------------------------------------------------------
+
+    def transform(self, db0: UncertainDatabase) -> UncertainDatabase:
+        """Map an instance of ``CERTAINTY(q0)`` to an instance of ``CERTAINTY(q)``.
+
+        ``db0 ∈ CERTAINTY(q0)  ⇔  transform(db0) ∈ CERTAINTY(q)`` (Theorem 2).
+        """
+        purified = purify(db0, self.source_query)
+        x_var, y_var, z_var = Variable("x"), Variable("y"), Variable("z")
+        target = UncertainDatabase()
+        for valuation in all_valuations(self.source_query, purified.facts):
+            x, y, z = valuation[x_var], valuation[y_var], valuation[z_var]
+            hat = self.hat_valuation(x, y, z)
+            for atom in self.query.atoms:
+                target.add(hat.ground(atom))
+        return target
+
+    def __repr__(self) -> str:
+        return f"Theorem2Reduction(target={self.query}, strong pair {self.attacker} ⇄ {self.attacked})"
+
+
+def theorem2_reduction(query: ConjunctiveQuery, db0: UncertainDatabase) -> UncertainDatabase:
+    """One-shot convenience wrapper around :class:`Theorem2Reduction`."""
+    return Theorem2Reduction(query).transform(db0)

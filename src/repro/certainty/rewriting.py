@@ -1,0 +1,42 @@
+"""Polynomial CERTAINTY solver for queries with an acyclic attack graph.
+
+Theorem 1 (Wijsen, TODS 2012; recalled as Theorem 1 in the paper) states
+that ``CERTAINTY(q)`` is first-order expressible iff the attack graph of
+``q`` is acyclic.  This module provides the operational counterpart: a
+solver that decides certainty by repeatedly *peeling* an unattacked atom, as
+in the proof of Theorem 3 (induction step) — the execution of the certain
+first-order rewriting.
+
+An actual first-order rewriting formula (an AST that can be handed to the
+generic formula evaluator) is produced by :mod:`repro.fo.rewrite`; the two
+are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from ..attacks.graph import AttackGraph
+from ..model.database import UncertainDatabase
+from ..query.conjunctive import ConjunctiveQuery
+from .exceptions import UnsupportedQueryError
+from .peeling import empty_base_case, peel_certain
+
+
+def is_fo_expressible(query: ConjunctiveQuery) -> bool:
+    """``True`` iff the attack graph of *query* is acyclic (Theorem 1)."""
+    if query.has_self_join:
+        raise UnsupportedQueryError("FO classification requires a self-join-free query")
+    if query.is_empty:
+        return True
+    return AttackGraph(query).is_acyclic()
+
+
+def certain_fo(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """Decide ``db ∈ CERTAINTY(q)`` for a query with an acyclic attack graph.
+
+    Raises :class:`UnsupportedQueryError` when the attack graph is cyclic.
+    """
+    if not is_fo_expressible(query):
+        raise UnsupportedQueryError(
+            f"the attack graph of {query} is cyclic; CERTAINTY(q) is not first-order expressible"
+        )
+    return peel_certain(db, query, empty_base_case)

@@ -1,0 +1,121 @@
+"""The top-level CERTAINTY solver: classify, dispatch, solve.
+
+:func:`is_certain` is the main entry point of the library: given an
+uncertain database and a Boolean conjunctive query, it classifies the query
+on the tractability frontier and runs the matching algorithm:
+
+====================  =======================================================
+band                  algorithm
+====================  =======================================================
+FO                    unattacked-atom peeling (certain FO rewriting)
+PTIME_NOT_FO          Theorem 3 (peeling + weak-cycle partitions)
+PTIME_CYCLE_QUERY     Theorem 4 (``AC(k)``/``C(k)`` fact-graph marking)
+CONP_COMPLETE         brute force, only with ``allow_exponential=True``
+OPEN_CONJECTURED_P    brute force, only with ``allow_exponential=True``
+unsupported           brute force, only with ``allow_exponential=True``
+====================  =======================================================
+
+Non-Boolean queries (with free variables) are answered by
+:func:`certain_answers`, which grounds the free variables with every
+candidate answer of the full database and keeps the certain ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.classify import Classification, classify
+from ..core.complexity import ComplexityBand
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import answer_tuples
+from ..query.substitution import ground_free_variables
+from .brute_force import certain_brute_force
+from .cycle_query import certain_cycle_query
+from .exceptions import IntractableQueryError, UnsupportedQueryError
+from .rewriting import certain_fo
+from .terminal_cycles import certain_terminal_cycles
+
+
+class CertaintyOutcome:
+    """The result of a certainty check, with provenance."""
+
+    def __init__(self, certain: bool, method: str, classification: Classification) -> None:
+        self.certain = certain
+        self.method = method
+        self.classification = classification
+
+    def __bool__(self) -> bool:
+        return self.certain
+
+    def __repr__(self) -> str:
+        return (
+            f"CertaintyOutcome(certain={self.certain}, method={self.method!r}, "
+            f"band={self.classification.band.name})"
+        )
+
+
+def solve(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    allow_exponential: bool = False,
+    classification: Optional[Classification] = None,
+) -> CertaintyOutcome:
+    """Decide ``db ∈ CERTAINTY(q)`` and report which algorithm was used."""
+    boolean = query.as_boolean() if not query.is_boolean else query
+    classification = classification if classification is not None else classify(boolean)
+    band = classification.band
+    if band is ComplexityBand.FO:
+        return CertaintyOutcome(certain_fo(db, boolean), "fo-rewriting", classification)
+    if band is ComplexityBand.PTIME_NOT_FO:
+        return CertaintyOutcome(
+            certain_terminal_cycles(db, boolean), "theorem3-terminal-cycles", classification
+        )
+    if band is ComplexityBand.PTIME_CYCLE_QUERY:
+        return CertaintyOutcome(certain_cycle_query(db, boolean), "theorem4-cycle-query", classification)
+    if not allow_exponential:
+        if band is ComplexityBand.CONP_COMPLETE:
+            raise IntractableQueryError(
+                f"CERTAINTY({boolean}) is coNP-complete; pass allow_exponential=True to use brute force"
+            )
+        raise UnsupportedQueryError(
+            f"no polynomial algorithm is known for {boolean} ({band.name}); "
+            "pass allow_exponential=True to use brute force"
+        )
+    return CertaintyOutcome(certain_brute_force(db, boolean), "brute-force", classification)
+
+
+def is_certain(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    allow_exponential: bool = False,
+) -> bool:
+    """``True`` iff every repair of *db* satisfies *query*."""
+    return solve(db, query, allow_exponential=allow_exponential).certain
+
+
+def certain_answers(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    allow_exponential: bool = False,
+) -> Set[Tuple[Constant, ...]]:
+    """The certain answers of a non-Boolean query.
+
+    A tuple ``t`` is a certain answer when the Boolean grounding
+    ``q[free ↦ t]`` is certain.  Candidate tuples are the answers over the
+    whole (inconsistent) database — certain answers are always among them.
+    """
+    if query.is_boolean:
+        raise ValueError("certain_answers expects a query with free variables")
+    candidates = answer_tuples(query, db.facts)
+    certain: Set[Tuple[Constant, ...]] = set()
+    classification: Optional[Classification] = None
+    for candidate in sorted(candidates, key=lambda t: tuple(str(c) for c in t)):
+        grounded = ground_free_variables(query, [c.value for c in candidate])
+        # Each grounding has the same shape, but constants can change the
+        # attack graph, so classify per grounding (cheap: queries are small).
+        outcome = solve(db, grounded, allow_exponential=allow_exponential)
+        if outcome.certain:
+            certain.add(candidate)
+    return certain

@@ -1,0 +1,147 @@
+"""Theorem 3: polynomial CERTAINTY solver for weak, terminal attack cycles.
+
+If every cycle of the attack graph of an acyclic self-join-free query is
+weak **and terminal**, then ``CERTAINTY(q)`` is in P.  The algorithm follows
+the proof of Theorem 3:
+
+* induction step — while the attack graph has an unattacked atom, peel it
+  exactly as in the FO case (the shared recursion of
+  :mod:`repro.certainty.peeling`); by Lemma 5 the residual queries keep the
+  premise (cycles stay weak and terminal);
+* base case — when every atom is attacked, the attack graph is a disjoint
+  union of weak terminal 2-cycles ``Fi ⇄ Gi`` (Lemma 6).  For each cycle,
+  facts over the two relations are grouped into *partitions* by the values
+  of the variables shared with other cycles; each partition is an
+  independent two-atom certainty problem, solved by
+  :mod:`repro.certainty.pair_solver`.  The database is certain iff the union
+  of the certain partitions satisfies the query (Sublemma 5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..attacks.cycles import (
+    all_cycles_terminal,
+    has_strong_cycle,
+    strongly_connected_components,
+)
+from ..attacks.graph import AttackGraph
+from ..model.atoms import Atom, Fact
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant, Variable
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import satisfies
+from .exceptions import UnsupportedQueryError
+from .pair_solver import certain_two_atom
+from .peeling import match_full_atom, peel_certain
+from .purify import purify
+
+
+def applies_to(query: ConjunctiveQuery) -> bool:
+    """``True`` iff Theorem 3 covers the query (weak terminal cycles only).
+
+    Queries with an *acyclic* attack graph are also covered (they simply
+    never reach the base case).
+    """
+    if query.has_self_join or query.is_empty:
+        return not query.has_self_join
+    graph = AttackGraph(query)
+    return not has_strong_cycle(graph) and all_cycles_terminal(graph)
+
+
+def certain_terminal_cycles(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """Decide ``db ∈ CERTAINTY(q)`` for a query with weak terminal cycles only."""
+    if not applies_to(query):
+        raise UnsupportedQueryError(
+            f"Theorem 3 does not apply to {query}: its attack graph has a strong or nonterminal cycle"
+        )
+    return peel_certain(db, query, _weak_terminal_base_case)
+
+
+def _weak_terminal_base_case(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    graph: AttackGraph,
+) -> bool:
+    """Base case of Theorem 3: disjoint weak terminal 2-cycles."""
+    cycles = _disjoint_two_cycles(graph)
+    shared_variables = _cross_cycle_variables(query, cycles)
+
+    certified: Set[Fact] = set()
+    for first, second in cycles:
+        pair_query = query.restricted_to([first, second])
+        pair_shared = sorted(
+            (first.variables | second.variables) & shared_variables,
+            key=lambda v: v.name,
+        )
+        partitions = _partitions(db, first, second, pair_shared)
+        for facts in partitions.values():
+            partition_db = UncertainDatabase(facts)
+            if certain_two_atom(partition_db, pair_query):
+                certified.update(facts)
+    return satisfies(certified, query)
+
+
+def _disjoint_two_cycles(graph: AttackGraph) -> List[Tuple[Atom, Atom]]:
+    """The weak terminal 2-cycles that partition the atoms in the base case."""
+    cycles: List[Tuple[Atom, Atom]] = []
+    covered: Set[Atom] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) != 2:
+            raise UnsupportedQueryError(
+                "base case of Theorem 3 expects disjoint attack 2-cycles; "
+                f"found a strongly connected component of size {len(component)}"
+            )
+        first, second = sorted(component, key=str)
+        if not (graph.has_attack(first, second) and graph.has_attack(second, first)):
+            raise UnsupportedQueryError("strongly connected pair without a mutual attack")
+        if graph.is_strong_attack(first, second) or graph.is_strong_attack(second, first):
+            raise UnsupportedQueryError("base case of Theorem 3 requires weak cycles only")
+        for atom in component:
+            for target in graph.attacks_from(atom):
+                if target not in component:
+                    raise UnsupportedQueryError("base case of Theorem 3 requires terminal cycles")
+        cycles.append((first, second))
+        covered |= component
+    if covered != set(graph.atoms):
+        raise UnsupportedQueryError("every atom must lie on an attack cycle in the base case")
+    return cycles
+
+
+def _cross_cycle_variables(
+    query: ConjunctiveQuery,
+    cycles: Sequence[Tuple[Atom, Atom]],
+) -> FrozenSet[Variable]:
+    """Variables that occur in more than one attack cycle (the partition vectors)."""
+    occurrence: Dict[Variable, int] = defaultdict(int)
+    for first, second in cycles:
+        for variable in first.variables | second.variables:
+            occurrence[variable] += 1
+    return frozenset(v for v, count in occurrence.items() if count > 1)
+
+
+def _partitions(
+    db: UncertainDatabase,
+    first: Atom,
+    second: Atom,
+    shared: Sequence[Variable],
+) -> Dict[Tuple[Constant, ...], List[Fact]]:
+    """Group the facts over the two cycle relations by their shared-variable vector.
+
+    Two facts of different partitions are never key-equal (the shared
+    variables are key variables of both atoms, Lemma 7), so every repair of
+    the pair sub-database decomposes into independent repairs per partition.
+    """
+    partitions: Dict[Tuple[Constant, ...], List[Fact]] = defaultdict(list)
+    for atom in (first, second):
+        for fact in db.relation_facts(atom.relation.name):
+            binding = match_full_atom(atom, fact)
+            if binding is None:
+                # The base case is always entered with a purified database, so
+                # non-matching facts do not occur; skip defensively.
+                continue
+            vector = tuple(binding[v] for v in shared)
+            partitions[vector].append(fact)
+    return partitions

@@ -1,0 +1,15 @@
+"""The paper's primary contribution: the tractability-frontier classifier."""
+
+from .classify import Classification, classify
+from .complexity import ComplexityBand
+from .frontier import band_counts, classify_corpus, frontier_table, summarize_frontier
+
+__all__ = [
+    "Classification",
+    "ComplexityBand",
+    "band_counts",
+    "classify",
+    "classify_corpus",
+    "frontier_table",
+    "summarize_frontier",
+]

@@ -1,0 +1,172 @@
+"""The tractability classifier: the paper's effective decision procedure.
+
+Given a Boolean conjunctive query, the classifier produces a
+:class:`Classification` that records which complexity band ``CERTAINTY(q)``
+falls into and the structural evidence (attack graph, witnessing strong
+2-cycle, topological peeling order, ...).  This is the "effective method
+that takes as input a query q and decides whether CERTAINTY(q) is in P or
+coNP-complete" that the paper sets out to find, restricted — exactly as the
+paper is — to acyclic queries without self-joins, with the additional
+``C(k)`` escape hatch of Corollary 1 for the cyclic cycle queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..attacks.cycles import (
+    all_cycles_terminal,
+    has_strong_cycle,
+    strong_two_cycle,
+    strongly_connected_components,
+)
+from ..attacks.graph import AttackGraph
+from ..model.atoms import Atom
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.families import cycle_query_shape
+from ..query.hypergraph import is_acyclic
+from .complexity import ComplexityBand
+
+
+class Classification:
+    """The outcome of classifying one query."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        band: ComplexityBand,
+        attack_graph: Optional[AttackGraph] = None,
+        reasons: Optional[List[str]] = None,
+        strong_cycle_witness: Optional[Tuple[Atom, Atom]] = None,
+        cycle_parameter: Optional[int] = None,
+    ) -> None:
+        self.query = query
+        self.band = band
+        self.attack_graph = attack_graph
+        self.reasons = list(reasons or [])
+        self.strong_cycle_witness = strong_cycle_witness
+        self.cycle_parameter = cycle_parameter
+
+    @property
+    def is_tractable(self) -> bool:
+        """``True`` when the query is guaranteed to have a P-time CERTAINTY algorithm."""
+        return self.band.is_tractable
+
+    @property
+    def is_first_order(self) -> bool:
+        """``True`` when CERTAINTY(q) is first-order expressible."""
+        return self.band.is_first_order
+
+    def __repr__(self) -> str:
+        return f"Classification({self.query} → {self.band.name})"
+
+    def explain(self) -> str:
+        """A multi-line explanation of the classification."""
+        lines = [f"query: {self.query}", f"band:  {self.band.name} ({self.band})"]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        if self.strong_cycle_witness is not None:
+            f, g = self.strong_cycle_witness
+            lines.append(f"  - witnessing strong 2-cycle: {f} ⤳ {g} ⤳ {f}")
+        return "\n".join(lines)
+
+
+def _cycle_shape(query: ConjunctiveQuery) -> Optional[Tuple[int, bool]]:
+    """Detect the ``C(k)``/``AC(k)`` shape (delegates to the query-family helper)."""
+    shape = cycle_query_shape(query)
+    if shape is None:
+        return None
+    return (shape.k, shape.has_sk_atom)
+
+
+def classify(query: ConjunctiveQuery) -> Classification:
+    """Classify ``CERTAINTY(q)`` for a Boolean conjunctive query.
+
+    The decision procedure follows the paper:
+
+    1. reject self-joins (out of scope);
+    2. cyclic queries: handle ``C(k)`` via Corollary 1, reject the rest;
+    3. acyclic queries: build the attack graph and apply
+       Theorem 1 (acyclic graph → FO), Theorem 2 (strong cycle →
+       coNP-complete), Theorem 3 (weak terminal cycles → P), Theorem 4
+       (``AC(k)`` → P), and otherwise report the open case of Conjecture 1.
+    """
+    boolean = query.as_boolean() if not query.is_boolean else query
+    if boolean.has_self_join:
+        return Classification(
+            boolean,
+            ComplexityBand.UNSUPPORTED_SELF_JOIN,
+            reasons=["the query repeats a relation name; attack graphs are undefined"],
+        )
+    shape = _cycle_shape(boolean)
+    if not is_acyclic(boolean):
+        if shape is not None and not shape[1]:
+            return Classification(
+                boolean,
+                ComplexityBand.PTIME_CYCLE_QUERY,
+                reasons=[
+                    f"query is C({shape[0]}): cyclic, but Corollary 1 places CERTAINTY in P "
+                    "via the Lemma 9 reduction to AC(k) and Theorem 4"
+                ],
+                cycle_parameter=shape[0],
+            )
+        return Classification(
+            boolean,
+            ComplexityBand.UNSUPPORTED_CYCLIC_QUERY,
+            reasons=["the query has no join tree and is not of the C(k) shape"],
+        )
+
+    graph = AttackGraph(boolean)
+    if graph.is_acyclic():
+        order = graph.topological_order() or []
+        return Classification(
+            boolean,
+            ComplexityBand.FO,
+            attack_graph=graph,
+            reasons=[
+                "the attack graph is acyclic, so CERTAINTY(q) is first-order expressible (Theorem 1)",
+                "peeling order of unattacked atoms: " + " , ".join(str(a) for a in order),
+            ],
+        )
+    if has_strong_cycle(graph):
+        witness = strong_two_cycle(graph)
+        return Classification(
+            boolean,
+            ComplexityBand.CONP_COMPLETE,
+            attack_graph=graph,
+            reasons=["the attack graph contains a strong cycle, so CERTAINTY(q) is coNP-complete (Theorem 2)"],
+            strong_cycle_witness=witness,
+        )
+    if all_cycles_terminal(graph):
+        cyclic_components = [
+            c for c in strongly_connected_components(graph) if len(c) >= 2
+        ]
+        return Classification(
+            boolean,
+            ComplexityBand.PTIME_NOT_FO,
+            attack_graph=graph,
+            reasons=[
+                "all attack cycles are weak and terminal, so CERTAINTY(q) is in P (Theorem 3)",
+                f"the attack graph has {len(cyclic_components)} terminal weak 2-cycle(s)",
+                "CERTAINTY(q) is not first-order expressible (Theorem 1, cyclic attack graph)",
+            ],
+        )
+    if shape is not None and shape[1]:
+        return Classification(
+            boolean,
+            ComplexityBand.PTIME_CYCLE_QUERY,
+            attack_graph=graph,
+            reasons=[
+                f"query is AC({shape[0]}): nonterminal weak cycles, handled by Theorem 4 (in P)"
+            ],
+            cycle_parameter=shape[0],
+        )
+    return Classification(
+        boolean,
+        ComplexityBand.OPEN_CONJECTURED_P,
+        attack_graph=graph,
+        reasons=[
+            "the attack graph has a nonterminal cycle but no strong cycle; "
+            "the paper conjectures CERTAINTY(q) is in P (Conjecture 1) but the case is open",
+            "CERTAINTY(q) is not first-order expressible (Theorem 1, cyclic attack graph)",
+        ],
+    )

@@ -1,0 +1,68 @@
+"""Complexity bands of the tractability frontier.
+
+The paper classifies ``CERTAINTY(q)`` for acyclic, self-join-free Boolean
+conjunctive queries into the bands below, based purely on the attack graph
+of ``q``:
+
+* ``FO`` — the attack graph is acyclic; CERTAINTY(q) is first-order
+  expressible (Theorem 1), hence in AC0 ⊆ P.
+* ``PTIME_NOT_FO`` — the attack graph is cyclic, has no strong cycle, and
+  every cycle is terminal; CERTAINTY(q) is in P (Theorem 3) and is not
+  FO-expressible (Theorem 1).
+* ``PTIME_CYCLE_QUERY`` — the attack graph has nonterminal weak cycles and
+  no strong cycle, and the query has the special ``AC(k)``/``C(k)`` shape
+  handled by Theorem 4 / Corollary 1; CERTAINTY(q) is in P.
+* ``OPEN_CONJECTURED_P`` — nonterminal weak cycles, no strong cycle, and not
+  of the ``AC(k)`` shape; the paper conjectures P (Conjecture 1) but leaves
+  the case open.
+* ``CONP_COMPLETE`` — the attack graph contains a strong cycle (Theorem 2).
+
+Two extra labels cover inputs outside the paper's scope: queries with
+self-joins and cyclic queries other than ``C(k)``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ComplexityBand(enum.Enum):
+    """The complexity of ``CERTAINTY(q)`` as determined by the classifier."""
+
+    FO = "first-order expressible"
+    PTIME_NOT_FO = "in P, not first-order expressible"
+    PTIME_CYCLE_QUERY = "in P (AC(k)/C(k), Theorem 4)"
+    OPEN_CONJECTURED_P = "open (conjectured in P)"
+    CONP_COMPLETE = "coNP-complete"
+    UNSUPPORTED_SELF_JOIN = "unsupported: query has a self-join"
+    UNSUPPORTED_CYCLIC_QUERY = "unsupported: query is not acyclic (and not C(k))"
+
+    @property
+    def is_tractable(self) -> bool:
+        """``True`` when the band guarantees a polynomial-time algorithm."""
+        return self in (
+            ComplexityBand.FO,
+            ComplexityBand.PTIME_NOT_FO,
+            ComplexityBand.PTIME_CYCLE_QUERY,
+        )
+
+    @property
+    def is_first_order(self) -> bool:
+        """``True`` when CERTAINTY(q) admits a certain first-order rewriting."""
+        return self is ComplexityBand.FO
+
+    @property
+    def is_intractable(self) -> bool:
+        """``True`` when CERTAINTY(q) is coNP-complete."""
+        return self is ComplexityBand.CONP_COMPLETE
+
+    @property
+    def is_supported(self) -> bool:
+        """``True`` when the query falls within the paper's scope."""
+        return self not in (
+            ComplexityBand.UNSUPPORTED_SELF_JOIN,
+            ComplexityBand.UNSUPPORTED_CYCLIC_QUERY,
+        )
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,67 @@
+"""High-level frontier reporting: classify collections of queries.
+
+The paper's "tractability frontier" is a partition of queries into complexity
+bands.  This module offers corpus-level helpers used by the census experiment
+(E11) and by the examples: classify many queries, tabulate the bands, and
+render a plain-text frontier table comparable to the summary in Section 8.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..query.conjunctive import ConjunctiveQuery
+from .classify import Classification, classify
+from .complexity import ComplexityBand
+
+
+def classify_corpus(queries: Iterable[ConjunctiveQuery]) -> List[Classification]:
+    """Classify every query in *queries* (order preserved)."""
+    return [classify(q) for q in queries]
+
+
+def band_counts(classifications: Iterable[Classification]) -> Dict[ComplexityBand, int]:
+    """How many queries fall into each complexity band."""
+    counter: Counter = Counter(c.band for c in classifications)
+    return {band: counter.get(band, 0) for band in ComplexityBand}
+
+
+def frontier_table(
+    classifications: Sequence[Classification],
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a plain-text table: one row per query, columns query / band / tractable / FO."""
+    if labels is not None and len(labels) != len(classifications):
+        raise ValueError("labels must match classifications one-to-one")
+    rows: List[Tuple[str, str, str, str]] = []
+    for i, classification in enumerate(classifications):
+        label = labels[i] if labels is not None else str(classification.query)
+        rows.append(
+            (
+                label,
+                classification.band.name,
+                "yes" if classification.is_tractable else ("?" if classification.band is ComplexityBand.OPEN_CONJECTURED_P else "no"),
+                "yes" if classification.is_first_order else "no",
+            )
+        )
+    headers = ("query", "band", "tractable", "FO-expressible")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i]) for i in range(4)]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(4)),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(4)))
+    return "\n".join(lines)
+
+
+def summarize_frontier(classifications: Sequence[Classification]) -> str:
+    """Render the band histogram as a plain-text summary."""
+    counts = band_counts(classifications)
+    total = sum(counts.values())
+    lines = [f"classified queries: {total}"]
+    for band, count in counts.items():
+        if count:
+            lines.append(f"  {band.name:<26} {count}")
+    return "\n".join(lines)

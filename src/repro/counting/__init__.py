@@ -1,0 +1,17 @@
+"""Repair counting (#CERTAINTY) and the uniform-repair probability."""
+
+from .count_repairs import (
+    certainty_from_counts,
+    count_falsifying_repairs,
+    count_satisfying_repairs,
+    counting_summary,
+    repair_frequency,
+)
+
+__all__ = [
+    "certainty_from_counts",
+    "count_falsifying_repairs",
+    "count_satisfying_repairs",
+    "counting_summary",
+    "repair_frequency",
+]

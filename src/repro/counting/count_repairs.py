@@ -1,0 +1,65 @@
+"""Repair counting: the \\#CERTAINTY(q) problem (related work, Theorem 7).
+
+``#CERTAINTY(q)`` asks how many repairs of an uncertain database satisfy the
+query.  Maslowski and Wijsen showed an FP / #P-complete dichotomy for it;
+this module provides the straightforward enumeration-based counter (the
+query-independent exponential algorithm), the derived relative frequency,
+and the consistency links with CERTAINTY and PROBABILITY that the
+experiments check:
+
+* ``db ∈ CERTAINTY(q)``  ⇔  every repair satisfies ``q``
+  ⇔  ``count = #repairs``;
+* under the uniform-repair BID database, ``Pr(q)`` equals the relative
+  frequency of satisfying repairs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from ..model.database import UncertainDatabase
+from ..model.repairs import count_repairs, enumerate_repairs
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import FactIndex, iterate_valuations, satisfies, witnesses
+
+
+def count_satisfying_repairs(db: UncertainDatabase, query: ConjunctiveQuery) -> int:
+    """The number of repairs of *db* that satisfy *query* (exponential)."""
+    boolean = query.as_boolean() if not query.is_boolean else query
+    if boolean.is_empty:
+        return count_repairs(db)
+    witness_sets = witnesses(boolean, db.facts)
+    if not witness_sets:
+        return 0
+    count = 0
+    for repair in enumerate_repairs(db):
+        if any(witness.issubset(repair) for witness in witness_sets):
+            count += 1
+    return count
+
+
+def count_falsifying_repairs(db: UncertainDatabase, query: ConjunctiveQuery) -> int:
+    """The number of repairs that falsify the query."""
+    return count_repairs(db) - count_satisfying_repairs(db, query)
+
+
+def repair_frequency(db: UncertainDatabase, query: ConjunctiveQuery) -> Fraction:
+    """The fraction of repairs satisfying the query (the uniform-repair probability)."""
+    total = count_repairs(db)
+    if total == 0:
+        return Fraction(0)
+    return Fraction(count_satisfying_repairs(db, query), total)
+
+
+def certainty_from_counts(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+    """``db ∈ CERTAINTY(q)`` decided through repair counting."""
+    return count_satisfying_repairs(db, query) == count_repairs(db)
+
+
+def counting_summary(db: UncertainDatabase, query: ConjunctiveQuery) -> Tuple[int, int, Fraction]:
+    """``(satisfying, total, frequency)`` in one pass."""
+    satisfying = count_satisfying_repairs(db, query)
+    total = count_repairs(db)
+    frequency = Fraction(satisfying, total) if total else Fraction(0)
+    return satisfying, total, frequency

@@ -1,0 +1,39 @@
+"""Executable reproductions of the paper's figures, examples, and theorem claims."""
+
+from .figures import (
+    ALL_EXPERIMENTS,
+    experiment_counting,
+    experiment_figure1,
+    experiment_figure2,
+    experiment_figure4,
+    experiment_figure6,
+    experiment_frontier_census,
+    experiment_lemmas,
+    experiment_probability_bridge,
+    experiment_theorem1,
+    experiment_theorem2,
+    experiment_theorem3_agreement,
+    experiment_theorem4_agreement,
+    run_all_experiments,
+)
+from .runner import Check, ExperimentReport, timed
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Check",
+    "ExperimentReport",
+    "experiment_counting",
+    "experiment_figure1",
+    "experiment_figure2",
+    "experiment_figure4",
+    "experiment_figure6",
+    "experiment_frontier_census",
+    "experiment_lemmas",
+    "experiment_probability_bridge",
+    "experiment_theorem1",
+    "experiment_theorem2",
+    "experiment_theorem3_agreement",
+    "experiment_theorem4_agreement",
+    "run_all_experiments",
+    "timed",
+]

@@ -1,0 +1,77 @@
+"""Experiment infrastructure: reports, checks, and plain-text rendering."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Check:
+    """One paper claim checked against the implementation's output."""
+
+    def __init__(self, claim: str, holds: bool, detail: str = "") -> None:
+        self.claim = claim
+        self.holds = holds
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        return f"[{status}] {self.claim}" + (f" ({self.detail})" if self.detail else "")
+
+
+class ExperimentReport:
+    """The output of one experiment: tabular rows plus claim checks."""
+
+    def __init__(self, experiment_id: str, title: str) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self.columns: List[str] = []
+        self.rows: List[Sequence[Any]] = []
+        self.checks: List[Check] = []
+        self.notes: List[str] = []
+
+    def set_columns(self, *columns: str) -> None:
+        self.columns = list(columns)
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(tuple(values))
+
+    def add_check(self, claim: str, holds: bool, detail: str = "") -> None:
+        self.checks.append(Check(claim, holds, detail))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(check.holds for check in self.checks)
+
+    def render(self) -> str:
+        """A plain-text rendering of the report (table + checks + notes)."""
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        if self.columns and self.rows:
+            rendered_rows = [tuple(str(v) for v in row) for row in self.rows]
+            widths = [
+                max(len(self.columns[i]), *(len(r[i]) for r in rendered_rows))
+                for i in range(len(self.columns))
+            ]
+            lines.append("  ".join(self.columns[i].ljust(widths[i]) for i in range(len(widths))))
+            lines.append("  ".join("-" * w for w in widths))
+            for row in rendered_rows:
+                lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(widths))))
+        for check in self.checks:
+            lines.append(repr(check))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.all_checks_pass else "FAIL"
+        return f"ExperimentReport({self.experiment_id}, checks={status})"
+
+
+def timed(function: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run *function* and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start

@@ -1,0 +1,5 @@
+"""Functional dependency reasoning over query variables."""
+
+from .functional_deps import FDSet, FunctionalDependency, fd
+
+__all__ = ["FDSet", "FunctionalDependency", "fd"]

@@ -1,0 +1,192 @@
+"""Functional dependencies over variables.
+
+In the paper, the primary key of every atom ``F`` of a query ``q`` induces a
+functional dependency ``key(F) → vars(F)`` over the *variables* of the query
+(variables play the role of attributes).  The set of all these dependencies
+is ``K(q)`` (Definition 1).  Attack graphs are defined through *attribute
+closures* with respect to such FD sets (Definition 2 and 5).
+
+This module provides a small, self-contained implementation of FD sets,
+attribute closure, and implication testing, sufficient for the paper's
+constructions and reusable as a generic database-theory utility.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from ..model.symbols import Variable
+
+
+class FunctionalDependency:
+    """A functional dependency ``X → Y`` over variables."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Iterable[Variable], rhs: Iterable[Variable]) -> None:
+        self.lhs: FrozenSet[Variable] = frozenset(lhs)
+        self.rhs: FrozenSet[Variable] = frozenset(rhs)
+        for var in self.lhs | self.rhs:
+            if not isinstance(var, Variable):
+                raise TypeError(f"functional dependencies range over variables, got {var!r}")
+
+    def __repr__(self) -> str:
+        return f"FD({self})"
+
+    def __str__(self) -> str:
+        lhs = "".join(sorted(v.name for v in self.lhs)) or "∅"
+        rhs = "".join(sorted(v.name for v in self.rhs)) or "∅"
+        return f"{lhs}→{rhs}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionalDependency)
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    @property
+    def is_trivial(self) -> bool:
+        """``True`` iff the dependency is implied by reflexivity (Y ⊆ X)."""
+        return self.rhs.issubset(self.lhs)
+
+
+class FDSet:
+    """A finite set of functional dependencies with closure operations."""
+
+    def __init__(self, dependencies: Iterable[FunctionalDependency] = ()) -> None:
+        self._fds: List[FunctionalDependency] = []
+        seen: Set[FunctionalDependency] = set()
+        for fd in dependencies:
+            if not isinstance(fd, FunctionalDependency):
+                raise TypeError(f"expected FunctionalDependency, got {fd!r}")
+            if fd not in seen:
+                seen.add(fd)
+                self._fds.append(fd)
+
+    # -- container protocol -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: object) -> bool:
+        return fd in self._fds
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FDSet) and set(self._fds) == set(other._fds)
+
+    def __repr__(self) -> str:
+        return "FDSet({" + ", ".join(str(fd) for fd in self._fds) + "})"
+
+    def add(self, fd: FunctionalDependency) -> "FDSet":
+        """Return a new FD set with *fd* added."""
+        return FDSet(self._fds + [fd])
+
+    def union(self, other: "FDSet") -> "FDSet":
+        """Return the union of two FD sets."""
+        return FDSet(list(self._fds) + list(other._fds))
+
+    def attributes(self) -> FrozenSet[Variable]:
+        """All variables mentioned by some dependency."""
+        out: Set[Variable] = set()
+        for fd in self._fds:
+            out |= fd.lhs | fd.rhs
+        return frozenset(out)
+
+    # -- closure and implication -----------------------------------------------------
+
+    def closure(self, attributes: Iterable[Variable]) -> FrozenSet[Variable]:
+        """The attribute closure ``X⁺`` of *attributes* with respect to this set.
+
+        Standard fixpoint algorithm (Ullman, *Principles of Database Systems*,
+        p. 387): repeatedly add the right-hand side of any dependency whose
+        left-hand side is already covered.
+        """
+        closure: Set[Variable] = set(attributes)
+        changed = True
+        remaining = list(self._fds)
+        while changed:
+            changed = False
+            still_remaining = []
+            for fd in remaining:
+                if fd.lhs.issubset(closure):
+                    if not fd.rhs.issubset(closure):
+                        closure |= fd.rhs
+                        changed = True
+                else:
+                    still_remaining.append(fd)
+            remaining = still_remaining
+        return frozenset(closure)
+
+    def implies(self, lhs: Iterable[Variable], rhs: Iterable[Variable]) -> bool:
+        """``True`` iff this FD set logically implies ``lhs → rhs``."""
+        return frozenset(rhs).issubset(self.closure(lhs))
+
+    def implies_fd(self, fd: FunctionalDependency) -> bool:
+        """``True`` iff this FD set logically implies *fd*."""
+        return self.implies(fd.lhs, fd.rhs)
+
+    def equivalent(self, other: "FDSet") -> bool:
+        """``True`` iff the two FD sets imply exactly the same dependencies."""
+        return all(other.implies_fd(fd) for fd in self._fds) and all(
+            self.implies_fd(fd) for fd in other._fds
+        )
+
+    def minimal_cover(self) -> "FDSet":
+        """A minimal cover: singleton right-hand sides, no redundant FDs or LHS attributes."""
+        # Split right-hand sides.
+        split: List[FunctionalDependency] = []
+        for fd in self._fds:
+            for attr in fd.rhs:
+                split.append(FunctionalDependency(fd.lhs, [attr]))
+        # Remove extraneous left-hand-side attributes.
+        reduced: List[FunctionalDependency] = []
+        for fd in split:
+            lhs = set(fd.lhs)
+            for attr in sorted(fd.lhs, key=lambda v: v.name):
+                trial = lhs - {attr}
+                if FDSet(split).implies(trial, fd.rhs):
+                    lhs = trial
+            reduced.append(FunctionalDependency(lhs, fd.rhs))
+        # Remove redundant dependencies.
+        result: List[FunctionalDependency] = list(dict.fromkeys(reduced))
+        changed = True
+        while changed:
+            changed = False
+            for fd in list(result):
+                rest = [g for g in result if g is not fd]
+                if FDSet(rest).implies_fd(fd):
+                    result = rest
+                    changed = True
+                    break
+        return FDSet(result)
+
+    def keys_of(self, attributes: Iterable[Variable]) -> List[FrozenSet[Variable]]:
+        """All minimal keys of the attribute set *attributes* under this FD set.
+
+        Exponential in the number of attributes; intended for small variable
+        sets (queries), not for databases.
+        """
+        universe = frozenset(attributes)
+        candidates: List[FrozenSet[Variable]] = []
+        from itertools import combinations
+
+        ordered = sorted(universe, key=lambda v: v.name)
+        for size in range(len(ordered) + 1):
+            for combo in combinations(ordered, size):
+                subset = frozenset(combo)
+                if universe.issubset(self.closure(subset)):
+                    if not any(c.issubset(subset) for c in candidates):
+                        candidates.append(subset)
+        return candidates
+
+
+def fd(lhs: Iterable[Variable], rhs: Iterable[Variable]) -> FunctionalDependency:
+    """Convenience constructor for a functional dependency."""
+    return FunctionalDependency(lhs, rhs)

@@ -1,0 +1,40 @@
+"""First-order logic: formulas, model checking, and certain FO rewritings."""
+
+from .evaluate import FormulaEvaluator, evaluate_sentence
+from .formulas import (
+    And,
+    AtomFormula,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Top,
+    conjunction,
+    disjunction,
+    formula_size,
+)
+from .rewrite import certain_rewriting
+
+__all__ = [
+    "And",
+    "AtomFormula",
+    "Bottom",
+    "Equals",
+    "Exists",
+    "Forall",
+    "Formula",
+    "FormulaEvaluator",
+    "Implies",
+    "Not",
+    "Or",
+    "Top",
+    "certain_rewriting",
+    "conjunction",
+    "disjunction",
+    "evaluate_sentence",
+    "formula_size",
+]

@@ -1,0 +1,106 @@
+"""Model checking of first-order formulas over uncertain databases.
+
+A database is viewed as an ordinary relational structure (the key
+constraints play no role in plain satisfaction).  Quantifiers range over the
+*active domain* of the database, which is the standard semantics for certain
+first-order rewritings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence
+
+from ..model.atoms import Fact
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant, Variable
+from ..model.valuation import Valuation
+from ..query.evaluation import FactIndex, match_atom
+from .formulas import (
+    And,
+    AtomFormula,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+
+
+class FormulaEvaluator:
+    """Evaluate formulas against a fixed database (facts + active domain)."""
+
+    def __init__(self, db: UncertainDatabase, domain: Optional[Iterable[Constant]] = None) -> None:
+        self.db = db
+        self.index = FactIndex(db.facts)
+        self.domain: Sequence[Constant] = sorted(
+            set(domain) if domain is not None else db.active_domain(), key=str
+        )
+
+    def evaluate(self, formula: Formula, valuation: Optional[Valuation] = None) -> bool:
+        """``db |= formula [valuation]`` under active-domain semantics."""
+        valuation = valuation if valuation is not None else Valuation()
+        missing = formula.free_variables() - valuation.domain()
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise ValueError(f"free variables not bound by the valuation: {names}")
+        return self._eval(formula, valuation)
+
+    # -- recursive evaluation -----------------------------------------------------
+
+    def _eval(self, formula: Formula, valuation: Valuation) -> bool:
+        if isinstance(formula, Top):
+            return True
+        if isinstance(formula, Bottom):
+            return False
+        if isinstance(formula, AtomFormula):
+            grounded = valuation.apply_atom(formula.atom)
+            if grounded.variables:
+                raise ValueError(f"atom {formula.atom} not fully bound during evaluation")
+            return grounded.to_fact() in self.db
+        if isinstance(formula, Equals):
+            left = valuation.apply_term(formula.left)
+            right = valuation.apply_term(formula.right)
+            return left == right
+        if isinstance(formula, Not):
+            return not self._eval(formula.operand, valuation)
+        if isinstance(formula, And):
+            return all(self._eval(o, valuation) for o in formula.operands)
+        if isinstance(formula, Or):
+            return any(self._eval(o, valuation) for o in formula.operands)
+        if isinstance(formula, Implies):
+            if not self._eval(formula.antecedent, valuation):
+                return True
+            return self._eval(formula.consequent, valuation)
+        if isinstance(formula, Exists):
+            return self._eval_quantifier(formula.variables, formula.operand, valuation, existential=True)
+        if isinstance(formula, Forall):
+            return self._eval_quantifier(formula.variables, formula.operand, valuation, existential=False)
+        raise TypeError(f"unknown formula node {formula!r}")
+
+    def _eval_quantifier(
+        self,
+        variables: Sequence[Variable],
+        operand: Formula,
+        valuation: Valuation,
+        existential: bool,
+    ) -> bool:
+        if not variables:
+            return self._eval(operand, valuation)
+        head, rest = variables[0], variables[1:]
+        for value in self.domain:
+            extended = valuation.override({head: value})
+            result = self._eval_quantifier(rest, operand, extended, existential)
+            if existential and result:
+                return True
+            if not existential and not result:
+                return False
+        return not existential
+
+
+def evaluate_sentence(db: UncertainDatabase, formula: Formula) -> bool:
+    """Evaluate a sentence (no free variables) against *db*."""
+    return FormulaEvaluator(db).evaluate(formula)

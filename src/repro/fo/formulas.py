@@ -1,0 +1,233 @@
+"""A small first-order logic over database atoms.
+
+Theorem 1 of the paper characterises when ``CERTAINTY(q)`` is *first-order
+expressible*: there is a first-order sentence ``φ`` (the *certain first-order
+rewriting*) such that ``db ∈ CERTAINTY(q)`` iff ``db |= φ``.  To make that
+statement executable, this package provides a formula AST
+(:mod:`repro.fo.formulas`), a model checker over uncertain databases
+(:mod:`repro.fo.evaluate`) and the rewriting generator
+(:mod:`repro.fo.rewrite`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
+
+from ..model.atoms import Atom
+from ..model.symbols import Constant, Term, Variable
+
+
+class Formula:
+    """Base class of first-order formulas."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """The free variables of the formula."""
+        raise NotImplementedError
+
+    # -- convenience combinators -------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or([self, other])
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+class Top(Formula):
+    """The formula ``true``."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+class Bottom(Formula):
+    """The formula ``false``."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+class AtomFormula(Formula):
+    """An atomic formula ``R(t1, ..., tn)``."""
+
+    def __init__(self, atom: Atom) -> None:
+        self.atom = atom
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.atom.variables
+
+    def __repr__(self) -> str:
+        return str(self.atom)
+
+
+class Equals(Formula):
+    """An equality ``t1 = t2`` between terms."""
+
+    def __init__(self, left: Term, right: Term) -> None:
+        self.left = left
+        self.right = right
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        out = set()
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                out.add(term)
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+class Not(Formula):
+    """Negation."""
+
+    def __init__(self, operand: Formula) -> None:
+        self.operand = operand
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables()
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+
+class And(Formula):
+    """Finite conjunction (empty conjunction is ``true``)."""
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        self.operands: Tuple[Formula, ...] = tuple(operands)
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        out: set = set()
+        for operand in self.operands:
+            out |= operand.free_variables()
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "⊤"
+        return "(" + " ∧ ".join(repr(o) for o in self.operands) + ")"
+
+
+class Or(Formula):
+    """Finite disjunction (empty disjunction is ``false``)."""
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        self.operands: Tuple[Formula, ...] = tuple(operands)
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        out: set = set()
+        for operand in self.operands:
+            out |= operand.free_variables()
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "⊥"
+        return "(" + " ∨ ".join(repr(o) for o in self.operands) + ")"
+
+
+class Implies(Formula):
+    """Implication ``antecedent → consequent``."""
+
+    def __init__(self, antecedent: Formula, consequent: Formula) -> None:
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.antecedent.free_variables() | self.consequent.free_variables()
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} → {self.consequent!r})"
+
+
+class Exists(Formula):
+    """Existential quantification over a sequence of variables."""
+
+    def __init__(self, variables: Sequence[Variable], operand: Formula) -> None:
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.operand = operand
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def __repr__(self) -> str:
+        if not self.variables:
+            return repr(self.operand)
+        quantified = " ".join(v.name for v in self.variables)
+        return f"∃{quantified}.{self.operand!r}"
+
+
+class Forall(Formula):
+    """Universal quantification over a sequence of variables."""
+
+    def __init__(self, variables: Sequence[Variable], operand: Formula) -> None:
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.operand = operand
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def __repr__(self) -> str:
+        if not self.variables:
+            return repr(self.operand)
+        quantified = " ".join(v.name for v in self.variables)
+        return f"∀{quantified}.{self.operand!r}"
+
+
+def conjunction(operands: Sequence[Formula]) -> Formula:
+    """Flattened conjunction avoiding redundant ``⊤`` members."""
+    flattened: List[Formula] = []
+    for operand in operands:
+        if isinstance(operand, Top):
+            continue
+        if isinstance(operand, And):
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    if not flattened:
+        return Top()
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(flattened)
+
+
+def disjunction(operands: Sequence[Formula]) -> Formula:
+    """Flattened disjunction avoiding redundant ``⊥`` members."""
+    flattened: List[Formula] = []
+    for operand in operands:
+        if isinstance(operand, Bottom):
+            continue
+        if isinstance(operand, Or):
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    if not flattened:
+        return Bottom()
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(flattened)
+
+
+def formula_size(formula: Formula) -> int:
+    """The number of AST nodes (a rough measure of rewriting size)."""
+    if isinstance(formula, (Top, Bottom, AtomFormula, Equals)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(o) for o in formula.operands)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_size(formula.operand)
+    raise TypeError(f"unknown formula node {formula!r}")

@@ -1,0 +1,66 @@
+"""Relational model substrate: terms, atoms, facts, schemas, databases, repairs."""
+
+from .atoms import Atom, Fact, RelationSchema, atoms_use_distinct_relations
+from .database import BlockKey, UncertainDatabase
+from .repairs import (
+    Repair,
+    count_possible_worlds,
+    count_repairs,
+    enumerate_possible_worlds,
+    enumerate_repairs,
+    every_repair_satisfies,
+    falsifying_repair,
+    greedy_repair,
+    is_possible_world,
+    is_repair,
+    random_repair,
+    some_repair_satisfies,
+)
+from .schema import DatabaseSchema
+from .symbols import (
+    Constant,
+    Term,
+    Variable,
+    constants_of,
+    fresh_variables,
+    is_constant,
+    is_variable,
+    make_constant,
+    make_term,
+    variables_of,
+)
+from .valuation import EMPTY_VALUATION, Valuation
+
+__all__ = [
+    "Atom",
+    "BlockKey",
+    "Constant",
+    "DatabaseSchema",
+    "EMPTY_VALUATION",
+    "Fact",
+    "RelationSchema",
+    "Repair",
+    "Term",
+    "UncertainDatabase",
+    "Valuation",
+    "Variable",
+    "atoms_use_distinct_relations",
+    "constants_of",
+    "count_possible_worlds",
+    "count_repairs",
+    "enumerate_possible_worlds",
+    "enumerate_repairs",
+    "every_repair_satisfies",
+    "falsifying_repair",
+    "fresh_variables",
+    "greedy_repair",
+    "is_constant",
+    "is_possible_world",
+    "is_repair",
+    "is_variable",
+    "make_constant",
+    "make_term",
+    "random_repair",
+    "some_repair_satisfies",
+    "variables_of",
+]

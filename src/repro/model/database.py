@@ -1,0 +1,189 @@
+"""Uncertain databases, blocks, and consistency.
+
+An *uncertain database* is a finite set of facts in which primary keys need
+not be satisfied.  A *block* is a maximal set of key-equal facts.  The
+database is *consistent* when every block is a singleton.  A *repair* is a
+maximal consistent subset, i.e. it picks exactly one fact from every block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .atoms import Fact, RelationSchema
+from .schema import DatabaseSchema
+from .symbols import Constant
+
+#: Identifier of a block: relation name plus the tuple of key constants.
+BlockKey = Tuple[str, Tuple[Constant, ...]]
+
+
+class UncertainDatabase:
+    """A finite set of facts over a database schema.
+
+    The database may violate primary keys; facts sharing a relation name and
+    a key value form a *block*.  The class is a mutable container but every
+    derived view (blocks, repairs) is computed from the current contents.
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        schema: Optional[DatabaseSchema] = None,
+    ) -> None:
+        self._schema = schema if schema is not None else DatabaseSchema()
+        self._facts: Set[Fact] = set()
+        self._blocks: Dict[BlockKey, Set[Fact]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, fact: Fact) -> None:
+        """Insert a fact (idempotent)."""
+        if not isinstance(fact, Fact):
+            raise TypeError(f"expected a Fact, got {fact!r}")
+        self._schema.add(fact.relation)
+        if fact in self._facts:
+            return
+        self._facts.add(fact)
+        self._blocks.setdefault(fact.block_key, set()).add(fact)
+
+    def add_all(self, facts: Iterable[Fact]) -> None:
+        """Insert every fact in *facts*."""
+        for fact in facts:
+            self.add(fact)
+
+    def discard(self, fact: Fact) -> None:
+        """Remove a fact if present."""
+        if fact not in self._facts:
+            return
+        self._facts.discard(fact)
+        block = self._blocks.get(fact.block_key)
+        if block is not None:
+            block.discard(fact)
+            if not block:
+                del self._blocks[fact.block_key]
+
+    def remove_block(self, block_key: BlockKey) -> None:
+        """Remove an entire block of key-equal facts."""
+        for fact in list(self._blocks.get(block_key, ())):
+            self.discard(fact)
+
+    # -- container protocol -------------------------------------------------------
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __bool__(self) -> bool:
+        return bool(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UncertainDatabase) and self._facts == other._facts
+
+    def __repr__(self) -> str:
+        return f"UncertainDatabase({len(self._facts)} facts, {len(self._blocks)} blocks)"
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema (relation signatures)."""
+        return self._schema
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        """An immutable snapshot of the facts."""
+        return frozenset(self._facts)
+
+    def relation_facts(self, name: str) -> FrozenSet[Fact]:
+        """All facts of relation *name*."""
+        return frozenset(f for f in self._facts if f.relation.name == name)
+
+    def blocks(self) -> List[FrozenSet[Fact]]:
+        """All blocks, as frozensets of key-equal facts."""
+        return [frozenset(block) for block in self._blocks.values()]
+
+    def block_keys(self) -> List[BlockKey]:
+        """The identifiers of all blocks."""
+        return list(self._blocks)
+
+    def block_of(self, fact: Fact) -> FrozenSet[Fact]:
+        """``block(A, db)``: the block containing *fact*."""
+        if fact not in self._facts:
+            raise KeyError(f"fact {fact} is not in the database")
+        return frozenset(self._blocks[fact.block_key])
+
+    def block(self, block_key: BlockKey) -> FrozenSet[Fact]:
+        """The block identified by *block_key* (empty if absent)."""
+        return frozenset(self._blocks.get(block_key, frozenset()))
+
+    def blocks_of_relation(self, name: str) -> List[FrozenSet[Fact]]:
+        """All blocks of relation *name*."""
+        return [frozenset(b) for key, b in self._blocks.items() if key[0] == name]
+
+    def num_blocks(self) -> int:
+        """The number of blocks."""
+        return len(self._blocks)
+
+    def is_consistent(self) -> bool:
+        """``True`` iff every block is a singleton (no key violations)."""
+        return all(len(block) == 1 for block in self._blocks.values())
+
+    def conflicting_blocks(self) -> List[FrozenSet[Fact]]:
+        """Blocks with more than one fact (the sources of uncertainty)."""
+        return [frozenset(b) for b in self._blocks.values() if len(b) > 1]
+
+    def active_domain(self) -> FrozenSet[Constant]:
+        """The set of constants occurring in the database."""
+        domain: Set[Constant] = set()
+        for fact in self._facts:
+            domain.update(fact.terms)  # all terms of a fact are constants
+        return frozenset(domain)
+
+    def restrict_to_relations(self, names: Iterable[str]) -> "UncertainDatabase":
+        """The sub-database containing only facts of the given relations."""
+        keep = set(names)
+        return UncertainDatabase(f for f in self._facts if f.relation.name in keep)
+
+    def copy(self) -> "UncertainDatabase":
+        """A shallow copy (facts are immutable, so this is a full copy)."""
+        return UncertainDatabase(self._facts, schema=DatabaseSchema(iter(self._schema)))
+
+    def union(self, other: "UncertainDatabase") -> "UncertainDatabase":
+        """The union of two uncertain databases."""
+        db = self.copy()
+        db.add_all(other.facts)
+        return db
+
+    # -- convenience constructors ----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Tuple[RelationSchema, Tuple]],
+    ) -> "UncertainDatabase":
+        """Build a database from ``(relation, value-tuple)`` pairs."""
+        db = cls()
+        for relation, values in rows:
+            db.add(relation.fact(*values))
+        return db
+
+    def pretty(self) -> str:
+        """A human-readable multi-line rendering grouped by relation and block."""
+        lines: List[str] = []
+        by_relation: Dict[str, List[BlockKey]] = {}
+        for key in self._blocks:
+            by_relation.setdefault(key[0], []).append(key)
+        for name in sorted(by_relation):
+            lines.append(f"{name}:")
+            for key in sorted(by_relation[name], key=lambda k: tuple(str(c) for c in k[1])):
+                rendered = sorted(str(f) for f in self._blocks[key])
+                lines.append("  " + " | ".join(rendered))
+        return "\n".join(lines)

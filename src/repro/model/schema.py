@@ -1,0 +1,70 @@
+"""Database schemas: finite collections of relation schemas."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .atoms import RelationSchema
+
+
+class DatabaseSchema:
+    """A finite set of relation names, each with a fixed signature."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSchema) -> RelationSchema:
+        """Register a relation.  Re-registering an identical schema is a no-op."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise ValueError(
+                f"relation {relation.name!r} already declared with signature "
+                f"[{existing.arity},{existing.key_size}]"
+            )
+        self._relations[relation.name] = relation
+        return relation
+
+    def relation(self, name: str, arity: Optional[int] = None, key_size: Optional[int] = None) -> RelationSchema:
+        """Look up a relation by name, creating it if arity/key_size are given."""
+        existing = self._relations.get(name)
+        if existing is not None:
+            if arity is not None and (existing.arity != arity or existing.key_size != (key_size or arity)):
+                if key_size is not None and (existing.arity, existing.key_size) != (arity, key_size):
+                    raise ValueError(f"relation {name!r} signature mismatch")
+            return existing
+        if arity is None:
+            raise KeyError(f"unknown relation {name!r}")
+        return self.add(RelationSchema(name, arity, key_size if key_size is not None else arity))
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        return self._relations[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> List[str]:
+        """The relation names in insertion order."""
+        return list(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DatabaseSchema) and self._relations == other._relations
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(r) for r in self._relations.values())
+        return f"DatabaseSchema({inner})"
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable) -> "DatabaseSchema":
+        """Collect the relation schemas used by a set of atoms or facts."""
+        schema = cls()
+        for atom in atoms:
+            schema.add(atom.relation)
+        return schema

@@ -1,0 +1,139 @@
+"""Terms of the relational model: variables and constants.
+
+The paper assumes two disjoint countable sets of *variables* and
+*constants*.  We model both as small immutable value objects so that they
+can be used as dictionary keys, members of frozensets, and compared for
+equality structurally.
+
+A :class:`Variable` is identified by its name.  A :class:`Constant` wraps an
+arbitrary hashable Python value (strings, integers, tuples, ...); two
+constants are equal iff their wrapped values are equal.  Tuples are allowed
+as constant values because the reduction of Theorem 2 builds constants that
+are pairs or triples of other constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple, Union
+
+
+class Variable:
+    """A first-order variable, identified by its name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError("variable name must be a non-empty string")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __lt__(self, other: "Variable") -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name < other.name
+
+
+class Constant:
+    """A database constant wrapping an arbitrary hashable value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        hash(value)  # raise early if the value is not hashable
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, tuple) else str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+    def __lt__(self, other: "Constant") -> bool:
+        if not isinstance(other, Constant):
+            return NotImplemented
+        try:
+            return self.value < other.value
+        except TypeError:
+            return str(self.value) < str(other.value)
+
+
+#: A term is either a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` if *term* is a variable."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` if *term* is a constant."""
+    return isinstance(term, Constant)
+
+
+def variables_of(terms: Iterable[Term]) -> frozenset:
+    """Return the set of variables occurring in *terms* (``vars(x⃗)``)."""
+    return frozenset(t for t in terms if isinstance(t, Variable))
+
+
+def constants_of(terms: Iterable[Term]) -> frozenset:
+    """Return the set of constants occurring in *terms*."""
+    return frozenset(t for t in terms if isinstance(t, Constant))
+
+
+def make_term(value: Any) -> Term:
+    """Coerce a raw Python value into a :class:`Term`.
+
+    Strings are interpreted as variable names; every other value (and
+    already-constructed terms) are passed through/wrapped as constants.
+    Use :func:`make_constant` when a string should denote a constant.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        return Variable(value)
+    return Constant(value)
+
+
+def make_constant(value: Any) -> Constant:
+    """Coerce a raw Python value into a :class:`Constant`."""
+    if isinstance(value, Constant):
+        return value
+    if isinstance(value, Variable):
+        raise TypeError(f"cannot interpret variable {value} as a constant")
+    return Constant(value)
+
+
+def fresh_variables(prefix: str, count: int, avoid: Iterable[Variable] = ()) -> Tuple[Variable, ...]:
+    """Create *count* fresh variables named ``prefix0 .. prefix{count-1}``.
+
+    Names that collide with variables in *avoid* are suffixed with primes
+    until they are fresh.
+    """
+    taken = {v.name for v in avoid}
+    out = []
+    for i in range(count):
+        name = f"{prefix}{i}"
+        while name in taken:
+            name += "_"
+        taken.add(name)
+        out.append(Variable(name))
+    return tuple(out)

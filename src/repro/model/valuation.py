@@ -1,0 +1,141 @@
+"""Valuations: total mappings from variables to constants.
+
+A valuation over a set of variables ``U`` maps every variable of ``U`` to a
+constant, and is extended to be the identity on constants and on variables
+outside ``U`` (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .atoms import Atom, Fact
+from .symbols import Constant, Term, Variable, make_constant
+
+
+class Valuation:
+    """A total mapping from a finite set of variables to constants.
+
+    The mapping is immutable; :meth:`extend` returns a new valuation.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Constant]] = None) -> None:
+        items: Dict[Variable, Constant] = {}
+        for var, value in (mapping or {}).items():
+            if not isinstance(var, Variable):
+                raise TypeError(f"valuation keys must be variables, got {var!r}")
+            items[var] = make_constant(value)
+        self._mapping = items
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Variable, Any]]) -> "Valuation":
+        """Build a valuation from ``(variable, raw value)`` pairs."""
+        return cls({var: make_constant(val) for var, val in pairs})
+
+    def extend(self, var: Variable, value: Any) -> "Valuation":
+        """Return a new valuation that additionally maps *var* to *value*.
+
+        Raises ``ValueError`` if *var* is already bound to a different value.
+        """
+        constant = make_constant(value)
+        existing = self._mapping.get(var)
+        if existing is not None and existing != constant:
+            raise ValueError(f"variable {var} already bound to {existing}, not {constant}")
+        new = dict(self._mapping)
+        new[var] = constant
+        return Valuation(new)
+
+    def merge(self, other: "Valuation") -> Optional["Valuation"]:
+        """Merge two valuations; return ``None`` if they conflict."""
+        new = dict(self._mapping)
+        for var, value in other._mapping.items():
+            existing = new.get(var)
+            if existing is not None and existing != value:
+                return None
+            new[var] = value
+        return Valuation(new)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Valuation":
+        """Return the restriction of the valuation to *variables*."""
+        keep = set(variables)
+        return Valuation({v: c for v, c in self._mapping.items() if v in keep})
+
+    def override(self, mapping: Mapping[Variable, Any]) -> "Valuation":
+        """Return ``θ[x⃗ ↦ a⃗]``: rebind the given variables, keep the rest."""
+        new = dict(self._mapping)
+        for var, value in mapping.items():
+            new[var] = make_constant(value)
+        return Valuation(new)
+
+    # -- application -----------------------------------------------------------
+
+    def apply_term(self, term: Term) -> Term:
+        """Apply the valuation to a single term (identity outside the domain)."""
+        if isinstance(term, Variable):
+            return self._mapping.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the valuation to every term of *atom*."""
+        terms = tuple(self.apply_term(t) for t in atom.terms)
+        image = Atom(atom.relation, terms)
+        if not image.variables:
+            return image.to_fact()
+        return image
+
+    def ground(self, atom: Atom) -> Fact:
+        """Apply the valuation and require the result to be a fact."""
+        image = self.apply_atom(atom)
+        if image.variables:
+            missing = ", ".join(sorted(v.name for v in image.variables))
+            raise ValueError(f"valuation does not cover variables: {missing}")
+        return image if isinstance(image, Fact) else image.to_fact()
+
+    # -- mapping protocol --------------------------------------------------------
+
+    def __getitem__(self, var: Variable) -> Constant:
+        return self._mapping[var]
+
+    def get(self, var: Variable, default: Optional[Constant] = None) -> Optional[Constant]:
+        """Return the binding of *var*, or *default* if unbound."""
+        return self._mapping.get(var, default)
+
+    def __contains__(self, var: object) -> bool:
+        return var in self._mapping
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def items(self) -> Iterable[Tuple[Variable, Constant]]:
+        """Iterate over ``(variable, constant)`` bindings."""
+        return self._mapping.items()
+
+    def domain(self) -> frozenset:
+        """The set of variables the valuation is defined on."""
+        return frozenset(self._mapping)
+
+    def as_dict(self) -> Dict[Variable, Constant]:
+        """A copy of the underlying mapping."""
+        return dict(self._mapping)
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Valuation) and self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}→{c}" for v, c in sorted(self._mapping.items(), key=lambda p: p[0].name))
+        return f"Valuation({{{inner}}})"
+
+
+EMPTY_VALUATION = Valuation()

@@ -1,0 +1,34 @@
+"""BID probabilistic databases, the IsSafe test, and PROBABILITY(q) evaluation."""
+
+from .bid import BIDDatabase
+from .bridge import (
+    FrontierComparison,
+    certainty_via_probability,
+    compare_frontiers,
+    frontier_comparison_table,
+    proposition1_holds,
+)
+from .evaluation import (
+    UnsafeQueryError,
+    probability,
+    probability_by_worlds,
+    probability_safe_plan,
+)
+from .safety import SafetyTrace, connected_components, is_safe, safety_trace
+
+__all__ = [
+    "BIDDatabase",
+    "FrontierComparison",
+    "SafetyTrace",
+    "UnsafeQueryError",
+    "certainty_via_probability",
+    "compare_frontiers",
+    "connected_components",
+    "frontier_comparison_table",
+    "is_safe",
+    "probability",
+    "probability_by_worlds",
+    "probability_safe_plan",
+    "proposition1_holds",
+    "safety_trace",
+]

@@ -1,0 +1,142 @@
+"""Block-independent-disjoint (BID) probabilistic databases.
+
+Section 7 of the paper relates CERTAINTY to query evaluation on BID
+probabilistic databases: tuples of the same block are *disjoint* (exclusive)
+events, tuples of distinct blocks are *independent*.  A BID database is
+fully determined by the marginal probability of each fact (Theorem 2.4 of
+Dalvi–Ré–Suciu), which is the efficient encoding used here.
+
+Probabilities are stored as :class:`fractions.Fraction` so that the safe-plan
+evaluator and the world-enumeration evaluator can be compared exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from ..model.atoms import Fact
+from ..model.database import BlockKey, UncertainDatabase
+
+Probability = Union[Fraction, int, float, str]
+
+
+def _to_fraction(value: Probability) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**9)
+    return Fraction(value)
+
+
+class BIDDatabase:
+    """An uncertain database with a marginal probability per fact."""
+
+    def __init__(
+        self,
+        db: UncertainDatabase,
+        probabilities: Mapping[Fact, Probability],
+    ) -> None:
+        self.db = db
+        self._prob: Dict[Fact, Fraction] = {}
+        for fact in db.facts:
+            if fact not in probabilities:
+                raise ValueError(f"missing probability for fact {fact}")
+            p = _to_fraction(probabilities[fact])
+            if not (0 <= p <= 1):
+                raise ValueError(f"probability of {fact} out of range: {p}")
+            self._prob[fact] = p
+        for block in db.blocks():
+            total = sum(self._prob[f] for f in block)
+            if total > 1:
+                raise ValueError(
+                    f"probabilities of block {next(iter(block)).block_key} sum to {total} > 1"
+                )
+
+    # -- constructors -----------------------------------------------------------------
+
+    @classmethod
+    def uniform_repairs(cls, db: UncertainDatabase) -> "BIDDatabase":
+        """The BID database obtained by making all repairs equally likely.
+
+        Every fact of a block of size ``n`` gets probability ``1/n``; the
+        probabilities of each block sum to one, so every possible world with
+        nonzero probability is a repair.
+        """
+        probabilities = {}
+        for block in db.blocks():
+            share = Fraction(1, len(block))
+            for fact in block:
+                probabilities[fact] = share
+        return cls(db.copy(), probabilities)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Fact, Probability]]) -> "BIDDatabase":
+        """Build the database and probability map from ``(fact, probability)`` pairs."""
+        probabilities = {fact: prob for fact, prob in pairs}
+        db = UncertainDatabase(probabilities)
+        return cls(db, probabilities)
+
+    # -- accessors --------------------------------------------------------------------
+
+    def probability(self, fact: Fact) -> Fraction:
+        """The marginal probability ``Pr(A)`` of a fact (0 if absent)."""
+        return self._prob.get(fact, Fraction(0))
+
+    def facts(self) -> FrozenSet[Fact]:
+        """The facts of the underlying uncertain database."""
+        return self.db.facts
+
+    def block_total(self, block: Iterable[Fact]) -> Fraction:
+        """The total probability mass of a block."""
+        return sum((self._prob[f] for f in block), Fraction(0))
+
+    def certain_blocks(self) -> List[FrozenSet[Fact]]:
+        """Blocks whose probabilities sum to exactly one."""
+        return [b for b in self.db.blocks() if self.block_total(b) == 1]
+
+    def restrict_to_certain_blocks(self) -> UncertainDatabase:
+        """``db'`` of Proposition 1: the facts of blocks with total probability 1."""
+        restricted = UncertainDatabase()
+        for block in self.certain_blocks():
+            for fact in block:
+                restricted.add(fact)
+        return restricted
+
+    # -- possible worlds ----------------------------------------------------------------
+
+    def world_probability(self, world: Iterable[Fact]) -> Fraction:
+        """The probability of a possible world (a consistent subset of the facts).
+
+        The world probability multiplies, per block, either the probability of
+        the chosen fact or the leftover mass ``1 - Σ Pr(A)`` when the block is
+        absent from the world.
+        """
+        chosen: Dict[BlockKey, Fact] = {}
+        for fact in world:
+            if fact not in self.db:
+                raise ValueError(f"fact {fact} does not belong to the database")
+            key = fact.block_key
+            if key in chosen:
+                raise ValueError("a possible world cannot contain two key-equal facts")
+            chosen[key] = fact
+        probability = Fraction(1)
+        for block in self.db.blocks():
+            key = next(iter(block)).block_key
+            if key in chosen:
+                probability *= self._prob[chosen[key]]
+            else:
+                probability *= 1 - self.block_total(block)
+        return probability
+
+    def worlds(self) -> Iterator[Tuple[FrozenSet[Fact], Fraction]]:
+        """Enumerate every possible world with nonzero probability."""
+        from ..model.repairs import enumerate_possible_worlds
+
+        for world in enumerate_possible_worlds(self.db):
+            probability = self.world_probability(world)
+            if probability != 0:
+                yield world, probability
+
+    def __repr__(self) -> str:
+        return f"BIDDatabase({len(self.db)} facts, {self.db.num_blocks()} blocks)"

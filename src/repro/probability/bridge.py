@@ -1,0 +1,103 @@
+"""The bridge between CERTAINTY and PROBABILITY (Section 7 of the paper).
+
+* Proposition 1 — for a BID database ``(db, Pr)`` and the sub-database
+  ``db'`` of blocks with total probability 1:
+  ``db' ∈ CERTAINTY(q)  ⇔  Pr(q) = 1``.
+* Theorem 6 — if ``q`` is safe then ``CERTAINTY(q)`` is FO-expressible.
+* Corollary 2 — if ``CERTAINTY(q)`` is not FO-expressible then
+  ``PROBABILITY(q)`` is #P-hard (i.e. the query is unsafe, by Theorem 5).
+
+The functions below check these statements on concrete inputs and summarise
+how the two tractability frontiers relate on a corpus of queries, which is
+what experiment E10 reports.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Tuple
+
+from ..certainty.brute_force import certain_brute_force
+from ..certainty.solver import is_certain
+from ..core.classify import classify
+from ..core.complexity import ComplexityBand
+from ..query.conjunctive import ConjunctiveQuery
+from .bid import BIDDatabase
+from .evaluation import probability
+from .safety import is_safe
+
+
+def proposition1_holds(bid: BIDDatabase, query: ConjunctiveQuery) -> bool:
+    """Check Proposition 1 on a concrete BID database and query."""
+    restricted = bid.restrict_to_certain_blocks()
+    certain = certain_brute_force(restricted, query)
+    prob = probability(bid, query)
+    return certain == (prob == 1)
+
+
+def certainty_via_probability(bid: BIDDatabase, query: ConjunctiveQuery) -> bool:
+    """Decide certainty of the block-restricted database through ``Pr(q) = 1``.
+
+    This is the "probabilistic route" to CERTAINTY discussed in Section 7;
+    it is correct (Proposition 1) but only efficient for safe queries.
+    """
+    return probability(bid, query) == 1
+
+
+class FrontierComparison:
+    """How a query sits on the CERTAINTY and PROBABILITY frontiers."""
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        self.query = query
+        self.classification = classify(query)
+        self.safe = (not query.has_self_join) and is_safe(query)
+
+    @property
+    def certainty_fo(self) -> bool:
+        """Is CERTAINTY(q) first-order expressible?"""
+        return self.classification.band is ComplexityBand.FO
+
+    @property
+    def certainty_tractable(self) -> bool:
+        """Is CERTAINTY(q) known to be in P?"""
+        return self.classification.band.is_tractable
+
+    @property
+    def probability_tractable(self) -> bool:
+        """Is PROBABILITY(q) in FP (i.e. is the query safe)?"""
+        return self.safe
+
+    @property
+    def consistent_with_theorem6(self) -> bool:
+        """Theorem 6: safe ⇒ CERTAINTY(q) FO-expressible."""
+        return (not self.safe) or self.certainty_fo
+
+    def row(self) -> Tuple[str, str, str, str]:
+        return (
+            str(self.query),
+            self.classification.band.name,
+            "safe" if self.safe else "unsafe",
+            "ok" if self.consistent_with_theorem6 else "VIOLATION",
+        )
+
+
+def compare_frontiers(queries: Iterable[ConjunctiveQuery]) -> List[FrontierComparison]:
+    """Compare the two frontiers over a corpus of queries."""
+    return [FrontierComparison(q) for q in queries]
+
+
+def frontier_comparison_table(comparisons: Iterable[FrontierComparison]) -> str:
+    """Plain-text table of the comparison (query, CERTAINTY band, safety, Theorem 6)."""
+    rows = [c.row() for c in comparisons]
+    headers = ("query", "CERTAINTY band", "PROBABILITY", "Theorem 6")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(4)
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(4)),
+        "  ".join("-" * widths[i] for i in range(4)),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(4)))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Evaluation of ``PROBABILITY(q)`` on BID probabilistic databases.
+
+Two evaluators are provided:
+
+* :func:`probability_by_worlds` — the definition: sum the probabilities of
+  every possible world satisfying the query.  Exponential; the ground truth
+  for tests.
+* :func:`probability_safe_plan` — the extensional evaluation that follows
+  the ``IsSafe`` decomposition (Theorem 5: exact and polynomial for safe
+  queries).  Independent components multiply, an existential variable that
+  occurs in every key turns into an independent-union over the active
+  domain, and a variable of a key-less atom turns into a disjoint union
+  (exclusive events within one block).
+
+Both return exact :class:`fractions.Fraction` values, so equality checks in
+the test suite are exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from ..model.symbols import Constant, Variable
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import satisfies
+from ..query.substitution import substitute_query
+from .bid import BIDDatabase
+from .safety import connected_components, is_safe
+
+
+class UnsafeQueryError(ValueError):
+    """Raised when the safe-plan evaluator is applied to an unsafe query."""
+
+
+def probability_by_worlds(bid: BIDDatabase, query: ConjunctiveQuery) -> Fraction:
+    """``Pr(q)`` by summation over all possible worlds (Definition 10)."""
+    boolean = query.as_boolean() if not query.is_boolean else query
+    total = Fraction(0)
+    for world, probability in bid.worlds():
+        if satisfies(world, boolean):
+            total += probability
+    return total
+
+
+def probability_safe_plan(bid: BIDDatabase, query: ConjunctiveQuery) -> Fraction:
+    """``Pr(q)`` by the extensional plan induced by the ``IsSafe`` rules.
+
+    Raises :class:`UnsafeQueryError` when no rule applies (the query is
+    unsafe and the extensional evaluation would be incorrect).
+    """
+    boolean = query.as_boolean() if not query.is_boolean else query
+    if boolean.has_self_join:
+        raise UnsafeQueryError("safe plans are defined for self-join-free queries")
+    domain = sorted(bid.db.active_domain(), key=str)
+    return _evaluate(bid, boolean, domain)
+
+
+def _evaluate(bid: BIDDatabase, query: ConjunctiveQuery, domain: Sequence[Constant]) -> Fraction:
+    if query.is_empty:
+        return Fraction(1)
+
+    # R1: a single ground atom.
+    if len(query) == 1 and not query.variables:
+        fact_atom = query.atoms[0]
+        return bid.probability(fact_atom.to_fact())
+
+    # R2: independent (variable-disjoint) components multiply.
+    components = connected_components(query)
+    if len(components) > 1:
+        result = Fraction(1)
+        for component in components:
+            result *= _evaluate(bid, component, domain)
+        return result
+
+    # R3: a variable in every key — independent union over the domain.
+    common_key = None
+    for atom in query.atoms:
+        keys = atom.key_variables
+        common_key = keys if common_key is None else (common_key & keys)
+    if common_key:
+        variable = min(common_key, key=lambda v: v.name)
+        miss = Fraction(1)
+        for value in domain:
+            grounded = substitute_query(query, {variable: value})
+            miss *= 1 - _evaluate(bid, grounded, domain)
+        return 1 - miss
+
+    # R4: a key-less atom with variables — disjoint union over the domain.
+    for atom in sorted(query.atoms, key=str):
+        if not atom.key_variables and atom.variables:
+            variable = min(atom.variables, key=lambda v: v.name)
+            total = Fraction(0)
+            for value in domain:
+                grounded = substitute_query(query, {variable: value})
+                total += _evaluate(bid, grounded, domain)
+            return total
+
+    raise UnsafeQueryError(f"query {query} is unsafe; the extensional plan does not apply")
+
+
+def probability(bid: BIDDatabase, query: ConjunctiveQuery) -> Fraction:
+    """``Pr(q)``: safe plan when the query is safe, world enumeration otherwise."""
+    boolean = query.as_boolean() if not query.is_boolean else query
+    if not boolean.has_self_join and is_safe(boolean):
+        return probability_safe_plan(bid, boolean)
+    return probability_by_worlds(bid, boolean)

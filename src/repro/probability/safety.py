@@ -1,0 +1,109 @@
+"""The ``IsSafe`` procedure of Dalvi–Ré–Suciu, as recalled in the paper.
+
+A self-join-free Boolean conjunctive query is *safe* when the recursive
+procedure below returns ``True``; safe queries admit an extensional
+("safe-plan") evaluation of ``PROBABILITY(q)`` in polynomial time, while
+unsafe queries are #P-hard (Theorem 5).  Theorem 6 of the paper shows that
+safety implies first-order expressibility of ``CERTAINTY(q)``.
+
+The implementation mirrors the pseudo-code of the paper (rules R1–R4) and
+records which rule fired at every step, so that the safe-plan evaluator in
+:mod:`repro.probability.evaluation` can replay exactly the same
+decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.atoms import Atom
+from ..model.symbols import Constant, Variable
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.substitution import substitute_query
+
+#: A fixed "generic" constant used by rules R3/R4, chosen to be unlikely to
+#: clash with query constants; clashes are harmless for safety (only the
+#: shape of the query matters), they are avoided anyway for tidiness.
+_GENERIC = Constant("__issafe_generic__")
+
+
+class SafetyTrace:
+    """The sequence of rules applied while testing safety."""
+
+    def __init__(self) -> None:
+        self.steps: List[str] = []
+
+    def record(self, rule: str, detail: str) -> None:
+        self.steps.append(f"{rule}: {detail}")
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __repr__(self) -> str:
+        return "SafetyTrace(" + "; ".join(self.steps) + ")"
+
+
+def connected_components(query: ConjunctiveQuery) -> List[ConjunctiveQuery]:
+    """Split a query into variable-connected components (used by rule R2)."""
+    atoms = list(query.atoms)
+    remaining = set(range(len(atoms)))
+    components: List[ConjunctiveQuery] = []
+    while remaining:
+        seed = min(remaining)
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            index = frontier.pop()
+            for other in list(remaining - component):
+                if atoms[index].variables & atoms[other].variables:
+                    component.add(other)
+                    frontier.append(other)
+        remaining -= component
+        components.append(ConjunctiveQuery([atoms[i] for i in sorted(component)]))
+    return components
+
+
+def is_safe(query: ConjunctiveQuery, trace: Optional[SafetyTrace] = None) -> bool:
+    """The ``IsSafe`` procedure (rules R1, R2, R3, R4)."""
+    q = query.as_boolean() if not query.is_boolean else query
+    if q.has_self_join:
+        raise ValueError("IsSafe is defined for self-join-free queries")
+    trace = trace if trace is not None else SafetyTrace()
+
+    # R1: a single variable-free atom.
+    if len(q) == 1 and not q.variables:
+        trace.record("R1", f"single ground atom {q.atoms[0]}")
+        return True
+
+    # R2: decompose into variable-disjoint sub-queries.
+    components = connected_components(q)
+    if len(components) > 1 and all(not c.is_empty for c in components):
+        trace.record("R2", f"split into {len(components)} independent components")
+        return all(is_safe(component, trace) for component in components)
+
+    # R3: a variable occurring in the key of every atom.
+    common_key = None
+    for atom in q.atoms:
+        keys = atom.key_variables
+        common_key = keys if common_key is None else (common_key & keys)
+    if common_key:
+        variable = min(common_key, key=lambda v: v.name)
+        trace.record("R3", f"ground the common key variable {variable}")
+        return is_safe(substitute_query(q, {variable: _GENERIC}), trace)
+
+    # R4: an atom with an empty key but a nonempty variable set.
+    for atom in sorted(q.atoms, key=str):
+        if not atom.key_variables and atom.variables:
+            variable = min(atom.variables, key=lambda v: v.name)
+            trace.record("R4", f"ground variable {variable} of the key-less atom {atom}")
+            return is_safe(substitute_query(q, {variable: _GENERIC}), trace)
+
+    trace.record("fail", "no rule applies; the query is unsafe")
+    return False
+
+
+def safety_trace(query: ConjunctiveQuery) -> Tuple[bool, SafetyTrace]:
+    """Run ``IsSafe`` and return both the verdict and the rule trace."""
+    trace = SafetyTrace()
+    verdict = is_safe(query, trace)
+    return verdict, trace

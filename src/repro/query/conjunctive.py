@@ -1,0 +1,196 @@
+"""Boolean conjunctive queries.
+
+A Boolean conjunctive query is a finite set of atoms
+``q = {R1(x⃗1|y⃗1), ..., Rn(x⃗n|y⃗n)}`` representing the sentence
+``∃u1 ... ∃uk (R1(...) ∧ ... ∧ Rn(...))`` where ``u1..uk`` are the variables
+of ``q``.  The query *has a self-join* when some relation name occurs in two
+distinct atoms; the paper (and this library's classifier) is about
+self-join-free queries.
+
+The class also supports an optional tuple of *free variables* so that
+non-Boolean certain answers can be reduced to Boolean certainty by grounding
+(the paper notes the restriction to Boolean queries "is not fundamental").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..fd.functional_deps import FDSet, FunctionalDependency
+from ..model.atoms import Atom, RelationSchema
+from ..model.schema import DatabaseSchema
+from ..model.symbols import Constant, Variable
+
+
+class ConjunctiveQuery:
+    """A conjunctive query given by its atoms (with set semantics).
+
+    Atoms are kept in a deterministic order (insertion order with duplicates
+    removed) so that iteration, printing and algorithms behave reproducibly,
+    but equality and hashing treat the query as a *set* of atoms, exactly as
+    in the paper.
+    """
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        free_variables: Sequence[Variable] = (),
+    ) -> None:
+        ordered: List[Atom] = []
+        seen = set()
+        for atom in atoms:
+            if not isinstance(atom, Atom):
+                raise TypeError(f"expected Atom, got {atom!r}")
+            if atom not in seen:
+                seen.add(atom)
+                ordered.append(atom)
+        self._atoms: Tuple[Atom, ...] = tuple(ordered)
+        self._free: Tuple[Variable, ...] = tuple(free_variables)
+        all_vars = self.variables
+        for var in self._free:
+            if var not in all_vars:
+                raise ValueError(f"free variable {var} does not occur in the query")
+
+    # -- container protocol -------------------------------------------------------
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The atoms of the query, in deterministic order."""
+        return self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __contains__(self, atom: object) -> bool:
+        return atom in self._atoms
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConjunctiveQuery)
+            and frozenset(self._atoms) == frozenset(other._atoms)
+            and self._free == other._free
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._atoms), self._free))
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self})"
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self._atoms)
+        if self._free:
+            head = ", ".join(v.name for v in self._free)
+            return f"({head}) :- {body}"
+        return "{" + body + "}"
+
+    # -- structural properties ------------------------------------------------------
+
+    @property
+    def free_variables(self) -> Tuple[Variable, ...]:
+        """The free (answer) variables; empty for Boolean queries."""
+        return self._free
+
+    @property
+    def is_boolean(self) -> bool:
+        """``True`` iff the query has no free variables."""
+        return not self._free
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """``vars(q)``: all variables occurring in the query."""
+        out: set = set()
+        for atom in self._atoms:
+            out |= atom.variables
+        return frozenset(out)
+
+    @property
+    def bound_variables(self) -> FrozenSet[Variable]:
+        """The existentially quantified variables."""
+        return self.variables - frozenset(self._free)
+
+    @property
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants occurring in the query."""
+        out: set = set()
+        for atom in self._atoms:
+            out |= atom.constants
+        return frozenset(out)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """The relation names of the atoms, in order (with repetitions)."""
+        return tuple(a.name for a in self._atoms)
+
+    @property
+    def has_self_join(self) -> bool:
+        """``True`` iff some relation name occurs in two distinct atoms."""
+        names = self.relation_names
+        return len(names) != len(set(names))
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` iff the query has no atoms (the query ``true``)."""
+        return not self._atoms
+
+    def schema(self) -> DatabaseSchema:
+        """The database schema induced by the query's atoms."""
+        return DatabaseSchema.from_atoms(self._atoms)
+
+    def atom_with_relation(self, name: str) -> Atom:
+        """The (unique, for self-join-free queries) atom over relation *name*."""
+        matches = [a for a in self._atoms if a.name == name]
+        if not matches:
+            raise KeyError(f"no atom over relation {name!r}")
+        if len(matches) > 1:
+            raise ValueError(f"relation {name!r} occurs in several atoms (self-join)")
+        return matches[0]
+
+    # -- functional dependencies ------------------------------------------------------
+
+    def key_fds(self, exclude: Iterable[Atom] = ()) -> FDSet:
+        """``K(q \\ exclude)``: the FDs ``key(F) → vars(F)`` of the retained atoms."""
+        skip = set(exclude)
+        return FDSet(
+            FunctionalDependency(atom.key_variables, atom.variables)
+            for atom in self._atoms
+            if atom not in skip
+        )
+
+    # -- derived queries --------------------------------------------------------------
+
+    def without(self, *atoms: Atom) -> "ConjunctiveQuery":
+        """``q \\ {atoms}``: the query with the given atoms removed."""
+        drop = set(atoms)
+        remaining = [a for a in self._atoms if a not in drop]
+        free = tuple(v for v in self._free if any(v in a.variables for a in remaining))
+        return ConjunctiveQuery(remaining, free)
+
+    def restricted_to(self, atoms: Iterable[Atom]) -> "ConjunctiveQuery":
+        """The sub-query containing exactly the given atoms (which must belong to q)."""
+        keep = list(atoms)
+        for atom in keep:
+            if atom not in self._atoms:
+                raise ValueError(f"atom {atom} does not belong to the query")
+        free = tuple(v for v in self._free if any(v in a.variables for a in keep))
+        return ConjunctiveQuery(keep, free)
+
+    def with_atoms(self, *atoms: Atom) -> "ConjunctiveQuery":
+        """The query with extra atoms added."""
+        return ConjunctiveQuery(list(self._atoms) + list(atoms), self._free)
+
+    def as_boolean(self) -> "ConjunctiveQuery":
+        """The Boolean version of the query (all variables quantified)."""
+        return ConjunctiveQuery(self._atoms)
+
+    def atom_variable_map(self) -> Dict[Atom, FrozenSet[Variable]]:
+        """Map each atom to its variable set (convenience for graph algorithms)."""
+        return {atom: atom.variables for atom in self._atoms}
+
+
+def query(*atoms: Atom, free: Sequence[Variable] = ()) -> ConjunctiveQuery:
+    """Convenience constructor: ``query(R.atom(x, y), S.atom(y, z))``."""
+    return ConjunctiveQuery(atoms, free)

@@ -1,0 +1,207 @@
+"""Evaluation of conjunctive queries over sets of facts.
+
+Query satisfaction follows Section 3 of the paper: ``db |= q`` iff there is a
+valuation ``θ`` over ``vars(q)`` such that ``θ(F) ∈ db`` for every atom
+``F ∈ q``.  Evaluation is implemented as a backtracking join with a greedy
+"most-bound-first" atom ordering and per-relation fact indexes, which is
+adequate for the query sizes that occur in certain-answer classification
+(queries are small; databases can be large).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..model.atoms import Atom, Fact
+from ..model.symbols import Constant, Variable, is_constant, is_variable
+from ..model.valuation import Valuation
+from .conjunctive import ConjunctiveQuery
+
+
+class FactIndex:
+    """Facts grouped by relation name, with an index on key values.
+
+    The index is immutable after construction; build it once per database and
+    reuse it across many query evaluations.
+    """
+
+    def __init__(self, facts: Iterable[Fact]) -> None:
+        self._by_relation: Dict[str, List[Fact]] = defaultdict(list)
+        self._by_block: Dict[Tuple[str, Tuple[Constant, ...]], List[Fact]] = defaultdict(list)
+        for fact in facts:
+            self._by_relation[fact.relation.name].append(fact)
+            self._by_block[(fact.relation.name, fact.key_terms)].append(fact)
+
+    def relation(self, name: str) -> Sequence[Fact]:
+        """All facts of relation *name*."""
+        return self._by_relation.get(name, [])
+
+    def block(self, name: str, key_values: Tuple[Constant, ...]) -> Sequence[Fact]:
+        """All facts of relation *name* with the given key values."""
+        return self._by_block.get((name, key_values), [])
+
+    def relations(self) -> List[str]:
+        """The relation names present in the index."""
+        return list(self._by_relation)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_relation.values())
+
+
+def match_atom(atom: Atom, fact: Fact, valuation: Valuation) -> Optional[Valuation]:
+    """Try to extend *valuation* so that it maps *atom* onto *fact*.
+
+    Returns the extended valuation, or ``None`` if the fact does not match
+    the atom pattern (wrong relation, conflicting constant, or a repeated
+    variable bound to two different values).
+    """
+    if atom.relation.name != fact.relation.name or atom.relation.arity != fact.relation.arity:
+        return None
+    bindings = valuation.as_dict()
+    for term, value in zip(atom.terms, fact.terms):
+        if is_constant(term):
+            if term != value:
+                return None
+        else:
+            existing = bindings.get(term)
+            if existing is None:
+                bindings[term] = value  # type: ignore[assignment]
+            elif existing != value:
+                return None
+    return Valuation(bindings)
+
+
+def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
+    """Greedy atom ordering: maximise connectivity with already-placed atoms."""
+    remaining = list(query.atoms)
+    if not remaining:
+        return []
+    ordered: List[Atom] = []
+    bound: Set[Variable] = set()
+    # Start with the atom having the most constants (most selective).
+    first = max(remaining, key=lambda a: (len(a.constants), -len(a.variables)))
+    ordered.append(first)
+    bound |= first.variables
+    remaining.remove(first)
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda a: (len(a.variables & bound), len(a.constants), -len(a.variables)),
+        )
+        ordered.append(best)
+        bound |= best.variables
+        remaining.remove(best)
+    return ordered
+
+
+def iterate_valuations(
+    query: ConjunctiveQuery,
+    index: FactIndex,
+    restrict_to: Optional[FrozenSet[Fact]] = None,
+) -> Iterator[Valuation]:
+    """Yield every valuation ``θ`` over ``vars(q)`` with ``θ(q) ⊆`` the facts.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query.
+    index:
+        A :class:`FactIndex` over the candidate facts.
+    restrict_to:
+        When given, only facts in this set are considered (used to evaluate
+        the same index against many repairs without re-indexing).
+    """
+    ordered = _order_atoms(query)
+
+    def backtrack(position: int, valuation: Valuation) -> Iterator[Valuation]:
+        if position == len(ordered):
+            yield valuation
+            return
+        atom = ordered[position]
+        key_terms = atom.key_terms
+        # If the whole key is already ground, use the block index.
+        ground_key: Optional[Tuple[Constant, ...]] = None
+        key_values: List[Constant] = []
+        for term in key_terms:
+            value = valuation.get(term) if is_variable(term) else term
+            if value is None or is_variable(value):
+                break
+            key_values.append(value)  # type: ignore[arg-type]
+        else:
+            ground_key = tuple(key_values)
+        candidates: Sequence[Fact]
+        if ground_key is not None:
+            candidates = index.block(atom.relation.name, ground_key)
+        else:
+            candidates = index.relation(atom.relation.name)
+        for fact in candidates:
+            if restrict_to is not None and fact not in restrict_to:
+                continue
+            extended = match_atom(atom, fact, valuation)
+            if extended is not None:
+                yield from backtrack(position + 1, extended)
+
+    yield from backtrack(0, Valuation())
+
+
+def find_valuation(
+    query: ConjunctiveQuery,
+    facts: Iterable[Fact],
+) -> Optional[Valuation]:
+    """Return one satisfying valuation, or ``None`` if ``facts ⊭ q``."""
+    index = facts if isinstance(facts, FactIndex) else FactIndex(facts)
+    for valuation in iterate_valuations(query, index):
+        return valuation
+    return None
+
+
+def satisfies(facts: Iterable[Fact], query: ConjunctiveQuery) -> bool:
+    """``facts |= q``: does the set of facts satisfy the Boolean query?"""
+    if query.is_empty:
+        return True
+    return find_valuation(query, facts) is not None
+
+
+def all_valuations(query: ConjunctiveQuery, facts: Iterable[Fact]) -> List[Valuation]:
+    """All satisfying valuations over ``vars(q)`` (deduplicated)."""
+    index = facts if isinstance(facts, FactIndex) else FactIndex(facts)
+    seen: Set[Valuation] = set()
+    out: List[Valuation] = []
+    for valuation in iterate_valuations(query, index):
+        restricted = valuation.restrict(query.variables)
+        if restricted not in seen:
+            seen.add(restricted)
+            out.append(restricted)
+    return out
+
+
+def witnesses(query: ConjunctiveQuery, facts: Iterable[Fact]) -> List[FrozenSet[Fact]]:
+    """The *witnesses* of the query: images ``θ(q)`` of satisfying valuations.
+
+    Witness sets are the unit of reasoning for certainty: a repair satisfies
+    the query iff it contains some witness set entirely.
+    """
+    index = facts if isinstance(facts, FactIndex) else FactIndex(facts)
+    seen: Set[FrozenSet[Fact]] = set()
+    out: List[FrozenSet[Fact]] = []
+    for valuation in iterate_valuations(query, index):
+        image = frozenset(valuation.ground(atom) for atom in query.atoms)
+        if image not in seen:
+            seen.add(image)
+            out.append(image)
+    return out
+
+
+def answer_tuples(
+    query: ConjunctiveQuery,
+    facts: Iterable[Fact],
+) -> Set[Tuple[Constant, ...]]:
+    """Evaluate a non-Boolean query: the set of free-variable tuples satisfied."""
+    if query.is_boolean:
+        raise ValueError("answer_tuples expects a query with free variables")
+    index = facts if isinstance(facts, FactIndex) else FactIndex(facts)
+    answers: Set[Tuple[Constant, ...]] = set()
+    for valuation in iterate_valuations(query, index):
+        answers.add(tuple(valuation[v] for v in query.free_variables))
+    return answers

@@ -1,0 +1,295 @@
+"""Canonical query families used throughout the paper.
+
+This module constructs, programmatically, every named query of the paper:
+
+* ``q0 = {R0(x | y), S0(y, z | x)}`` — the two-atom query whose CERTAINTY
+  problem is coNP-complete (Kolaitis–Pema), used as the source of the
+  Theorem 2 reduction.
+* ``q1 = {R(u, a | x), S(y | x, z), T(x | y), P(x | z)}`` — the running
+  example of Figure 2 / Examples 2–4 (strong cycle ⇒ coNP-complete).
+* The seven-atom query of Figure 4 / Example 5 (all cycles weak and
+  terminal ⇒ in P, not FO).
+* ``C(k)`` and ``AC(k)`` of Definition 8 (weak nonterminal cycles; in P by
+  Theorem 4 / Corollary 1).
+
+plus a few parametric families (paths, stars) that are convenient for
+testing and for the query corpora of the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.atoms import RelationSchema
+from ..model.symbols import Constant, Variable
+from .conjunctive import ConjunctiveQuery
+
+
+def kolaitis_pema_q0() -> ConjunctiveQuery:
+    """``q0 = {R0(x | y), S0(y, z | x)}`` with signatures [2,1] and [3,2].
+
+    CERTAINTY(q0) is coNP-complete (Kolaitis and Pema 2012); Theorem 2
+    reduces it to CERTAINTY(q) for every q with a strong attack cycle.
+    """
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    r0 = RelationSchema("R0", 2, 1)
+    s0 = RelationSchema("S0", 3, 2)
+    return ConjunctiveQuery([r0.atom(x, y), s0.atom(y, z, x)])
+
+
+def figure2_q1() -> ConjunctiveQuery:
+    """The query ``q1`` of Figure 2: ``{R(u,a|x), S(y|x,z), T(x|y), P(x|z)}``.
+
+    ``a`` is a constant.  Its attack graph (Fig. 2 right) has the strong
+    attack ``G → F`` and strong cycles, so CERTAINTY(q1) is coNP-complete.
+    """
+    u, x, y, z = Variable("u"), Variable("x"), Variable("y"), Variable("z")
+    a = Constant("a")
+    r = RelationSchema("R", 3, 1)
+    s = RelationSchema("S", 3, 1)
+    t = RelationSchema("T", 2, 1)
+    p = RelationSchema("P", 2, 1)
+    return ConjunctiveQuery(
+        [
+            r.atom(u, a, x),     # F = R(u, a, x), key {u}
+            s.atom(y, x, z),     # G = S(y, x, z), key {y}
+            t.atom(x, y),        # H = T(x, y),    key {x}
+            p.atom(x, z),        # I = P(x, z),    key {x}
+        ]
+    )
+
+
+def figure4_query(include_r0: bool = True) -> ConjunctiveQuery:
+    """The query of Figure 4 / Example 5 (all attack cycles weak and terminal).
+
+    The query consists of three weak terminal attack 2-cycles
+    ``R1 ⇄ R2``, ``R3 ⇄ R4`` and ``R5 ⇄ R6`` plus (optionally) an unattacked
+    atom ``R0`` that attacks into the cycles, which is what the Theorem 3
+    recursion peels first.  The variable ``x`` is shared between the first two
+    cycles and ``y`` between the last two, so the block-partitioning step of
+    Theorem 3 is exercised.
+
+    Note on key positions: the plain-text source of the paper loses the
+    key underlining of Figure 4.  The keys used here —
+    ``R0(u|z), R1(x,u1,z|u2), R2(x,u2,z|u1), R3(x,y,u3|u4), R4(x,y,u4|u3),
+    R5(y,u5|u6), R6(y,u6|u5)`` — are the (unique up to symmetry) choice that
+    satisfies every constraint the paper states about this example: the three
+    2-cycles exist, they are weak, they are terminal even in the presence of
+    ``R0``, ``R0`` is unattacked, and ``⟨x, y⟩`` is exactly the sequence of
+    variables of the ``R3``/``R4`` cycle that occur in other cycles (as used
+    in the proof of Theorem 3).
+    """
+    x, y, z, u = Variable("x"), Variable("y"), Variable("z"), Variable("u")
+    u1, u2, u3 = Variable("u1"), Variable("u2"), Variable("u3")
+    u4, u5, u6 = Variable("u4"), Variable("u5"), Variable("u6")
+    r0 = RelationSchema("R0", 2, 1)
+    r1 = RelationSchema("R1", 4, 3)
+    r2 = RelationSchema("R2", 4, 3)
+    r3 = RelationSchema("R3", 4, 3)
+    r4 = RelationSchema("R4", 4, 3)
+    r5 = RelationSchema("R5", 3, 2)
+    r6 = RelationSchema("R6", 3, 2)
+    atoms = [
+        r1.atom(x, u1, z, u2),
+        r2.atom(x, u2, z, u1),
+        r3.atom(x, y, u3, u4),
+        r4.atom(x, y, u4, u3),
+        r5.atom(y, u5, u6),
+        r6.atom(y, u6, u5),
+    ]
+    if include_r0:
+        atoms.insert(0, r0.atom(u, z))
+    return ConjunctiveQuery(atoms)
+
+
+def cycle_query_c(k: int) -> ConjunctiveQuery:
+    """``C(k) = {R1(x1|x2), ..., Rk(xk|x1)}`` (Definition 8).
+
+    Acyclic for ``k = 2``, cyclic for ``k >= 3``.  CERTAINTY(C(k)) is in P
+    for every ``k >= 2`` (Corollary 1).
+    """
+    if k < 2:
+        raise ValueError("C(k) is defined for k >= 2")
+    variables = [Variable(f"x{i}") for i in range(1, k + 1)]
+    atoms = []
+    for i in range(1, k + 1):
+        relation = RelationSchema(f"R{i}", 2, 1)
+        source = variables[i - 1]
+        target = variables[i % k]
+        atoms.append(relation.atom(source, target))
+    return ConjunctiveQuery(atoms)
+
+
+def cycle_query_ac(k: int) -> ConjunctiveQuery:
+    """``AC(k) = C(k) ∪ {Sk(x1, ..., xk)}`` with ``Sk`` all-key (Definition 8).
+
+    Acyclic for every ``k`` (the ``Sk`` atom contains all variables); the
+    attack graph has ``k(k-1)/2`` weak nonterminal cycles and no strong
+    cycle.  CERTAINTY(AC(k)) is in P by Theorem 4.
+    """
+    if k < 2:
+        raise ValueError("AC(k) is defined for k >= 2")
+    base = cycle_query_c(k)
+    variables = [Variable(f"x{i}") for i in range(1, k + 1)]
+    sk = RelationSchema(f"S{k}", k, k)
+    return ConjunctiveQuery(list(base.atoms) + [sk.atom(*variables)])
+
+
+def path_query(length: int, key_size: int = 1) -> ConjunctiveQuery:
+    """A path query ``{P1(x1|x2), P2(x2|x3), ..., Pn(xn|x_{n+1})}``.
+
+    With ``key_size=1`` the attack graph is acyclic (FO-expressible); useful
+    as an easy family for tests and corpora.
+    """
+    if length < 1:
+        raise ValueError("path length must be >= 1")
+    atoms = []
+    for i in range(1, length + 1):
+        relation = RelationSchema(f"P{i}", 2, key_size)
+        atoms.append(relation.atom(Variable(f"x{i}"), Variable(f"x{i + 1}")))
+    return ConjunctiveQuery(atoms)
+
+
+def star_query(branches: int) -> ConjunctiveQuery:
+    """A star query ``{S1(c|x1), ..., Sn(c|xn)}`` sharing the centre variable."""
+    if branches < 1:
+        raise ValueError("star must have at least one branch")
+    centre = Variable("c")
+    atoms = []
+    for i in range(1, branches + 1):
+        relation = RelationSchema(f"S{i}", 2, 1)
+        atoms.append(relation.atom(centre, Variable(f"x{i}")))
+    return ConjunctiveQuery(atoms)
+
+
+def two_atom_query(
+    left_key: Sequence[str],
+    left_rest: Sequence[str],
+    right_key: Sequence[str],
+    right_rest: Sequence[str],
+    left_name: str = "R",
+    right_name: str = "S",
+) -> ConjunctiveQuery:
+    """Build an arbitrary two-atom query from variable-name sequences.
+
+    Example: ``two_atom_query(["x"], ["y"], ["y"], ["x"])`` is ``C(2)`` up to
+    relation naming.
+    """
+    left_terms = [Variable(n) for n in list(left_key) + list(left_rest)]
+    right_terms = [Variable(n) for n in list(right_key) + list(right_rest)]
+    left_rel = RelationSchema(left_name, len(left_terms), len(left_key))
+    right_rel = RelationSchema(right_name, len(right_terms), len(right_key))
+    return ConjunctiveQuery([left_rel.atom(*left_terms), right_rel.atom(*right_terms)])
+
+
+class CycleQueryShape:
+    """Structural description of a query of the ``C(k)``/``AC(k)`` shape.
+
+    Attributes
+    ----------
+    k:
+        The number of ring atoms.
+    ring_atoms:
+        The binary atoms ordered along the variable cycle
+        ``x1 → x2 → ... → xk → x1`` (starting at the lexicographically
+        smallest variable, for determinism).
+    variables:
+        The cycle variables in the same order.
+    sk_atom:
+        The all-key atom over all cycle variables, or ``None`` for ``C(k)``.
+    """
+
+    def __init__(self, ring_atoms, variables, sk_atom=None) -> None:
+        self.ring_atoms = list(ring_atoms)
+        self.variables = list(variables)
+        self.sk_atom = sk_atom
+        self.k = len(self.ring_atoms)
+
+    @property
+    def has_sk_atom(self) -> bool:
+        """``True`` for ``AC(k)``, ``False`` for ``C(k)``."""
+        return self.sk_atom is not None
+
+    def __repr__(self) -> str:
+        kind = "AC" if self.has_sk_atom else "C"
+        return f"CycleQueryShape({kind}({self.k}))"
+
+
+def cycle_query_shape(query: ConjunctiveQuery):
+    """Detect the ``C(k)``/``AC(k)`` shape of Definition 8, up to renaming.
+
+    Returns a :class:`CycleQueryShape` if the query consists of ``k >= 2``
+    atoms over distinct binary relations of signature ``[2,1]`` whose
+    variables form a single directed cycle over ``k`` distinct variables,
+    optionally plus one all-key atom of arity ``k`` listing the cycle
+    variables in cyclic order.  Returns ``None`` otherwise.
+    """
+    if query.has_self_join:
+        return None
+    ring = [a for a in query.atoms if a.relation.arity == 2 and a.relation.key_size == 1]
+    others = [a for a in query.atoms if a not in ring]
+    k = len(ring)
+    if k < 2 or len(others) > 1:
+        return None
+    successor = {}
+    atom_of = {}
+    for atom in ring:
+        source, target = atom.terms
+        if not (isinstance(source, Variable) and isinstance(target, Variable)) or source == target:
+            return None
+        if source in successor:
+            return None
+        successor[source] = target
+        atom_of[source] = atom
+    if len(successor) != k:
+        return None
+    start = min(successor, key=lambda v: v.name)
+    ordered_vars = [start]
+    current = start
+    for _ in range(k):
+        current = successor.get(current)
+        if current is None:
+            return None
+        if current == start:
+            break
+        ordered_vars.append(current)
+    if current != start or len(ordered_vars) != k:
+        return None
+    ordered_atoms = [atom_of[v] for v in ordered_vars]
+    if not others:
+        return CycleQueryShape(ordered_atoms, ordered_vars, None)
+    sk = others[0]
+    if not sk.relation.is_all_key or sk.relation.arity != k:
+        return None
+    terms = sk.terms
+    if any(not isinstance(t, Variable) for t in terms) or set(terms) != set(ordered_vars):
+        return None
+    rotations = [tuple(ordered_vars[i:] + ordered_vars[:i]) for i in range(k)]
+    if tuple(terms) not in rotations:
+        return None
+    return CycleQueryShape(ordered_atoms, ordered_vars, sk)
+
+
+def fuxman_miller_cfree_example() -> ConjunctiveQuery:
+    """A simple query in the Fuxman–Miller tractable class: ``{R(x|y), S(y|z)}``.
+
+    The attack graph is acyclic, so CERTAINTY is FO-expressible.
+    """
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    r = RelationSchema("R", 2, 1)
+    s = RelationSchema("S", 2, 1)
+    return ConjunctiveQuery([r.atom(x, y), s.atom(y, z)])
+
+
+def all_named_queries() -> List[ConjunctiveQuery]:
+    """The named queries of the paper, for corpus-style experiments."""
+    return [
+        kolaitis_pema_q0(),
+        figure2_q1(),
+        figure4_query(),
+        cycle_query_c(2),
+        cycle_query_ac(2),
+        cycle_query_ac(3),
+        cycle_query_ac(4),
+        fuxman_miller_cfree_example(),
+    ]

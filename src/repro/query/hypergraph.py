@@ -1,0 +1,116 @@
+"""Query hypergraphs and the GYO reduction.
+
+The hypergraph of a conjunctive query has the query's variables as vertices
+and, for every atom, a hyperedge containing the atom's variables.  A query is
+*acyclic* (α-acyclic) iff the GYO (Graham / Yu–Özsoyoğlu) reduction empties
+its hypergraph, which is also equivalent to the existence of a join tree
+(Beeri, Fagin, Maier, Yannakakis 1983).
+
+The GYO reduction repeatedly removes *ears*: a hyperedge ``e`` is an ear if
+there exists another hyperedge ``w`` (the *witness*) such that every vertex
+of ``e`` is either exclusive to ``e`` or also contained in ``w``.  The
+sequence of (ear, witness) removals directly yields a join tree, which is
+what :mod:`repro.query.jointree` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..model.atoms import Atom
+from ..model.symbols import Variable
+from .conjunctive import ConjunctiveQuery
+
+
+class GYOStep:
+    """One step of the GYO reduction: *ear* removed with *witness* (or None)."""
+
+    __slots__ = ("ear", "witness")
+
+    def __init__(self, ear: Atom, witness: Optional[Atom]) -> None:
+        self.ear = ear
+        self.witness = witness
+
+    def __repr__(self) -> str:
+        return f"GYOStep(ear={self.ear}, witness={self.witness})"
+
+
+class QueryHypergraph:
+    """The hypergraph of a conjunctive query."""
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        self.query = query
+        self.edges: Dict[Atom, FrozenSet[Variable]] = {
+            atom: atom.variables for atom in query.atoms
+        }
+
+    @property
+    def vertices(self) -> FrozenSet[Variable]:
+        """All variables of the query."""
+        return self.query.variables
+
+    def incident_edges(self, variable: Variable) -> List[Atom]:
+        """The atoms whose variable set contains *variable*."""
+        return [atom for atom, vs in self.edges.items() if variable in vs]
+
+    # -- GYO reduction ------------------------------------------------------------
+
+    def gyo_reduction(self) -> Tuple[List[GYOStep], List[Atom]]:
+        """Run the GYO reduction.
+
+        Returns ``(steps, remaining)`` where *steps* records the ear/witness
+        pairs in removal order and *remaining* is the list of atoms that could
+        not be removed.  The query is acyclic iff at most one atom remains.
+        """
+        remaining: List[Atom] = list(self.query.atoms)
+        steps: List[GYOStep] = []
+        changed = True
+        while changed and len(remaining) > 1:
+            changed = False
+            for ear in list(remaining):
+                witness = self._find_witness(ear, remaining)
+                if witness is not None or self._is_isolated_ear(ear, remaining):
+                    steps.append(GYOStep(ear, witness))
+                    remaining.remove(ear)
+                    changed = True
+                    break
+        return steps, remaining
+
+    def _find_witness(self, ear: Atom, remaining: Sequence[Atom]) -> Optional[Atom]:
+        """Find a witness making *ear* an ear, preferring maximal overlap."""
+        ear_vars = ear.variables
+        others = [a for a in remaining if a is not ear]
+        if not others:
+            return None
+        exclusive = set(ear_vars)
+        for other in others:
+            exclusive -= other.variables
+        shared = ear_vars - exclusive
+        best: Optional[Atom] = None
+        best_overlap = -1
+        for other in others:
+            if shared.issubset(other.variables):
+                overlap = len(ear_vars & other.variables)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best = other
+        return best
+
+    def _is_isolated_ear(self, ear: Atom, remaining: Sequence[Atom]) -> bool:
+        """An atom sharing no variable with any other remaining atom is an ear."""
+        others = [a for a in remaining if a is not ear]
+        if not others:
+            return False
+        return all(not (ear.variables & other.variables) for other in others)
+
+    def is_acyclic(self) -> bool:
+        """``True`` iff the query is α-acyclic (has a join tree)."""
+        if len(self.query) <= 1:
+            return True
+        _, remaining = self.gyo_reduction()
+        return len(remaining) <= 1
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Convenience wrapper: ``True`` iff *query* has a join tree."""
+    return QueryHypergraph(query).is_acyclic()

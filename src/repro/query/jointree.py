@@ -1,0 +1,202 @@
+"""Join trees of acyclic conjunctive queries.
+
+A *join tree* for a conjunctive query ``q`` is an undirected tree whose
+vertices are the atoms of ``q`` and that satisfies the *Connectedness
+Condition*: whenever a variable occurs in two atoms ``F`` and ``G``, it
+occurs in every atom on the unique path between ``F`` and ``G``.  Edges are
+labelled with ``vars(F) ∩ vars(G)``.
+
+Join trees are built from the GYO reduction (each removed ear is attached to
+its witness); a query is acyclic iff this succeeds.  The attack graph of the
+paper is defined with respect to a join tree but is provably independent of
+the choice of join tree; :mod:`repro.attacks.graph` relies on that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..model.atoms import Atom
+from ..model.symbols import Variable
+from .conjunctive import ConjunctiveQuery
+from .hypergraph import QueryHypergraph
+
+
+class NotAcyclicError(ValueError):
+    """Raised when a join tree is requested for a cyclic conjunctive query."""
+
+
+class JoinTree:
+    """An undirected labelled tree over the atoms of an acyclic query."""
+
+    def __init__(self, query: ConjunctiveQuery, edges: Iterable[Tuple[Atom, Atom]]) -> None:
+        self.query = query
+        self._adjacency: Dict[Atom, List[Atom]] = {atom: [] for atom in query.atoms}
+        self._edges: List[Tuple[Atom, Atom]] = []
+        for left, right in edges:
+            self._add_edge(left, right)
+        self._validate_tree()
+
+    # -- construction ---------------------------------------------------------------
+
+    def _add_edge(self, left: Atom, right: Atom) -> None:
+        if left not in self._adjacency or right not in self._adjacency:
+            raise ValueError("join tree edges must connect atoms of the query")
+        if left == right:
+            raise ValueError("join tree must not contain self-loops")
+        self._adjacency[left].append(right)
+        self._adjacency[right].append(left)
+        self._edges.append((left, right))
+
+    def _validate_tree(self) -> None:
+        atoms = list(self.query.atoms)
+        if not atoms:
+            return
+        if len(self._edges) != len(atoms) - 1:
+            raise ValueError(
+                f"a tree over {len(atoms)} atoms needs {len(atoms) - 1} edges, "
+                f"got {len(self._edges)}"
+            )
+        # Connectivity check via BFS.
+        seen: Set[Atom] = set()
+        queue = deque([atoms[0]])
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            queue.extend(n for n in self._adjacency[node] if n not in seen)
+        if len(seen) != len(atoms):
+            raise ValueError("join tree edges do not connect all atoms")
+
+    # -- accessors --------------------------------------------------------------------
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The vertices (atoms) of the tree."""
+        return self.query.atoms
+
+    @property
+    def edges(self) -> List[Tuple[Atom, Atom]]:
+        """The undirected edges, as (parent, child) pairs from construction order."""
+        return list(self._edges)
+
+    def neighbors(self, atom: Atom) -> List[Atom]:
+        """The atoms adjacent to *atom*."""
+        return list(self._adjacency[atom])
+
+    def edge_label(self, left: Atom, right: Atom) -> FrozenSet[Variable]:
+        """The label ``vars(F) ∩ vars(G)`` of an edge (also defined for non-edges)."""
+        return left.variables & right.variables
+
+    def path(self, source: Atom, target: Atom) -> List[Atom]:
+        """The unique path of atoms from *source* to *target* (inclusive)."""
+        if source not in self._adjacency or target not in self._adjacency:
+            raise KeyError("both atoms must belong to the join tree")
+        if source == target:
+            return [source]
+        parents: Dict[Atom, Optional[Atom]] = {source: None}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            if node == target:
+                break
+            for neighbor in self._adjacency[node]:
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    queue.append(neighbor)
+        if target not in parents:
+            raise ValueError("atoms are not connected in the join tree")
+        path: List[Atom] = [target]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[index]
+        path.reverse()
+        return path
+
+    def path_labels(self, source: Atom, target: Atom) -> List[FrozenSet[Variable]]:
+        """The labels of the edges on the unique path from *source* to *target*."""
+        atoms = self.path(source, target)
+        return [self.edge_label(a, b) for a, b in zip(atoms, atoms[1:])]
+
+    # -- validation ---------------------------------------------------------------------
+
+    def satisfies_connectedness(self) -> bool:
+        """Check the Connectedness Condition for every variable of the query."""
+        for variable in self.query.variables:
+            holders = [atom for atom in self.query.atoms if variable in atom.variables]
+            for source in holders:
+                for target in holders:
+                    if source == target:
+                        continue
+                    if any(variable not in atom.variables for atom in self.path(source, target)):
+                        return False
+        return True
+
+    def __repr__(self) -> str:
+        edges = ", ".join(f"{a}—{b}" for a, b in self._edges)
+        return f"JoinTree({edges})"
+
+    def pretty(self) -> str:
+        """A readable rendering listing every edge with its label."""
+        lines = []
+        for left, right in self._edges:
+            label = "{" + ", ".join(sorted(v.name for v in self.edge_label(left, right))) + "}"
+            lines.append(f"{left}  —{label}—  {right}")
+        return "\n".join(lines) if lines else "(single atom)"
+
+
+def build_join_tree(query: ConjunctiveQuery) -> JoinTree:
+    """Build a join tree for *query* via the GYO reduction.
+
+    Raises :class:`NotAcyclicError` when the query is cyclic.
+    """
+    atoms = list(query.atoms)
+    if len(atoms) <= 1:
+        return JoinTree(query, [])
+    hypergraph = QueryHypergraph(query)
+    steps, remaining = hypergraph.gyo_reduction()
+    if len(remaining) > 1:
+        raise NotAcyclicError(f"query {query} is not acyclic (no join tree exists)")
+    edges: List[Tuple[Atom, Atom]] = []
+    # Atoms removed without a witness (isolated components) are attached to the
+    # final remaining atom (or to the last removed atom) with an empty label.
+    anchor = remaining[0] if remaining else steps[-1].ear
+    for step in steps:
+        witness = step.witness if step.witness is not None else anchor
+        if witness == step.ear:
+            continue
+        edges.append((step.ear, witness))
+    tree = JoinTree(query, edges)
+    if not tree.satisfies_connectedness():
+        # GYO with maximal-overlap witnesses always yields a valid join tree for
+        # acyclic queries; reaching this point indicates a bug.
+        raise NotAcyclicError(f"constructed tree violates connectedness for {query}")
+    return tree
+
+
+def all_join_trees(query: ConjunctiveQuery, limit: int = 1000) -> List[JoinTree]:
+    """Enumerate join trees of *query* (up to *limit*), by brute force.
+
+    Used in tests to verify that attack graphs are independent of the chosen
+    join tree.  Exponential in the number of atoms; intended for small queries.
+    """
+    import itertools
+
+    atoms = list(query.atoms)
+    if len(atoms) <= 1:
+        return [JoinTree(query, [])]
+    candidate_edges = [
+        (atoms[i], atoms[j]) for i in range(len(atoms)) for j in range(i + 1, len(atoms))
+    ]
+    trees: List[JoinTree] = []
+    for combo in itertools.combinations(candidate_edges, len(atoms) - 1):
+        try:
+            tree = JoinTree(query, combo)
+        except ValueError:
+            continue
+        if tree.satisfies_connectedness():
+            trees.append(tree)
+            if len(trees) >= limit:
+                break
+    return trees

@@ -1,0 +1,178 @@
+"""A small text parser for conjunctive queries and facts.
+
+Grammar (informal)::
+
+    query    :=  atom ("," atom)* | atom ("&&" atom)*
+    atom     :=  NAME "(" keyterms ["|" terms] ")"
+    keyterms :=  terms
+    terms    :=  term ("," term)*
+    term     :=  NAME            -- a variable (lower- or upper-case identifier)
+               | "'" text "'"    -- a string constant
+               | '"' text '"'    -- a string constant
+               | NUMBER          -- an integer constant
+
+The ``|`` separator inside an atom splits the primary-key positions from the
+non-key positions, mirroring the paper's underlining convention
+(``R(x, y | z)`` means the key of ``R`` is its first two positions).  If no
+``|`` is present, all positions are key positions (the relation is all-key).
+
+Relation signatures are collected into a :class:`~repro.model.schema.DatabaseSchema`;
+re-using a relation name with a different signature is an error.
+
+Examples
+--------
+>>> q = parse_query("R(x | y), S(y, z | x)")
+>>> [a.name for a in q]
+['R', 'S']
+>>> fact = parse_fact("R('a' | 1)", schema=q.schema())
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.atoms import Atom, Fact, RelationSchema
+from ..model.schema import DatabaseSchema
+from ..model.symbols import Constant, Term, Variable
+from .conjunctive import ConjunctiveQuery
+
+
+class QueryParseError(ValueError):
+    """Raised when a query or fact string cannot be parsed."""
+
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)\s*")
+_NUMBER_RE = re.compile(r"^-?\d+$")
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise QueryParseError("empty term")
+    if (token.startswith("'") and token.endswith("'") and len(token) >= 2) or (
+        token.startswith('"') and token.endswith('"') and len(token) >= 2
+    ):
+        return Constant(token[1:-1])
+    if _NUMBER_RE.match(token):
+        return Constant(int(token))
+    if re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", token):
+        return Variable(token)
+    raise QueryParseError(f"cannot parse term {token!r}")
+
+
+def _split_terms(text: str) -> List[str]:
+    parts = [p for p in text.split(",")]
+    if parts == [""]:
+        return []
+    return parts
+
+
+def parse_atom(text: str, schema: Optional[DatabaseSchema] = None) -> Atom:
+    """Parse a single atom such as ``R(x, y | z)`` or ``S('a', x)``."""
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise QueryParseError(f"cannot parse atom {text!r}")
+    name, inner = match.group(1), match.group(2)
+    if "|" in inner:
+        key_part, _, rest_part = inner.partition("|")
+        key_terms = [_parse_term(t) for t in _split_terms(key_part)]
+        rest_terms = [_parse_term(t) for t in _split_terms(rest_part)]
+    else:
+        key_terms = [_parse_term(t) for t in _split_terms(inner)]
+        rest_terms = []
+    terms = key_terms + rest_terms
+    if not key_terms:
+        raise QueryParseError(f"atom {text!r} must have at least one key position")
+    if schema is not None and name in schema:
+        relation = schema[name]
+        if relation.arity != len(terms) or relation.key_size != len(key_terms):
+            raise QueryParseError(
+                f"relation {name!r} already has signature "
+                f"[{relation.arity},{relation.key_size}], atom {text!r} disagrees"
+            )
+    else:
+        relation = RelationSchema(name, len(terms), len(key_terms))
+        if schema is not None:
+            schema.add(relation)
+    return Atom(relation, terms)
+
+
+def _split_atoms(text: str) -> List[str]:
+    """Split a query body on commas that are not inside parentheses."""
+    text = text.strip()
+    if text.startswith("{") and text.endswith("}"):
+        text = text[1:-1]
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError("unbalanced parentheses")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        elif ch == "&" and depth == 0 and i + 1 < len(text) and text[i + 1] == "&":
+            parts.append("".join(current))
+            current = []
+            i += 1
+        else:
+            current.append(ch)
+        i += 1
+    if depth != 0:
+        raise QueryParseError("unbalanced parentheses")
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_query(
+    text: str,
+    free: Sequence[str] = (),
+    schema: Optional[DatabaseSchema] = None,
+) -> ConjunctiveQuery:
+    """Parse a conjunctive query from text.
+
+    Parameters
+    ----------
+    text:
+        The query body, e.g. ``"R(x | y), S(y, z | x)"``.
+    free:
+        Names of the free (answer) variables, if any.
+    schema:
+        An optional schema to share relation signatures across queries and
+        databases; it is extended in place with newly seen relations.
+    """
+    schema = schema if schema is not None else DatabaseSchema()
+    atoms = [parse_atom(part, schema) for part in _split_atoms(text)]
+    if not atoms:
+        return ConjunctiveQuery([])
+    return ConjunctiveQuery(atoms, [Variable(name) for name in free])
+
+
+def parse_fact(text: str, schema: Optional[DatabaseSchema] = None) -> Fact:
+    """Parse a fact such as ``R('a', 1 | 'b')``.
+
+    Unquoted alphabetic tokens are **not** allowed in facts (they would be
+    variables); quote string constants or use integers.
+    """
+    atom = parse_atom(text, schema)
+    if atom.variables:
+        names = ", ".join(sorted(v.name for v in atom.variables))
+        raise QueryParseError(
+            f"fact {text!r} contains variables ({names}); quote string constants"
+        )
+    return atom.to_fact()
+
+
+def parse_facts(lines: Sequence[str], schema: Optional[DatabaseSchema] = None) -> List[Fact]:
+    """Parse several facts, sharing one schema."""
+    schema = schema if schema is not None else DatabaseSchema()
+    return [parse_fact(line, schema) for line in lines if line.strip()]

@@ -1,0 +1,88 @@
+"""Substitution of variables by constants in atoms and queries.
+
+Definition 7 of the paper: ``q[x⃗ ↦ a⃗]`` denotes the query obtained from
+``q`` by replacing every occurrence of the variable ``xi`` with the constant
+``ai``.  Substitution is used pervasively: by the FO-rewriting solver, by the
+Theorem 3 recursion, and by the ``IsSafe`` procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from ..model.atoms import Atom, Fact
+from ..model.symbols import Constant, Term, Variable, make_constant
+from .conjunctive import ConjunctiveQuery
+
+#: A substitution maps variables to constants.
+Substitution = Mapping[Variable, Constant]
+
+
+def make_substitution(
+    variables: Sequence[Variable],
+    values: Sequence,
+) -> Dict[Variable, Constant]:
+    """Pair up ``x⃗`` and ``a⃗`` into a substitution dictionary."""
+    if len(variables) != len(values):
+        raise ValueError(
+            f"variable/value length mismatch: {len(variables)} vs {len(values)}"
+        )
+    if len(set(variables)) != len(variables):
+        raise ValueError("substituted variables must be distinct")
+    return {var: make_constant(val) for var, val in zip(variables, values)}
+
+
+def substitute_term(term: Term, substitution: Substitution) -> Term:
+    """Apply a substitution to a term."""
+    if isinstance(term, Variable):
+        return substitution.get(term, term)
+    return term
+
+
+def substitute_atom(atom: Atom, substitution: Substitution) -> Atom:
+    """Apply a substitution to every term of an atom.
+
+    The result is a :class:`~repro.model.atoms.Fact` when no variable remains.
+    """
+    terms = tuple(substitute_term(t, substitution) for t in atom.terms)
+    image = Atom(atom.relation, terms)
+    if not image.variables:
+        return image.to_fact()
+    return image
+
+
+def substitute_query(
+    query: ConjunctiveQuery,
+    substitution: Substitution,
+) -> ConjunctiveQuery:
+    """``q[x⃗ ↦ a⃗]``: apply a substitution to every atom of the query.
+
+    Free variables that get substituted disappear from the free-variable list.
+    """
+    atoms = [substitute_atom(atom, substitution) for atom in query.atoms]
+    free = tuple(v for v in query.free_variables if v not in substitution)
+    return ConjunctiveQuery(atoms, free)
+
+
+def ground_free_variables(
+    query: ConjunctiveQuery,
+    values: Sequence,
+) -> ConjunctiveQuery:
+    """Ground the free variables of a non-Boolean query with *values*."""
+    substitution = make_substitution(list(query.free_variables), list(values))
+    return substitute_query(query, substitution).as_boolean()
+
+
+def rename_variables(
+    query: ConjunctiveQuery,
+    renaming: Mapping[Variable, Variable],
+) -> ConjunctiveQuery:
+    """Rename variables (a bijective renaming is the caller's responsibility)."""
+    atoms = []
+    for atom in query.atoms:
+        terms = tuple(
+            renaming.get(t, t) if isinstance(t, Variable) else t for t in atom.terms
+        )
+        atoms.append(Atom(atom.relation, terms))
+    free = tuple(renaming.get(v, v) for v in query.free_variables)
+    return ConjunctiveQuery(atoms, free)

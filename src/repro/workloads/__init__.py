@@ -1,0 +1,34 @@
+"""Synthetic workloads: database generators, paper instances, query corpora."""
+
+from .corpora import mixed_corpus, named_corpus, random_acyclic_query, random_corpus
+from .generators import (
+    planted_certain_instance,
+    random_valuation,
+    scaling_instances,
+    synthetic_instance,
+    uniform_random_instance,
+)
+from .instances import (
+    figure1_database,
+    figure1_query,
+    figure6_database,
+    figure7_falsifying_repairs,
+    ring_instance,
+)
+
+__all__ = [
+    "figure1_database",
+    "figure1_query",
+    "figure6_database",
+    "figure7_falsifying_repairs",
+    "mixed_corpus",
+    "named_corpus",
+    "planted_certain_instance",
+    "random_acyclic_query",
+    "random_corpus",
+    "random_valuation",
+    "ring_instance",
+    "scaling_instances",
+    "synthetic_instance",
+    "uniform_random_instance",
+]

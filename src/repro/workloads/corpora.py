@@ -1,0 +1,113 @@
+"""Query corpora: random self-join-free queries for census-style experiments.
+
+The classifier of :mod:`repro.core` partitions queries into complexity
+bands; the census experiment (E11) and the lemma property experiment (E9)
+need a large, diverse supply of queries.  Random acyclic queries are
+generated *by construction*: each new atom reuses variables from a single
+previously generated atom (its join-tree parent), which guarantees the
+existence of a join tree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..model.atoms import Atom, RelationSchema
+from ..model.symbols import Constant, Variable
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.families import (
+    all_named_queries,
+    cycle_query_ac,
+    cycle_query_c,
+    figure2_q1,
+    figure4_query,
+    fuxman_miller_cfree_example,
+    kolaitis_pema_q0,
+    path_query,
+    star_query,
+)
+
+
+def random_acyclic_query(
+    seed: int = 0,
+    atoms: int = 4,
+    max_arity: int = 4,
+    constant_probability: float = 0.1,
+    relation_prefix: str = "Q",
+) -> ConjunctiveQuery:
+    """A random acyclic self-join-free Boolean conjunctive query.
+
+    Atom ``i`` picks a parent among the previous atoms, reuses a random
+    subset of the parent's variables, and pads with fresh variables (and an
+    occasional constant), so the attachment tree is a join tree.
+    """
+    rng = random.Random(seed)
+    generated: List[Atom] = []
+    fresh_counter = [0]
+
+    def fresh_variable() -> Variable:
+        fresh_counter[0] += 1
+        return Variable(f"v{fresh_counter[0]}")
+
+    for index in range(atoms):
+        arity = rng.randint(1, max_arity)
+        key_size = rng.randint(1, arity)
+        relation = RelationSchema(f"{relation_prefix}{index}", arity, key_size)
+        reusable: List[Variable] = []
+        if generated:
+            parent = rng.choice(generated)
+            reusable = sorted(parent.variables, key=lambda v: v.name)
+        terms = []
+        for _ in range(arity):
+            roll = rng.random()
+            if roll < constant_probability:
+                terms.append(Constant(f"k{rng.randint(0, 2)}"))
+            elif reusable and roll < 0.55:
+                terms.append(rng.choice(reusable))
+            else:
+                terms.append(fresh_variable())
+        generated.append(Atom(relation, terms))
+    return ConjunctiveQuery(generated)
+
+
+def random_corpus(
+    size: int,
+    seed: int = 0,
+    min_atoms: int = 2,
+    max_atoms: int = 5,
+    max_arity: int = 4,
+) -> List[ConjunctiveQuery]:
+    """A list of *size* random acyclic queries with varying shapes."""
+    rng = random.Random(seed)
+    corpus = []
+    for index in range(size):
+        corpus.append(
+            random_acyclic_query(
+                seed=rng.randrange(10**9),
+                atoms=rng.randint(min_atoms, max_atoms),
+                max_arity=max_arity,
+            )
+        )
+    return corpus
+
+
+def named_corpus() -> List[ConjunctiveQuery]:
+    """The paper's named queries plus a few parametric relatives."""
+    corpus = list(all_named_queries())
+    corpus.extend(
+        [
+            path_query(3),
+            path_query(5),
+            star_query(3),
+            cycle_query_c(4),
+            cycle_query_ac(5),
+            figure4_query(include_r0=False),
+        ]
+    )
+    return corpus
+
+
+def mixed_corpus(size: int = 40, seed: int = 7) -> List[ConjunctiveQuery]:
+    """Named queries plus random ones — the default census corpus."""
+    return named_corpus() + random_corpus(size, seed=seed)

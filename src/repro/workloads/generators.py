@@ -1,0 +1,150 @@
+"""Synthetic uncertain-database generators.
+
+The paper has no data sets of its own (it is a theory paper), so the
+experiments run on synthetic databases.  The generators below are
+parameterised by the quantities that drive the behaviour of CERTAINTY
+solvers:
+
+* the *active domain size*, which controls join selectivity;
+* the number of *witness valuations* planted (random valuations of the
+  query variables whose atom images are inserted), which controls how much
+  evidence for the query exists;
+* the number of *noise facts* per relation, which controls how much
+  irrelevant data the purification step has to strip;
+* the *conflict rate*, which controls block sizes — the actual source of
+  uncertainty.
+
+All generators take an explicit seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.atoms import Fact, RelationSchema
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant, Variable
+from ..model.valuation import Valuation
+from ..query.conjunctive import ConjunctiveQuery
+
+
+def _domain(size: int, prefix: str = "c") -> List[str]:
+    return [f"{prefix}{i}" for i in range(size)]
+
+
+def random_valuation(
+    query: ConjunctiveQuery, domain: Sequence[str], rng: random.Random
+) -> Valuation:
+    """A uniformly random valuation of the query variables over *domain*."""
+    return Valuation({v: Constant(rng.choice(domain)) for v in query.variables})
+
+
+def synthetic_instance(
+    query: ConjunctiveQuery,
+    seed: int = 0,
+    domain_size: int = 6,
+    witnesses: int = 4,
+    noise_per_relation: int = 4,
+    conflict_rate: float = 0.4,
+) -> UncertainDatabase:
+    """A random uncertain database tailored to *query*.
+
+    The database mixes planted witnesses (full images of random valuations),
+    uniform noise facts, and extra key-conflicting facts controlled by
+    *conflict_rate*.
+    """
+    rng = random.Random(seed)
+    domain = _domain(domain_size)
+    db = UncertainDatabase()
+
+    for _ in range(witnesses):
+        valuation = random_valuation(query, domain, rng)
+        for atom in query.atoms:
+            db.add(valuation.ground(atom))
+
+    for atom in query.atoms:
+        relation = atom.relation
+        for _ in range(noise_per_relation):
+            db.add(relation.fact(*[rng.choice(domain) for _ in range(relation.arity)]))
+
+    # Add conflicting facts: same key, fresh non-key values.
+    for fact in list(db.facts):
+        relation = fact.relation
+        if relation.is_all_key or rng.random() >= conflict_rate:
+            continue
+        key_values = [c.value for c in fact.key_terms]
+        rest = [rng.choice(domain) for _ in range(relation.arity - relation.key_size)]
+        db.add(relation.fact(*(key_values + rest)))
+    return db
+
+
+def uniform_random_instance(
+    query: ConjunctiveQuery,
+    seed: int = 0,
+    domain_size: int = 4,
+    facts_per_relation: int = 6,
+) -> UncertainDatabase:
+    """Fully random facts per relation, with no planted structure."""
+    rng = random.Random(seed)
+    domain = _domain(domain_size)
+    db = UncertainDatabase()
+    for atom in query.atoms:
+        relation = atom.relation
+        for _ in range(facts_per_relation):
+            db.add(relation.fact(*[rng.choice(domain) for _ in range(relation.arity)]))
+    return db
+
+
+def planted_certain_instance(
+    query: ConjunctiveQuery,
+    seed: int = 0,
+    domain_size: int = 6,
+    noise_per_relation: int = 5,
+    conflict_rate: float = 0.4,
+) -> UncertainDatabase:
+    """A database guaranteed to be in ``CERTAINTY(q)``.
+
+    A reserved witness (over constants outside the noise domain) is planted
+    with singleton blocks; since every repair contains all singleton blocks,
+    the query is certain regardless of the surrounding noise.
+    """
+    rng = random.Random(seed)
+    db = synthetic_instance(
+        query,
+        seed=seed + 1,
+        domain_size=domain_size,
+        witnesses=2,
+        noise_per_relation=noise_per_relation,
+        conflict_rate=conflict_rate,
+    )
+    reserved = Valuation({v: Constant(f"planted_{v.name}") for v in query.variables})
+    for atom in query.atoms:
+        db.add(reserved.ground(atom))
+    return db
+
+
+def scaling_instances(
+    query: ConjunctiveQuery,
+    sizes: Sequence[int],
+    seed: int = 0,
+    conflict_rate: float = 0.4,
+) -> List[Tuple[int, UncertainDatabase]]:
+    """A family of instances of growing size (for the scaling benchmarks).
+
+    Each entry plants ``size`` witnesses over a domain of ``2 * size``
+    constants and ``size`` noise facts per relation, so the number of facts
+    grows linearly with ``size``.
+    """
+    out = []
+    for i, size in enumerate(sizes):
+        db = synthetic_instance(
+            query,
+            seed=seed + i,
+            domain_size=max(2, 2 * size),
+            witnesses=size,
+            noise_per_relation=size,
+            conflict_rate=conflict_rate,
+        )
+        out.append((size, db))
+    return out

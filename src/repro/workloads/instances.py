@@ -1,0 +1,164 @@
+"""Hand-crafted instances from the paper and structured ring instances.
+
+* :func:`figure1_database` and :func:`figure1_query` — the conference
+  planning example of Figure 1 (four repairs, the query holds in three).
+* :func:`figure6_database` — the purified ``AC(3)`` instance of Figure 6,
+  which is *not* in ``CERTAINTY(AC(3))`` (Figure 7 exhibits two falsifying
+  repairs).
+* :func:`ring_instance` — parametric ``C(k)``/``AC(k)`` instances: a
+  ``k``-partite ring graph with a configurable number of parallel cycles,
+  cross edges, and encoded witness cycles, generalising Figure 6.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.atoms import RelationSchema
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant, Variable
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.families import cycle_query_ac, cycle_query_c
+
+
+def figure1_query() -> ConjunctiveQuery:
+    """``∃x∃y (C(x, y, 'Rome') ∧ R(x, 'A'))`` — "Will Rome host some A conference?"."""
+    conference = RelationSchema("C", 3, 2)
+    ranking = RelationSchema("R", 2, 1)
+    x, y = Variable("x"), Variable("y")
+    return ConjunctiveQuery(
+        [
+            conference.atom(x, y, Constant("Rome")),
+            ranking.atom(x, Constant("A")),
+        ]
+    )
+
+
+def figure1_database() -> UncertainDatabase:
+    """The conference planning database of Figure 1 (two conflicting blocks)."""
+    conference = RelationSchema("C", 3, 2)
+    ranking = RelationSchema("R", 2, 1)
+    return UncertainDatabase(
+        [
+            conference.fact("PODS", 2016, "Rome"),
+            conference.fact("PODS", 2016, "Paris"),
+            conference.fact("KDD", 2017, "Rome"),
+            ranking.fact("PODS", "A"),
+            ranking.fact("KDD", "A"),
+            ranking.fact("KDD", "B"),
+        ]
+    )
+
+
+def figure6_database() -> UncertainDatabase:
+    """The Figure 6 instance for ``AC(3)`` (purified; not certain).
+
+    The ring relations encode the 6-vertex graph on ``{a, b, c, a', b', c'}``
+    and ``S3`` encodes the three *clockwise* triangles; the two repairs of
+    Figure 7 falsify the query.
+    """
+    query = cycle_query_ac(3)
+    r1, r2, r3, s3 = (query.schema()[name] for name in ("R1", "R2", "R3", "S3"))
+    return UncertainDatabase(
+        [
+            r1.fact("a", "b"),
+            r1.fact("a", "b'"),
+            r1.fact("a'", "b"),
+            r2.fact("b", "c"),
+            r2.fact("b", "c'"),
+            r2.fact("b'", "c"),
+            r3.fact("c", "a"),
+            r3.fact("c", "a'"),
+            r3.fact("c'", "a"),
+            s3.fact("a", "b", "c'"),
+            s3.fact("a", "b'", "c"),
+            s3.fact("a'", "b", "c"),
+        ]
+    )
+
+
+def figure7_falsifying_repairs() -> List[frozenset]:
+    """Two falsifying repairs of the Figure 6 database, as in Figure 7.
+
+    The first repair selects the triangle ``a → b → c → a``, which is the only
+    3-cycle of the graph *not* encoded in ``S3`` ("Case 1" in the proof of
+    Theorem 4); the second selects the long 6-cycle
+    ``a → b' → c → a' → b → c' → a`` ("Case 2").  Both contain every ``S3``
+    fact (``S3`` is all-key, so its facts belong to every repair) and neither
+    contains all three edges of an encoded triangle, so both falsify
+    ``AC(3)``.
+    """
+    query = cycle_query_ac(3)
+    r1, r2, r3, s3 = (query.schema()[name] for name in ("R1", "R2", "R3", "S3"))
+    s3_facts = [s3.fact("a", "b", "c'"), s3.fact("a", "b'", "c"), s3.fact("a'", "b", "c")]
+    unencoded_triangle = frozenset(
+        [
+            r1.fact("a", "b"),
+            r1.fact("a'", "b"),
+            r2.fact("b", "c"),
+            r2.fact("b'", "c"),
+            r3.fact("c", "a"),
+            r3.fact("c'", "a"),
+        ]
+        + s3_facts
+    )
+    long_cycle = frozenset(
+        [
+            r1.fact("a", "b'"),
+            r1.fact("a'", "b"),
+            r2.fact("b", "c'"),
+            r2.fact("b'", "c"),
+            r3.fact("c", "a'"),
+            r3.fact("c'", "a"),
+        ]
+        + s3_facts
+    )
+    return [unencoded_triangle, long_cycle]
+
+
+def ring_instance(
+    k: int,
+    copies: int = 2,
+    chords: int = 2,
+    encoded_fraction: float = 0.5,
+    seed: int = 0,
+    with_sk: bool = True,
+) -> Tuple[ConjunctiveQuery, UncertainDatabase]:
+    """A parametric ``AC(k)``/``C(k)`` instance generalising Figure 6.
+
+    ``copies`` parallel ``k``-cycles are laid out on a ``k``-partite vertex
+    set; ``chords`` extra edges connect different copies (creating longer
+    cycles and key conflicts); a fraction of the ``k``-cycles present in the
+    graph is encoded in ``Sk`` (when ``with_sk`` is true).
+    """
+    rng = random.Random(seed)
+    query = cycle_query_ac(k) if with_sk else cycle_query_c(k)
+    schema = query.schema()
+    rings = [schema[f"R{i}"] for i in range(1, k + 1)]
+    sk = schema[f"S{k}"] if with_sk else None
+
+    def node(position: int, copy: int) -> str:
+        return f"v{position}_{copy}"
+
+    db = UncertainDatabase()
+    cycles: List[Tuple[str, ...]] = []
+    for copy in range(copies):
+        vertices = tuple(node(i, copy) for i in range(k))
+        cycles.append(vertices)
+        for i in range(k):
+            db.add(rings[i].fact(vertices[i], vertices[(i + 1) % k]))
+    for _ in range(chords):
+        position = rng.randrange(k)
+        source_copy = rng.randrange(copies)
+        target_copy = rng.randrange(copies)
+        db.add(
+            rings[position].fact(
+                node(position, source_copy), node((position + 1) % k, target_copy)
+            )
+        )
+    if sk is not None:
+        for vertices in cycles:
+            if rng.random() < encoded_fraction:
+                db.add(sk.fact(*vertices))
+    return query, db

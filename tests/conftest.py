@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.model import RelationSchema, UncertainDatabase, Variable
+from repro.query import (
+    ConjunctiveQuery,
+    cycle_query_ac,
+    cycle_query_c,
+    figure2_q1,
+    figure4_query,
+    fuxman_miller_cfree_example,
+    kolaitis_pema_q0,
+    parse_query,
+)
+from repro.workloads import figure1_database, figure1_query, figure6_database
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return random.Random(20130106)
+
+
+@pytest.fixture
+def fm_query():
+    """The acyclic-attack-graph query {R(x|y), S(y|z)} (FO band)."""
+    return fuxman_miller_cfree_example()
+
+
+@pytest.fixture
+def q1():
+    """The Figure 2 query (coNP-complete band)."""
+    return figure2_q1()
+
+
+@pytest.fixture
+def q0():
+    """The Kolaitis–Pema two-atom coNP-complete query."""
+    return kolaitis_pema_q0()
+
+
+@pytest.fixture
+def fig4():
+    """The Figure 4 query (P, not FO)."""
+    return figure4_query()
+
+
+@pytest.fixture
+def ac3():
+    """The AC(3) query (P via Theorem 4)."""
+    return cycle_query_ac(3)
+
+
+@pytest.fixture
+def c2():
+    """The C(2) query (P, not FO)."""
+    return cycle_query_c(2)
+
+
+@pytest.fixture
+def conference_db():
+    """The Figure 1 database."""
+    return figure1_database()
+
+
+@pytest.fixture
+def conference_query():
+    """The Figure 1 query."""
+    return figure1_query()
+
+
+@pytest.fixture
+def fig6_db():
+    """The Figure 6 database for AC(3)."""
+    return figure6_database()

@@ -1,0 +1,147 @@
+"""Tests for repro.attacks.cycles and repro.attacks.properties."""
+
+import pytest
+
+from repro.attacks import (
+    AttackGraph,
+    all_cycles_terminal,
+    atoms_on_cycles,
+    check_lemma2,
+    check_lemma3,
+    check_lemma4,
+    check_lemma6,
+    check_lemma7,
+    check_plus_subset_box,
+    cycle_is_terminal,
+    enumerate_cycles,
+    has_strong_cycle,
+    lemma_report,
+    strong_cycles,
+    strong_two_cycle,
+    strongly_connected_components,
+    weak_cycles,
+)
+from repro.query import (
+    cycle_query_ac,
+    cycle_query_c,
+    figure2_q1,
+    figure4_query,
+    fuxman_miller_cfree_example,
+    kolaitis_pema_q0,
+    parse_query,
+)
+from repro.workloads import random_corpus
+
+
+class TestCycleEnumeration:
+    def test_acyclic_graph_has_no_cycles(self):
+        assert enumerate_cycles(AttackGraph(fuxman_miller_cfree_example())) == []
+
+    def test_q1_cycles(self):
+        """Example 4: q1 has a strong 2-cycle and a strong 3-cycle."""
+        cycles = enumerate_cycles(AttackGraph(figure2_q1()))
+        lengths = sorted(c.length for c in cycles)
+        assert 2 in lengths and 3 in lengths
+        assert any(c.is_strong and c.length == 2 for c in cycles)
+        assert any(c.is_strong and c.length == 3 for c in cycles)
+        assert any(c.is_weak and c.length == 2 for c in cycles)
+
+    def test_figure4_cycles_weak_terminal(self):
+        cycles = enumerate_cycles(AttackGraph(figure4_query()))
+        assert len(cycles) == 3
+        assert all(c.is_weak and c.is_terminal and c.length == 2 for c in cycles)
+
+    def test_ac3_two_cycles_nonterminal(self):
+        cycles = enumerate_cycles(AttackGraph(cycle_query_ac(3)))
+        two_cycles = [c for c in cycles if c.length == 2]
+        assert len(two_cycles) == 3
+        assert all(c.is_weak and not c.is_terminal for c in cycles)
+
+    def test_canonical_key_rotation_invariant(self):
+        cycles = enumerate_cycles(AttackGraph(figure2_q1()))
+        keys = [c.canonical_key() for c in cycles]
+        assert len(keys) == len(set(keys))
+
+
+class TestStrongCycleDetection:
+    def test_q1_has_strong_cycle(self):
+        graph = AttackGraph(figure2_q1())
+        assert has_strong_cycle(graph)
+        witness = strong_two_cycle(graph)
+        assert witness is not None
+        source, target = witness
+        assert graph.is_strong_attack(source, target)
+        assert graph.has_attack(target, source)
+
+    def test_q0_has_strong_cycle(self):
+        assert has_strong_cycle(AttackGraph(kolaitis_pema_q0()))
+
+    def test_weak_only_queries(self):
+        for query in (figure4_query(), cycle_query_ac(3), cycle_query_c(2)):
+            graph = AttackGraph(query)
+            assert not has_strong_cycle(graph)
+            assert strong_two_cycle(graph) is None
+            assert strong_cycles(graph) == []
+            assert len(weak_cycles(graph)) >= 1
+
+    def test_acyclic_has_no_strong_cycle(self):
+        assert not has_strong_cycle(AttackGraph(fuxman_miller_cfree_example()))
+
+
+class TestTerminality:
+    def test_figure4_all_terminal(self):
+        assert all_cycles_terminal(AttackGraph(figure4_query()))
+
+    def test_ac3_not_all_terminal(self):
+        assert not all_cycles_terminal(AttackGraph(cycle_query_ac(3)))
+
+    def test_two_atom_cycles_always_terminal(self):
+        assert all_cycles_terminal(AttackGraph(cycle_query_c(2)))
+        assert all_cycles_terminal(AttackGraph(kolaitis_pema_q0()))
+
+    def test_cycle_is_terminal_helper(self):
+        graph = AttackGraph(cycle_query_ac(3))
+        ring_pair = [a for a in graph.query.atoms if a.name in ("R1", "R2")]
+        assert not cycle_is_terminal(graph, ring_pair)
+
+    def test_atoms_on_cycles(self):
+        graph = AttackGraph(figure4_query())
+        on_cycles = {a.name for a in atoms_on_cycles(graph)}
+        assert on_cycles == {"R1", "R2", "R3", "R4", "R5", "R6"}
+
+    def test_strongly_connected_components_partition_atoms(self):
+        graph = AttackGraph(figure2_q1())
+        components = strongly_connected_components(graph)
+        atoms = [a for component in components for a in component]
+        assert sorted(map(str, atoms)) == sorted(map(str, graph.atoms))
+
+
+class TestLemmas:
+    PAPER_QUERIES = [
+        figure2_q1(),
+        figure4_query(),
+        cycle_query_ac(2),
+        cycle_query_ac(3),
+        cycle_query_c(2),
+        kolaitis_pema_q0(),
+        fuxman_miller_cfree_example(),
+        parse_query("A(x | y), B(x, y | z), D(z | x)"),
+    ]
+
+    @pytest.mark.parametrize("query", PAPER_QUERIES, ids=lambda q: str(q)[:40])
+    def test_lemmas_on_paper_queries(self, query):
+        graph = AttackGraph(query)
+        assert check_lemma2(graph)
+        assert check_lemma3(graph)
+        assert check_lemma4(graph)
+        assert check_lemma6(graph)
+        assert check_lemma7(graph)
+        assert check_plus_subset_box(graph)
+
+    def test_lemmas_on_random_corpus(self):
+        for query in random_corpus(25, seed=99):
+            if query.has_self_join:
+                continue
+            graph = AttackGraph(query)
+            for name, holds in lemma_report(graph):
+                assert holds, f"{name} violated on {query}"

@@ -1,0 +1,149 @@
+"""Tests for repro.attacks: closures, attack graphs, weak/strong attacks."""
+
+import pytest
+
+from repro.attacks import (
+    AttackGraph,
+    all_box_closures,
+    all_plus_closures,
+    box_closure,
+    plus_closure,
+)
+from repro.model.symbols import Variable
+from repro.query import (
+    all_join_trees,
+    cycle_query_ac,
+    figure2_q1,
+    figure4_query,
+    fuxman_miller_cfree_example,
+    kolaitis_pema_q0,
+    parse_query,
+)
+
+
+def _names(variables):
+    return {v.name for v in variables}
+
+
+class TestClosures:
+    def test_example2_plus_closures(self):
+        """F+, G+, H+, I+ exactly as computed in Example 2."""
+        q1 = figure2_q1()
+        atoms = {a.name: a for a in q1.atoms}
+        assert _names(plus_closure(q1, atoms["R"])) == {"u"}
+        assert _names(plus_closure(q1, atoms["S"])) == {"y"}
+        assert _names(plus_closure(q1, atoms["T"])) == {"x", "z"}
+        assert _names(plus_closure(q1, atoms["P"])) == {"x", "y", "z"}
+
+    def test_example4_box_closures(self):
+        """F⊞, G⊞, H⊞, I⊞ exactly as computed in Example 4."""
+        q1 = figure2_q1()
+        atoms = {a.name: a for a in q1.atoms}
+        assert _names(box_closure(q1, atoms["R"])) == {"u", "x", "y", "z"}
+        assert _names(box_closure(q1, atoms["S"])) == {"x", "y", "z"}
+        assert _names(box_closure(q1, atoms["T"])) == {"x", "y", "z"}
+        assert _names(box_closure(q1, atoms["P"])) == {"x", "y", "z"}
+
+    def test_plus_subset_of_box(self):
+        for query in (figure2_q1(), figure4_query(), cycle_query_ac(3), kolaitis_pema_q0()):
+            plus = all_plus_closures(query)
+            box = all_box_closures(query)
+            for atom in query.atoms:
+                assert plus[atom] <= box[atom]
+
+    def test_closure_requires_member_atom(self):
+        q1 = figure2_q1()
+        foreign = fuxman_miller_cfree_example().atoms[0]
+        with pytest.raises(ValueError):
+            plus_closure(q1, foreign)
+
+
+class TestFigure2AttackGraph:
+    @pytest.fixture
+    def graph(self):
+        return AttackGraph(figure2_q1())
+
+    def test_attacks_from_f(self, graph):
+        atoms = {a.name: a for a in graph.query.atoms}
+        f = atoms["R"]
+        assert {t.name for t in graph.attacks_from(f)} == {"S", "T", "P"}
+
+    def test_h_attacks_only_g(self, graph):
+        atoms = {a.name: a for a in graph.query.atoms}
+        assert {t.name for t in graph.attacks_from(atoms["T"])} == {"S"}
+
+    def test_h_does_not_attack_f(self, graph):
+        atoms = {a.name: a for a in graph.query.atoms}
+        assert not graph.has_attack(atoms["T"], atoms["R"])
+
+    def test_g_to_f_is_the_only_strong_attack(self, graph):
+        strong = [a for a in graph.attacks if a.is_strong]
+        assert len(strong) == 1
+        assert strong[0].source.name == "S" and strong[0].target.name == "R"
+
+    def test_graph_is_cyclic(self, graph):
+        assert not graph.is_acyclic()
+        assert graph.topological_order() is None
+
+    def test_no_unattacked_atom_is_wrong_here(self, graph):
+        # q1 has an unattacked atom? F is attacked by G, G by F/H, H by F, I by F/G.
+        assert graph.unattacked_atoms() == []
+
+    def test_degrees(self, graph):
+        atoms = {a.name: a for a in graph.query.atoms}
+        assert graph.out_degree(atoms["R"]) == 3
+        assert graph.in_degree(atoms["S"]) == 2
+
+
+class TestOtherAttackGraphs:
+    def test_fm_query_is_acyclic(self):
+        graph = AttackGraph(fuxman_miller_cfree_example())
+        assert graph.is_acyclic()
+        order = graph.topological_order()
+        assert [a.name for a in order] == ["R", "S"]
+
+    def test_figure4_structure(self):
+        graph = AttackGraph(figure4_query())
+        atoms = {a.name: a for a in graph.query.atoms}
+        assert graph.unattacked_atoms() == [atoms["R0"]]
+        for first, second in (("R1", "R2"), ("R3", "R4"), ("R5", "R6")):
+            assert graph.is_weak_attack(atoms[first], atoms[second])
+            assert graph.is_weak_attack(atoms[second], atoms[first])
+
+    def test_ack_every_ring_atom_attacks_every_other_atom(self):
+        query = cycle_query_ac(3)
+        graph = AttackGraph(query)
+        sk = query.atom_with_relation("S3")
+        ring = [a for a in query.atoms if a is not sk]
+        for source in ring:
+            for target in query.atoms:
+                if source != target:
+                    assert graph.has_attack(source, target)
+        assert graph.attacks_from(sk) == []
+
+    def test_q0_strong_cycle(self):
+        graph = AttackGraph(kolaitis_pema_q0())
+        atoms = {a.name: a for a in graph.query.atoms}
+        assert graph.has_attack(atoms["R0"], atoms["S0"])
+        assert graph.has_attack(atoms["S0"], atoms["R0"])
+        assert graph.is_strong_attack(atoms["S0"], atoms["R0"]) or graph.is_strong_attack(
+            atoms["R0"], atoms["S0"]
+        )
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError):
+            AttackGraph(parse_query("R(x | y), R(y | z)"))
+
+    def test_join_tree_independence(self):
+        """Attack graphs are the same no matter which join tree is used (Wijsen 2012)."""
+        for query in (figure2_q1(), parse_query("A(x | y), B(y | z), D(y | w)")):
+            trees = all_join_trees(query, limit=20)
+            assert len(trees) >= 1
+            reference = AttackGraph(query, join_tree=trees[0]).to_edge_set()
+            for tree in trees[1:]:
+                assert AttackGraph(query, join_tree=tree).to_edge_set() == reference
+
+    def test_edge_set_rendering(self):
+        graph = AttackGraph(fuxman_miller_cfree_example())
+        assert graph.to_edge_set() == {("R", "S")}
+        assert "R" in graph.pretty()

@@ -1,0 +1,99 @@
+"""Tests for the brute-force oracle solver."""
+
+import pytest
+
+from repro.certainty import (
+    brute_force_with_certificate,
+    certain_brute_force,
+    certain_by_enumeration,
+)
+from repro.model import RelationSchema, UncertainDatabase
+from repro.model.repairs import is_repair
+from repro.query import ConjunctiveQuery, parse_query, satisfies
+from repro.workloads import figure1_database, figure1_query
+
+from tests.helpers import random_instance
+
+R = RelationSchema("R", 2, 1)
+S = RelationSchema("S", 2, 1)
+
+
+class TestBruteForce:
+    def test_figure1_not_certain(self):
+        assert not certain_brute_force(figure1_database(), figure1_query())
+
+    def test_empty_query_always_certain(self):
+        assert certain_brute_force(UncertainDatabase(), ConjunctiveQuery([]))
+        assert certain_brute_force(UncertainDatabase([R.fact("a", 1)]), ConjunctiveQuery([]))
+
+    def test_empty_database_not_certain_for_nonempty_query(self):
+        q = parse_query("R(x | y)")
+        assert not certain_brute_force(UncertainDatabase(), q)
+
+    def test_consistent_database_certain_iff_satisfied(self):
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase([schema["R"].fact("a", "b"), schema["S"].fact("b", "a")])
+        assert certain_brute_force(db, q)
+        db_miss = UncertainDatabase([schema["R"].fact("a", "b"), schema["S"].fact("b", "z")])
+        assert not certain_brute_force(db_miss, q)
+
+    def test_conflicting_witness_blocks_not_certain(self):
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [
+                schema["R"].fact("a", "b"),
+                schema["R"].fact("a", "zzz"),
+                schema["S"].fact("b", "a"),
+            ]
+        )
+        assert not certain_brute_force(db, q)
+
+    def test_two_disjoint_witnesses_cover_all_repairs(self):
+        """Each repair keeps one of the R-facts, but both S partners are present."""
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [
+                schema["R"].fact("a", "b1"),
+                schema["R"].fact("a", "b2"),
+                schema["S"].fact("b1", "a"),
+                schema["S"].fact("b2", "a"),
+            ]
+        )
+        assert certain_brute_force(db, q)
+
+    def test_certificate_is_a_falsifying_repair(self):
+        db = figure1_database()
+        q = figure1_query()
+        result = brute_force_with_certificate(db, q)
+        assert not result.certain
+        assert result.falsifying_repair is not None
+        assert is_repair(db, result.falsifying_repair)
+        assert not satisfies(result.falsifying_repair, q)
+
+    def test_certificate_absent_when_certain(self):
+        q = parse_query("R(x | y)")
+        schema = q.schema()
+        db = UncertainDatabase([schema["R"].fact("a", "b")])
+        result = brute_force_with_certificate(db, q)
+        assert result.certain and result.falsifying_repair is None
+
+    def test_agrees_with_plain_enumeration(self, rng):
+        q = parse_query("A(x | y), B(y | x)")
+        for _ in range(20):
+            db = random_instance(q, rng, domain_size=3, facts_per_relation=4)
+            assert certain_brute_force(db, q) == certain_by_enumeration(db, q)
+
+    def test_agrees_with_plain_enumeration_three_atoms(self, rng):
+        q = parse_query("A(x | y), B(y | z), D(z | x, w)")
+        for _ in range(10):
+            db = random_instance(q, rng, domain_size=2, facts_per_relation=3)
+            assert certain_brute_force(db, q) == certain_by_enumeration(db, q)
+
+    def test_bool_protocol(self):
+        q = parse_query("R(x | y)")
+        schema = q.schema()
+        db = UncertainDatabase([schema["R"].fact("a", "b")])
+        assert bool(brute_force_with_certificate(db, q))

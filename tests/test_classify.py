@@ -1,0 +1,127 @@
+"""Tests for the tractability classifier (repro.core)."""
+
+import pytest
+
+from repro.core import (
+    Classification,
+    ComplexityBand,
+    band_counts,
+    classify,
+    classify_corpus,
+    frontier_table,
+    summarize_frontier,
+)
+from repro.query import (
+    cycle_query_ac,
+    cycle_query_c,
+    figure2_q1,
+    figure4_query,
+    fuxman_miller_cfree_example,
+    kolaitis_pema_q0,
+    parse_query,
+    path_query,
+    star_query,
+)
+from repro.workloads import figure1_query
+
+
+class TestBandsOfPaperQueries:
+    def test_figure1_query_is_fo(self):
+        assert classify(figure1_query()).band is ComplexityBand.FO
+
+    def test_fm_query_is_fo(self):
+        assert classify(fuxman_miller_cfree_example()).band is ComplexityBand.FO
+
+    def test_path_and_star_queries_are_fo(self):
+        assert classify(path_query(4)).band is ComplexityBand.FO
+        assert classify(star_query(3)).band is ComplexityBand.FO
+
+    def test_q1_is_conp_complete(self):
+        classification = classify(figure2_q1())
+        assert classification.band is ComplexityBand.CONP_COMPLETE
+        assert classification.strong_cycle_witness is not None
+
+    def test_q0_is_conp_complete(self):
+        assert classify(kolaitis_pema_q0()).band is ComplexityBand.CONP_COMPLETE
+
+    def test_figure4_is_ptime_not_fo(self):
+        assert classify(figure4_query()).band is ComplexityBand.PTIME_NOT_FO
+        assert classify(figure4_query(include_r0=False)).band is ComplexityBand.PTIME_NOT_FO
+
+    def test_c2_is_ptime_not_fo(self):
+        assert classify(cycle_query_c(2)).band is ComplexityBand.PTIME_NOT_FO
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_ack_is_ptime_cycle_query(self, k):
+        classification = classify(cycle_query_ac(k))
+        assert classification.band is ComplexityBand.PTIME_CYCLE_QUERY
+        assert classification.cycle_parameter == k
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_ck_is_ptime_cycle_query(self, k):
+        classification = classify(cycle_query_c(k))
+        assert classification.band is ComplexityBand.PTIME_CYCLE_QUERY
+        assert classification.cycle_parameter == k
+
+    def test_self_join_unsupported(self):
+        assert classify(parse_query("R(x | y), R(y | z)")).band is ComplexityBand.UNSUPPORTED_SELF_JOIN
+
+    def test_cyclic_non_ck_unsupported(self):
+        q = parse_query("R(x | y, w), S(y | z, w), T(z | x, w)")
+        assert classify(q).band is ComplexityBand.UNSUPPORTED_CYCLIC_QUERY
+
+    def test_open_case_exists(self):
+        """A nonterminal weak cycle outside the AC(k) family is the open case."""
+        q = parse_query("R1(x | y), R2(y | x), S(x, y | z)")
+        classification = classify(q)
+        assert classification.band in (
+            ComplexityBand.OPEN_CONJECTURED_P,
+            ComplexityBand.PTIME_CYCLE_QUERY,
+        )
+
+    def test_non_boolean_query_classified_via_boolean_version(self):
+        q = parse_query("R(x | y), S(y | z)", free=["x"])
+        assert classify(q).band is ComplexityBand.FO
+
+
+class TestClassificationObject:
+    def test_band_properties(self):
+        assert ComplexityBand.FO.is_tractable and ComplexityBand.FO.is_first_order
+        assert ComplexityBand.PTIME_NOT_FO.is_tractable and not ComplexityBand.PTIME_NOT_FO.is_first_order
+        assert ComplexityBand.CONP_COMPLETE.is_intractable
+        assert not ComplexityBand.UNSUPPORTED_SELF_JOIN.is_supported
+
+    def test_explain_mentions_band(self):
+        explanation = classify(figure2_q1()).explain()
+        assert "CONP_COMPLETE" in explanation
+
+    def test_reasons_populated(self):
+        assert classify(figure4_query()).reasons
+
+    def test_fo_classification_exposes_peeling_order(self):
+        classification = classify(fuxman_miller_cfree_example())
+        assert any("peeling order" in reason for reason in classification.reasons)
+
+
+class TestFrontierHelpers:
+    def test_classify_corpus_and_counts(self):
+        queries = [figure2_q1(), figure4_query(), cycle_query_ac(3), fuxman_miller_cfree_example()]
+        classifications = classify_corpus(queries)
+        counts = band_counts(classifications)
+        assert counts[ComplexityBand.CONP_COMPLETE] == 1
+        assert counts[ComplexityBand.PTIME_NOT_FO] == 1
+        assert counts[ComplexityBand.PTIME_CYCLE_QUERY] == 1
+        assert counts[ComplexityBand.FO] == 1
+
+    def test_frontier_table_renders(self):
+        classifications = classify_corpus([figure2_q1(), fuxman_miller_cfree_example()])
+        table = frontier_table(classifications, labels=["q1", "fm"])
+        assert "q1" in table and "CONP_COMPLETE" in table
+
+    def test_frontier_table_label_mismatch(self):
+        with pytest.raises(ValueError):
+            frontier_table(classify_corpus([figure2_q1()]), labels=["a", "b"])
+
+    def test_summarize_frontier(self):
+        summary = summarize_frontier(classify_corpus([figure2_q1(), figure4_query()]))
+        assert "classified queries: 2" in summary

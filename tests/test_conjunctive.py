@@ -1,0 +1,168 @@
+"""Tests for repro.query.conjunctive and the parser / substitution utilities."""
+
+import pytest
+
+from repro.model.atoms import RelationSchema
+from repro.model.symbols import Constant, Variable
+from repro.query import (
+    ConjunctiveQuery,
+    QueryParseError,
+    ground_free_variables,
+    make_substitution,
+    parse_atom,
+    parse_fact,
+    parse_facts,
+    parse_query,
+    query,
+    rename_variables,
+    substitute_atom,
+    substitute_query,
+)
+
+R = RelationSchema("R", 2, 1)
+S = RelationSchema("S", 3, 2)
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConjunctiveQuery:
+    def test_set_semantics_deduplicates(self):
+        q = ConjunctiveQuery([R.atom(X, Y), R.atom(X, Y)])
+        assert len(q) == 1
+
+    def test_equality_is_set_based(self):
+        first = ConjunctiveQuery([R.atom(X, Y), S.atom(X, Y, Z)])
+        second = ConjunctiveQuery([S.atom(X, Y, Z), R.atom(X, Y)])
+        assert first == second and hash(first) == hash(second)
+
+    def test_variables_and_constants(self):
+        q = ConjunctiveQuery([R.atom(X, Constant("a"))])
+        assert q.variables == {X} and q.constants == {Constant("a")}
+
+    def test_self_join_detection(self):
+        assert ConjunctiveQuery([R.atom(X, Y), R.atom(Y, Z)]).has_self_join
+        assert not ConjunctiveQuery([R.atom(X, Y), S.atom(X, Y, Z)]).has_self_join
+
+    def test_without(self):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(X, Y, Z)])
+        assert len(q.without(R.atom(X, Y))) == 1
+
+    def test_restricted_to(self):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(X, Y, Z)])
+        sub = q.restricted_to([R.atom(X, Y)])
+        assert sub.atoms == (R.atom(X, Y),)
+        with pytest.raises(ValueError):
+            q.restricted_to([R.atom(Y, X)])
+
+    def test_free_variables_must_occur(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([R.atom(X, Y)], free_variables=[Z])
+
+    def test_boolean_and_free(self):
+        q = ConjunctiveQuery([R.atom(X, Y)], free_variables=[X])
+        assert not q.is_boolean
+        assert q.as_boolean().is_boolean
+
+    def test_key_fds(self):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z, X)])
+        fds = q.key_fds()
+        assert fds.implies([X], [Y])
+        assert fds.implies([Y, Z], [X])
+        excluded = q.key_fds(exclude=[R.atom(X, Y)])
+        assert not excluded.implies([X], [Y])
+
+    def test_atom_with_relation(self):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(X, Y, Z)])
+        assert q.atom_with_relation("R") == R.atom(X, Y)
+        with pytest.raises(KeyError):
+            q.atom_with_relation("T")
+
+    def test_empty_query(self):
+        q = ConjunctiveQuery([])
+        assert q.is_empty and q.is_boolean and q.variables == frozenset()
+
+    def test_query_helper(self):
+        assert len(query(R.atom(X, Y), S.atom(X, Y, Z))) == 2
+
+
+class TestParser:
+    def test_parse_atom_with_key_separator(self):
+        atom = parse_atom("R(x | y, z)")
+        assert atom.relation.arity == 3 and atom.relation.key_size == 1
+
+    def test_parse_atom_all_key_without_separator(self):
+        atom = parse_atom("S(x, y)")
+        assert atom.relation.is_all_key
+
+    def test_parse_constants(self):
+        atom = parse_atom("R('Rome' | 3)")
+        assert Constant("Rome") in atom.constants and Constant(3) in atom.constants
+
+    def test_parse_query_shares_schema(self):
+        q = parse_query("R(x | y), S(y | z)")
+        assert {a.name for a in q} == {"R", "S"}
+
+    def test_parse_query_with_free_variables(self):
+        q = parse_query("R(x | y)", free=["x"])
+        assert q.free_variables == (Variable("x"),)
+
+    def test_parse_query_signature_conflict(self):
+        schema = parse_query("R(x | y)").schema()
+        with pytest.raises(QueryParseError):
+            parse_query("R(x, y | z)", schema=schema)
+
+    def test_parse_fact(self):
+        fact = parse_fact("R('a' | 1)")
+        assert fact.values == ("a", 1)
+
+    def test_parse_fact_rejects_variables(self):
+        with pytest.raises(QueryParseError):
+            parse_fact("R(a | 1)")
+
+    def test_parse_facts_list(self):
+        facts = parse_facts(["R('a' | 1)", "R('b' | 2)"])
+        assert len(facts) == 2
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryParseError):
+            parse_atom("R(x")
+        with pytest.raises(QueryParseError):
+            parse_atom("R()")
+        with pytest.raises(QueryParseError):
+            parse_atom("R(x, $)")
+
+    def test_parse_empty_query(self):
+        assert parse_query("").is_empty
+
+
+class TestSubstitution:
+    def test_make_substitution_mismatch(self):
+        with pytest.raises(ValueError):
+            make_substitution([X], ["a", "b"])
+        with pytest.raises(ValueError):
+            make_substitution([X, X], ["a", "b"])
+
+    def test_substitute_atom_to_fact(self):
+        substitution = make_substitution([X, Y], ["a", "b"])
+        image = substitute_atom(R.atom(X, Y), substitution)
+        assert image.is_fact
+
+    def test_substitute_query(self):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z, X)])
+        substituted = substitute_query(q, make_substitution([X], ["a"]))
+        assert Variable("x") not in substituted.variables
+        assert Constant("a") in substituted.constants
+
+    def test_substitute_drops_free_variables(self):
+        q = ConjunctiveQuery([R.atom(X, Y)], free_variables=[X])
+        grounded = substitute_query(q, make_substitution([X], ["a"]))
+        assert grounded.free_variables == ()
+
+    def test_ground_free_variables(self):
+        q = ConjunctiveQuery([R.atom(X, Y)], free_variables=[X])
+        grounded = ground_free_variables(q, ["a"])
+        assert grounded.is_boolean and Constant("a") in grounded.constants
+
+    def test_rename_variables(self):
+        q = ConjunctiveQuery([R.atom(X, Y)])
+        renamed = rename_variables(q, {Y: Z})
+        assert Z in renamed.variables and Y not in renamed.variables

@@ -1,0 +1,120 @@
+"""Tests for repro.model.database and repro.model.schema."""
+
+import pytest
+
+from repro.model.atoms import RelationSchema
+from repro.model.database import UncertainDatabase
+from repro.model.schema import DatabaseSchema
+from repro.model.symbols import Constant
+
+R = RelationSchema("R", 2, 1)
+S = RelationSchema("S", 3, 2)
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        schema = DatabaseSchema([R])
+        assert schema["R"] is R
+        assert "R" in schema and "S" not in schema
+
+    def test_conflicting_signature_rejected(self):
+        schema = DatabaseSchema([R])
+        with pytest.raises(ValueError):
+            schema.add(RelationSchema("R", 3, 1))
+
+    def test_relation_creates_on_demand(self):
+        schema = DatabaseSchema()
+        created = schema.relation("T", 2, 1)
+        assert created.arity == 2 and "T" in schema
+
+    def test_relation_unknown_without_arity(self):
+        with pytest.raises(KeyError):
+            DatabaseSchema().relation("T")
+
+    def test_from_atoms(self):
+        schema = DatabaseSchema.from_atoms([R.atom("x", "y"), S.atom("x", "y", "z")])
+        assert set(schema.names()) == {"R", "S"}
+
+
+class TestUncertainDatabase:
+    def test_add_and_contains(self):
+        db = UncertainDatabase([R.fact("a", 1)])
+        assert R.fact("a", 1) in db and len(db) == 1
+
+    def test_add_is_idempotent(self):
+        db = UncertainDatabase()
+        db.add(R.fact("a", 1))
+        db.add(R.fact("a", 1))
+        assert len(db) == 1
+
+    def test_blocks_group_key_equal_facts(self):
+        db = UncertainDatabase([R.fact("a", 1), R.fact("a", 2), R.fact("b", 1)])
+        assert db.num_blocks() == 2
+        block_sizes = sorted(len(b) for b in db.blocks())
+        assert block_sizes == [1, 2]
+
+    def test_block_of(self):
+        db = UncertainDatabase([R.fact("a", 1), R.fact("a", 2)])
+        assert db.block_of(R.fact("a", 1)) == {R.fact("a", 1), R.fact("a", 2)}
+
+    def test_block_of_missing_fact_raises(self):
+        db = UncertainDatabase([R.fact("a", 1)])
+        with pytest.raises(KeyError):
+            db.block_of(R.fact("z", 9))
+
+    def test_consistency(self):
+        assert UncertainDatabase([R.fact("a", 1), R.fact("b", 1)]).is_consistent()
+        assert not UncertainDatabase([R.fact("a", 1), R.fact("a", 2)]).is_consistent()
+
+    def test_conflicting_blocks(self):
+        db = UncertainDatabase([R.fact("a", 1), R.fact("a", 2), R.fact("b", 1)])
+        conflicting = db.conflicting_blocks()
+        assert len(conflicting) == 1 and len(conflicting[0]) == 2
+
+    def test_active_domain(self):
+        db = UncertainDatabase([R.fact("a", 1)])
+        assert db.active_domain() == {Constant("a"), Constant(1)}
+
+    def test_discard_and_remove_block(self):
+        db = UncertainDatabase([R.fact("a", 1), R.fact("a", 2)])
+        db.discard(R.fact("a", 1))
+        assert len(db) == 1
+        db.remove_block(("R", (Constant("a"),)))
+        assert len(db) == 0
+
+    def test_relation_facts(self):
+        db = UncertainDatabase([R.fact("a", 1), S.fact("a", "b", 1)])
+        assert db.relation_facts("R") == {R.fact("a", 1)}
+
+    def test_restrict_to_relations(self):
+        db = UncertainDatabase([R.fact("a", 1), S.fact("a", "b", 1)])
+        restricted = db.restrict_to_relations(["S"])
+        assert len(restricted) == 1 and S.fact("a", "b", 1) in restricted
+
+    def test_copy_is_independent(self):
+        db = UncertainDatabase([R.fact("a", 1)])
+        clone = db.copy()
+        clone.add(R.fact("b", 2))
+        assert len(db) == 1 and len(clone) == 2
+
+    def test_union(self):
+        first = UncertainDatabase([R.fact("a", 1)])
+        second = UncertainDatabase([R.fact("b", 2)])
+        assert len(first.union(second)) == 2
+
+    def test_equality_is_by_facts(self):
+        assert UncertainDatabase([R.fact("a", 1)]) == UncertainDatabase([R.fact("a", 1)])
+
+    def test_schema_collects_relations(self):
+        db = UncertainDatabase([R.fact("a", 1), S.fact("a", "b", 1)])
+        assert set(db.schema.names()) == {"R", "S"}
+
+    def test_pretty_renders_blocks(self):
+        db = UncertainDatabase([R.fact("a", 1), R.fact("a", 2)])
+        rendered = db.pretty()
+        assert "R:" in rendered and "|" in rendered
+
+    def test_rejects_non_fact(self):
+        db = UncertainDatabase()
+        with pytest.raises(TypeError):
+            db.add(R.atom("x", "y"))

@@ -1,0 +1,112 @@
+"""Tests for repro.query.evaluation: query satisfaction, valuations, witnesses."""
+
+import pytest
+
+from repro.model.atoms import RelationSchema
+from repro.model.symbols import Constant, Variable
+from repro.query import (
+    ConjunctiveQuery,
+    FactIndex,
+    all_valuations,
+    answer_tuples,
+    find_valuation,
+    match_atom,
+    parse_query,
+    satisfies,
+    witnesses,
+)
+from repro.model.valuation import Valuation
+
+R = RelationSchema("R", 2, 1)
+S = RelationSchema("S", 2, 1)
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def join_db():
+    return [
+        R.fact("a", "b"),
+        R.fact("a", "c"),
+        R.fact("d", "d"),
+        S.fact("b", "e"),
+        S.fact("c", "e"),
+    ]
+
+
+class TestMatchAtom:
+    def test_binds_variables(self):
+        result = match_atom(R.atom(X, Y), R.fact("a", "b"), Valuation())
+        assert result is not None and result[X] == Constant("a")
+
+    def test_respects_existing_bindings(self):
+        bound = Valuation({X: "z"})
+        assert match_atom(R.atom(X, Y), R.fact("a", "b"), bound) is None
+
+    def test_constant_mismatch(self):
+        assert match_atom(R.atom(X, Constant("q")), R.fact("a", "b"), Valuation()) is None
+
+    def test_repeated_variable(self):
+        assert match_atom(R.atom(X, X), R.fact("a", "b"), Valuation()) is None
+        assert match_atom(R.atom(X, X), R.fact("d", "d"), Valuation()) is not None
+
+    def test_wrong_relation(self):
+        assert match_atom(R.atom(X, Y), S.fact("a", "b"), Valuation()) is None
+
+
+class TestSatisfaction:
+    def test_join_satisfied(self, join_db):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z)])
+        assert satisfies(join_db, q)
+
+    def test_join_not_satisfied(self):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z)])
+        assert not satisfies([R.fact("a", "b"), S.fact("zzz", "e")], q)
+
+    def test_empty_query_always_satisfied(self, join_db):
+        assert satisfies(join_db, ConjunctiveQuery([]))
+        assert satisfies([], ConjunctiveQuery([]))
+
+    def test_empty_db_never_satisfies_nonempty_query(self):
+        assert not satisfies([], ConjunctiveQuery([R.atom(X, Y)]))
+
+    def test_constants_in_query(self, join_db):
+        q = ConjunctiveQuery([R.atom(X, Constant("b"))])
+        assert satisfies(join_db, q)
+        assert not satisfies(join_db, ConjunctiveQuery([R.atom(X, Constant("zzz"))]))
+
+    def test_find_valuation_returns_witnessing_binding(self, join_db):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z)])
+        valuation = find_valuation(q, join_db)
+        assert valuation is not None
+        assert valuation.ground(q.atoms[0]) in join_db
+
+
+class TestAllValuationsAndWitnesses:
+    def test_all_valuations_count(self, join_db):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z)])
+        assert len(all_valuations(q, join_db)) == 2  # (a,b,e) and (a,c,e)
+
+    def test_witnesses_are_subsets_of_db(self, join_db):
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z)])
+        for witness in witnesses(q, join_db):
+            assert witness.issubset(set(join_db))
+
+    def test_witness_count_deduplicates(self, join_db):
+        q = ConjunctiveQuery([R.atom(X, Y)])
+        assert len(witnesses(q, join_db)) == 3
+
+    def test_reuse_fact_index(self, join_db):
+        index = FactIndex(join_db)
+        q = ConjunctiveQuery([R.atom(X, Y), S.atom(Y, Z)])
+        assert satisfies(index, q) or find_valuation(q, index) is not None
+
+
+class TestAnswerTuples:
+    def test_free_variable_answers(self, join_db):
+        q = parse_query("R(x | y), S(y | z)", free=["x", "z"])
+        answers = answer_tuples(q, join_db)
+        assert (Constant("a"), Constant("e")) in answers
+
+    def test_answer_tuples_requires_free_variables(self, join_db):
+        with pytest.raises(ValueError):
+            answer_tuples(ConjunctiveQuery([R.atom(X, Y)]), join_db)

@@ -1,0 +1,117 @@
+"""Tests for repro.query.families: the paper's canonical queries."""
+
+import pytest
+
+from repro.model.symbols import Variable
+from repro.query import (
+    all_named_queries,
+    cycle_query_ac,
+    cycle_query_c,
+    cycle_query_shape,
+    figure2_q1,
+    figure4_query,
+    fuxman_miller_cfree_example,
+    kolaitis_pema_q0,
+    parse_query,
+    path_query,
+    star_query,
+    two_atom_query,
+)
+
+
+class TestNamedQueries:
+    def test_q0_signatures(self):
+        q0 = kolaitis_pema_q0()
+        atoms = {a.name: a for a in q0.atoms}
+        assert (atoms["R0"].relation.arity, atoms["R0"].relation.key_size) == (2, 1)
+        assert (atoms["S0"].relation.arity, atoms["S0"].relation.key_size) == (3, 2)
+
+    def test_q1_has_four_atoms_and_a_constant(self):
+        q1 = figure2_q1()
+        assert len(q1) == 4 and len(q1.constants) == 1
+
+    def test_figure4_variants(self):
+        assert len(figure4_query()) == 7
+        assert len(figure4_query(include_r0=False)) == 6
+
+    def test_no_self_joins_in_named_queries(self):
+        for query in all_named_queries():
+            assert not query.has_self_join
+
+    def test_fm_example_two_atoms(self):
+        assert len(fuxman_miller_cfree_example()) == 2
+
+
+class TestCycleQueries:
+    def test_ck_structure(self):
+        q = cycle_query_c(4)
+        assert len(q) == 4
+        assert all(a.relation.arity == 2 and a.relation.key_size == 1 for a in q)
+        assert len(q.variables) == 4
+
+    def test_ack_adds_all_key_atom(self):
+        q = cycle_query_ac(3)
+        assert len(q) == 4
+        sk = q.atom_with_relation("S3")
+        assert sk.relation.is_all_key and sk.relation.arity == 3
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_query_c(1)
+        with pytest.raises(ValueError):
+            cycle_query_ac(1)
+
+
+class TestCycleQueryShape:
+    def test_detects_ck(self):
+        shape = cycle_query_shape(cycle_query_c(3))
+        assert shape is not None and shape.k == 3 and not shape.has_sk_atom
+
+    def test_detects_ack(self):
+        shape = cycle_query_shape(cycle_query_ac(4))
+        assert shape is not None and shape.k == 4 and shape.has_sk_atom
+
+    def test_detects_renamed_variant(self):
+        q = parse_query("E1(a | b), E2(b | a)")
+        shape = cycle_query_shape(q)
+        assert shape is not None and shape.k == 2
+
+    def test_ring_atom_order_follows_cycle(self):
+        shape = cycle_query_shape(cycle_query_c(3))
+        variables = shape.variables
+        for position, atom in enumerate(shape.ring_atoms):
+            assert atom.terms[0] == variables[position]
+            assert atom.terms[1] == variables[(position + 1) % 3]
+
+    def test_rejects_non_cycle(self):
+        assert cycle_query_shape(parse_query("R(x | y), S(y | z)")) is None
+        assert cycle_query_shape(figure2_q1()) is None
+        assert cycle_query_shape(fuxman_miller_cfree_example()) is None
+
+    def test_rejects_sk_with_wrong_order(self):
+        q = parse_query("R1(x | y), R2(y | x), S2(y, x)")
+        # S2 lists the variables in a valid rotation (y, x), so this *is* AC(2).
+        assert cycle_query_shape(q) is not None
+        q_bad = parse_query("R1(x | y), R2(y | z), R3(z | x), S3(x, z, y)")
+        assert cycle_query_shape(q_bad) is None
+
+
+class TestParametricFamilies:
+    def test_path_query(self):
+        q = path_query(3)
+        assert len(q) == 3 and len(q.variables) == 4
+
+    def test_star_query(self):
+        q = star_query(4)
+        assert len(q) == 4 and Variable("c") in q.variables
+
+    def test_two_atom_query_builder(self):
+        q = two_atom_query(["x"], ["y"], ["y"], ["x"])
+        assert len(q) == 2
+        assert {a.relation.key_size for a in q} == {1}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            path_query(0)
+        with pytest.raises(ValueError):
+            star_query(0)

@@ -1,0 +1,105 @@
+"""Tests for repro.fd: functional dependencies and attribute closure."""
+
+import pytest
+
+from repro.fd import FDSet, FunctionalDependency, fd
+from repro.model.symbols import Variable
+from repro.query import figure2_q1
+
+U, X, Y, Z = Variable("u"), Variable("x"), Variable("y"), Variable("z")
+
+
+class TestFunctionalDependency:
+    def test_equality_and_hash(self):
+        assert fd([X], [Y]) == fd([X], [Y])
+        assert fd([X], [Y]) != fd([Y], [X])
+        assert len({fd([X], [Y]), fd([X], [Y])}) == 1
+
+    def test_trivial(self):
+        assert fd([X, Y], [X]).is_trivial
+        assert not fd([X], [Y]).is_trivial
+
+    def test_rejects_non_variables(self):
+        with pytest.raises(TypeError):
+            FunctionalDependency(["x"], [Y])
+
+    def test_str(self):
+        assert str(fd([X], [Y, Z])) in ("x→yz", "x→zy")
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert FDSet([]).closure([X]) == {X}
+
+    def test_single_step(self):
+        assert FDSet([fd([X], [Y])]).closure([X]) == {X, Y}
+
+    def test_transitive_chain(self):
+        fds = FDSet([fd([X], [Y]), fd([Y], [Z])])
+        assert fds.closure([X]) == {X, Y, Z}
+
+    def test_composite_lhs_requires_all(self):
+        fds = FDSet([fd([X, Y], [Z])])
+        assert fds.closure([X]) == {X}
+        assert fds.closure([X, Y]) == {X, Y, Z}
+
+    def test_paper_example2_closures(self):
+        """The closures computed in Example 2 of the paper."""
+        q1 = figure2_q1()
+        atoms = {a.name: a for a in q1.atoms}
+        k_without_f = q1.key_fds(exclude=[atoms["R"]])
+        assert k_without_f.closure(atoms["R"].key_variables) == {U}
+        k_without_h = q1.key_fds(exclude=[atoms["T"]])
+        assert k_without_h.closure(atoms["T"].key_variables) == {X, Z}
+        k_without_i = q1.key_fds(exclude=[atoms["P"]])
+        assert k_without_i.closure(atoms["P"].key_variables) == {X, Y, Z}
+
+    def test_idempotent(self):
+        fds = FDSet([fd([X], [Y]), fd([Y], [Z])])
+        closure = fds.closure([X])
+        assert fds.closure(closure) == closure
+
+    def test_monotone(self):
+        fds = FDSet([fd([X], [Y])])
+        assert fds.closure([X]) <= fds.closure([X, Z])
+
+
+class TestImplication:
+    def test_implies(self):
+        fds = FDSet([fd([X], [Y]), fd([Y], [Z])])
+        assert fds.implies([X], [Z])
+        assert not fds.implies([Z], [X])
+
+    def test_implies_fd(self):
+        fds = FDSet([fd([X], [Y])])
+        assert fds.implies_fd(fd([X], [X, Y]))
+
+    def test_equivalent(self):
+        first = FDSet([fd([X], [Y, Z])])
+        second = FDSet([fd([X], [Y]), fd([X], [Z])])
+        assert first.equivalent(second)
+        assert not first.equivalent(FDSet([fd([X], [Y])]))
+
+
+class TestFDSetOperations:
+    def test_deduplication(self):
+        assert len(FDSet([fd([X], [Y]), fd([X], [Y])])) == 1
+
+    def test_union(self):
+        merged = FDSet([fd([X], [Y])]).union(FDSet([fd([Y], [Z])]))
+        assert merged.implies([X], [Z])
+
+    def test_attributes(self):
+        assert FDSet([fd([X], [Y])]).attributes() == {X, Y}
+
+    def test_minimal_cover_equivalent(self):
+        fds = FDSet([fd([X], [Y, Z]), fd([X, Y], [Z]), fd([Y], [Y])])
+        cover = fds.minimal_cover()
+        assert cover.equivalent(fds)
+        assert all(len(dependency.rhs) == 1 for dependency in cover)
+
+    def test_keys_of(self):
+        fds = FDSet([fd([X], [Y, Z])])
+        keys = fds.keys_of([X, Y, Z])
+        assert frozenset([X]) in keys
+        assert all(not frozenset([X]) < key for key in keys)

@@ -1,0 +1,123 @@
+"""Tests for repro.query.hypergraph and repro.query.jointree."""
+
+import pytest
+
+from repro.model.atoms import RelationSchema
+from repro.model.symbols import Variable
+from repro.query import (
+    ConjunctiveQuery,
+    NotAcyclicError,
+    all_join_trees,
+    build_join_tree,
+    cycle_query_ac,
+    cycle_query_c,
+    figure2_q1,
+    figure4_query,
+    is_acyclic,
+    parse_query,
+)
+from repro.query.hypergraph import QueryHypergraph
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestAcyclicity:
+    def test_single_atom_is_acyclic(self):
+        assert is_acyclic(parse_query("R(x | y)"))
+
+    def test_empty_query_is_acyclic(self):
+        assert is_acyclic(ConjunctiveQuery([]))
+
+    def test_two_atoms_always_acyclic(self):
+        assert is_acyclic(parse_query("R(x | y), S(y | x)"))
+
+    def test_path_is_acyclic(self):
+        assert is_acyclic(parse_query("R(x | y), S(y | z), T(z | w)"))
+
+    def test_triangle_is_cyclic(self):
+        assert not is_acyclic(parse_query("R(x | y), S(y | z), T(z | x)"))
+
+    def test_ck_cyclic_for_k_at_least_3(self):
+        assert is_acyclic(cycle_query_c(2))
+        assert not is_acyclic(cycle_query_c(3))
+        assert not is_acyclic(cycle_query_c(4))
+
+    def test_ack_always_acyclic(self):
+        for k in (2, 3, 4, 5):
+            assert is_acyclic(cycle_query_ac(k))
+
+    def test_paper_queries_acyclic(self):
+        assert is_acyclic(figure2_q1())
+        assert is_acyclic(figure4_query())
+
+    def test_gyo_reduction_steps(self):
+        hypergraph = QueryHypergraph(parse_query("R(x | y), S(y | z)"))
+        steps, remaining = hypergraph.gyo_reduction()
+        assert len(steps) == 1 and len(remaining) == 1
+
+    def test_disconnected_query_is_acyclic(self):
+        assert is_acyclic(parse_query("R(x | y), S(z | w)"))
+
+
+class TestJoinTree:
+    def test_build_raises_on_cyclic(self):
+        with pytest.raises(NotAcyclicError):
+            build_join_tree(parse_query("R(x | y), S(y | z), T(z | x)"))
+
+    def test_tree_has_n_minus_one_edges(self):
+        query = figure2_q1()
+        tree = build_join_tree(query)
+        assert len(tree.edges) == len(query) - 1
+
+    def test_connectedness_condition(self):
+        for query in (figure2_q1(), figure4_query(), cycle_query_ac(3), parse_query("R(x | y), S(y | z)")):
+            assert build_join_tree(query).satisfies_connectedness()
+
+    def test_single_atom_tree(self):
+        tree = build_join_tree(parse_query("R(x | y)"))
+        assert tree.edges == []
+
+    def test_disconnected_query_tree_connects_all_atoms(self):
+        tree = build_join_tree(parse_query("R(x | y), S(z | w)"))
+        assert len(tree.edges) == 1
+        assert tree.satisfies_connectedness()
+
+    def test_path_between_atoms(self):
+        query = figure2_q1()
+        tree = build_join_tree(query)
+        atoms = {a.name: a for a in query.atoms}
+        path = tree.path(atoms["T"], atoms["P"])
+        assert path[0] == atoms["T"] and path[-1] == atoms["P"]
+        assert all(atom in query.atoms for atom in path)
+
+    def test_path_labels_match_paper_example3(self):
+        """The path F –{x}– G –{x,y}– H used in Example 3."""
+        query = figure2_q1()
+        tree = build_join_tree(query)
+        atoms = {a.name: a for a in query.atoms}
+        labels = tree.path_labels(atoms["R"], atoms["T"])
+        label_names = [frozenset(v.name for v in label) for label in labels]
+        assert frozenset({"x"}) in label_names
+        assert frozenset({"x", "y"}) in label_names
+
+    def test_path_to_self(self):
+        query = figure2_q1()
+        tree = build_join_tree(query)
+        atom = query.atoms[0]
+        assert tree.path(atom, atom) == [atom]
+
+    def test_neighbors(self):
+        query = parse_query("R(x | y), S(y | z)")
+        tree = build_join_tree(query)
+        for atom in query.atoms:
+            assert len(tree.neighbors(atom)) == 1
+
+    def test_all_join_trees_small_query(self):
+        query = parse_query("R(x | y), S(y | z)")
+        trees = all_join_trees(query)
+        assert len(trees) == 1
+
+    def test_all_join_trees_respect_connectedness(self):
+        query = parse_query("A(x | y), B(y | z), D(y | w)")
+        for tree in all_join_trees(query):
+            assert tree.satisfies_connectedness()

@@ -1,0 +1,88 @@
+"""Tests for Lemma 1 purification."""
+
+import random
+
+import pytest
+
+from repro.certainty import certain_brute_force, is_purified, purify, relevant_facts
+from repro.model import RelationSchema, UncertainDatabase
+from repro.query import ConjunctiveQuery, parse_query
+from repro.workloads import figure6_database
+from repro.query.families import cycle_query_ac
+
+from tests.helpers import random_instance
+
+R = RelationSchema("R", 2, 1)
+S = RelationSchema("S", 2, 1)
+
+
+class TestPurify:
+    def test_example1_from_the_paper(self):
+        """{R(a,b), S(b,a), S(b,c)} is not purified for {R(x|y), S(y|x)}."""
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [schema["R"].fact("a", "b"), schema["S"].fact("b", "a"), schema["S"].fact("b", "c")]
+        )
+        assert not is_purified(db, q)
+        purified = purify(db, q)
+        assert is_purified(purified, q)
+
+    def test_example1_removes_the_whole_block(self):
+        """Purification removes block(S(b,c)) entirely, i.e. both S-facts."""
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [schema["R"].fact("a", "b"), schema["S"].fact("b", "a"), schema["S"].fact("b", "c")]
+        )
+        purified = purify(db, q)
+        assert schema["S"].fact("b", "c") not in purified
+        assert schema["S"].fact("b", "a") not in purified
+
+    def test_purified_database_unchanged(self):
+        db = figure6_database()
+        q = cycle_query_ac(3)
+        assert is_purified(db, q)
+        assert purify(db, q).facts == db.facts
+
+    def test_empty_query_keeps_everything(self):
+        db = UncertainDatabase([R.fact("a", 1)])
+        q = ConjunctiveQuery([])
+        assert purify(db, q).facts == db.facts
+
+    def test_no_witness_empties_database(self):
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase([schema["R"].fact("a", "b")])
+        assert len(purify(db, q)) == 0
+
+    def test_relevant_facts_subset(self):
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [schema["R"].fact("a", "b"), schema["S"].fact("b", "a"), schema["S"].fact("zzz", "q")]
+        )
+        relevant = relevant_facts(db, q)
+        assert schema["R"].fact("a", "b") in relevant
+        assert schema["S"].fact("zzz", "q") not in relevant
+
+    def test_purify_is_idempotent(self, rng):
+        q = parse_query("A(x | y), B(y | x)")
+        for _ in range(10):
+            db = random_instance(q, rng, domain_size=3, facts_per_relation=5)
+            once = purify(db, q)
+            assert purify(once, q).facts == once.facts
+
+    def test_purify_preserves_certainty(self, rng):
+        """Lemma 1: db ∈ CERTAINTY(q) ⇔ purify(db, q) ∈ CERTAINTY(q)."""
+        q = parse_query("A(x | y), B(y | x)")
+        for _ in range(15):
+            db = random_instance(q, rng, domain_size=3, facts_per_relation=5)
+            assert certain_brute_force(db, q) == certain_brute_force(purify(db, q), q)
+
+    def test_purify_does_not_mutate_input(self):
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase([schema["R"].fact("a", "b")])
+        purify(db, q)
+        assert len(db) == 1

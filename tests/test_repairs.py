@@ -1,0 +1,106 @@
+"""Tests for repro.model.repairs: enumeration, counting, possible worlds."""
+
+import random
+
+import pytest
+
+from repro.model.atoms import RelationSchema
+from repro.model.database import UncertainDatabase
+from repro.model.repairs import (
+    count_possible_worlds,
+    count_repairs,
+    enumerate_possible_worlds,
+    enumerate_repairs,
+    every_repair_satisfies,
+    falsifying_repair,
+    greedy_repair,
+    is_possible_world,
+    is_repair,
+    random_repair,
+    some_repair_satisfies,
+)
+
+R = RelationSchema("R", 2, 1)
+S = RelationSchema("S", 2, 1)
+
+
+@pytest.fixture
+def conflicted_db():
+    return UncertainDatabase(
+        [R.fact("a", 1), R.fact("a", 2), R.fact("b", 1), S.fact("x", 1), S.fact("x", 2)]
+    )
+
+
+class TestCounting:
+    def test_count_repairs_is_product_of_block_sizes(self, conflicted_db):
+        assert count_repairs(conflicted_db) == 2 * 1 * 2
+
+    def test_count_repairs_empty_db(self):
+        assert count_repairs(UncertainDatabase()) == 1
+
+    def test_count_possible_worlds(self, conflicted_db):
+        assert count_possible_worlds(conflicted_db) == 3 * 2 * 3
+
+    def test_enumeration_matches_count(self, conflicted_db):
+        assert len(list(enumerate_repairs(conflicted_db))) == count_repairs(conflicted_db)
+        assert len(list(enumerate_possible_worlds(conflicted_db))) == count_possible_worlds(conflicted_db)
+
+
+class TestRepairProperties:
+    def test_each_repair_is_a_repair(self, conflicted_db):
+        for repair in enumerate_repairs(conflicted_db):
+            assert is_repair(conflicted_db, repair)
+
+    def test_repairs_pick_one_fact_per_block(self, conflicted_db):
+        for repair in enumerate_repairs(conflicted_db):
+            assert len(repair) == conflicted_db.num_blocks()
+
+    def test_repairs_are_distinct(self, conflicted_db):
+        repairs = list(enumerate_repairs(conflicted_db))
+        assert len(set(repairs)) == len(repairs)
+
+    def test_empty_db_has_single_empty_repair(self):
+        assert list(enumerate_repairs(UncertainDatabase())) == [frozenset()]
+
+    def test_is_repair_rejects_subset_missing_block(self, conflicted_db):
+        assert not is_repair(conflicted_db, [R.fact("a", 1)])
+
+    def test_is_repair_rejects_key_conflict(self, conflicted_db):
+        candidate = [R.fact("a", 1), R.fact("a", 2), R.fact("b", 1), S.fact("x", 1)]
+        assert not is_repair(conflicted_db, candidate)
+
+    def test_is_repair_rejects_foreign_fact(self, conflicted_db):
+        candidate = [R.fact("zzz", 9), R.fact("b", 1), S.fact("x", 1)]
+        assert not is_repair(conflicted_db, candidate)
+
+    def test_possible_world_need_not_be_maximal(self, conflicted_db):
+        assert is_possible_world(conflicted_db, [R.fact("a", 1)])
+        assert is_possible_world(conflicted_db, [])
+        assert not is_possible_world(conflicted_db, [R.fact("a", 1), R.fact("a", 2)])
+
+    def test_every_repair_is_a_possible_world(self, conflicted_db):
+        for repair in enumerate_repairs(conflicted_db):
+            assert is_possible_world(conflicted_db, repair)
+
+
+class TestSamplingAndPredicates:
+    def test_random_repair_is_valid(self, conflicted_db):
+        rng = random.Random(1)
+        for _ in range(10):
+            assert is_repair(conflicted_db, random_repair(conflicted_db, rng))
+
+    def test_greedy_repair_prefers_high_score(self, conflicted_db):
+        repair = greedy_repair(conflicted_db, prefer=lambda f: f.values[1])
+        assert R.fact("a", 2) in repair and S.fact("x", 2) in repair
+
+    def test_every_and_some_repair_satisfies(self, conflicted_db):
+        assert every_repair_satisfies(conflicted_db, lambda r: len(r) == 3)
+        assert some_repair_satisfies(conflicted_db, lambda r: R.fact("a", 1) in r)
+        assert not every_repair_satisfies(conflicted_db, lambda r: R.fact("a", 1) in r)
+
+    def test_falsifying_repair_found(self, conflicted_db):
+        witness = falsifying_repair(conflicted_db, lambda r: R.fact("a", 1) in r)
+        assert witness is not None and R.fact("a", 1) not in witness
+
+    def test_falsifying_repair_none_when_always_true(self, conflicted_db):
+        assert falsifying_repair(conflicted_db, lambda r: True) is None

@@ -1,0 +1,104 @@
+"""Tests for repro.model.symbols: variables, constants, term helpers."""
+
+import pytest
+
+from repro.model.symbols import (
+    Constant,
+    Variable,
+    constants_of,
+    fresh_variables,
+    is_constant,
+    is_variable,
+    make_constant,
+    make_term,
+    variables_of,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_ordering(self):
+        assert Variable("a") < Variable("b")
+
+    def test_str(self):
+        assert str(Variable("abc")) == "abc"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            Variable(3)
+
+    def test_not_equal_to_constant_with_same_payload(self):
+        assert Variable("x") != Constant("x")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+
+    def test_values_of_different_types(self):
+        assert Constant("a") != Constant(("a",))
+
+    def test_tuple_values_allowed(self):
+        pair = Constant(("x", "y"))
+        assert pair.value == ("x", "y")
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(["list", "not", "hashable"])
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_ordering_falls_back_to_string(self):
+        assert (Constant(1) < Constant("a")) in (True, False)
+
+
+class TestHelpers:
+    def test_is_variable_and_is_constant(self):
+        assert is_variable(Variable("x")) and not is_variable(Constant(1))
+        assert is_constant(Constant(1)) and not is_constant(Variable("x"))
+
+    def test_variables_of(self):
+        terms = [Variable("x"), Constant(1), Variable("y"), Variable("x")]
+        assert variables_of(terms) == {Variable("x"), Variable("y")}
+
+    def test_constants_of(self):
+        terms = [Variable("x"), Constant(1), Constant("a")]
+        assert constants_of(terms) == {Constant(1), Constant("a")}
+
+    def test_make_term_string_is_variable(self):
+        assert make_term("x") == Variable("x")
+
+    def test_make_term_number_is_constant(self):
+        assert make_term(5) == Constant(5)
+
+    def test_make_term_passthrough(self):
+        v = Variable("x")
+        assert make_term(v) is v
+
+    def test_make_constant_from_string(self):
+        assert make_constant("Rome") == Constant("Rome")
+
+    def test_make_constant_rejects_variable(self):
+        with pytest.raises(TypeError):
+            make_constant(Variable("x"))
+
+    def test_fresh_variables_count_and_distinctness(self):
+        fresh = fresh_variables("w", 4)
+        assert len(fresh) == 4 and len(set(fresh)) == 4
+
+    def test_fresh_variables_avoid_collisions(self):
+        taken = [Variable("w0"), Variable("w1")]
+        fresh = fresh_variables("w", 3, avoid=taken)
+        assert not (set(fresh) & set(taken))

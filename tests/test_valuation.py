@@ -1,0 +1,91 @@
+"""Tests for repro.model.valuation."""
+
+import pytest
+
+from repro.model.atoms import Fact, RelationSchema
+from repro.model.symbols import Constant, Variable
+from repro.model.valuation import EMPTY_VALUATION, Valuation
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+R = RelationSchema("R", 3, 1)
+
+
+class TestConstruction:
+    def test_from_mapping_coerces_values(self):
+        valuation = Valuation({X: "a", Y: 2})
+        assert valuation[X] == Constant("a") and valuation[Y] == Constant(2)
+
+    def test_rejects_non_variable_keys(self):
+        with pytest.raises(TypeError):
+            Valuation({"x": "a"})
+
+    def test_from_pairs(self):
+        valuation = Valuation.from_pairs([(X, "a"), (Y, "b")])
+        assert len(valuation) == 2
+
+    def test_empty_constant(self):
+        assert len(EMPTY_VALUATION) == 0
+
+
+class TestOperations:
+    def test_extend_adds_binding(self):
+        valuation = Valuation({X: "a"}).extend(Y, "b")
+        assert valuation[Y] == Constant("b")
+
+    def test_extend_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Valuation({X: "a"}).extend(X, "b")
+
+    def test_extend_same_value_ok(self):
+        assert Valuation({X: "a"}).extend(X, "a")[X] == Constant("a")
+
+    def test_merge_compatible(self):
+        merged = Valuation({X: "a"}).merge(Valuation({Y: "b"}))
+        assert merged is not None and merged[Y] == Constant("b")
+
+    def test_merge_conflict_returns_none(self):
+        assert Valuation({X: "a"}).merge(Valuation({X: "b"})) is None
+
+    def test_restrict(self):
+        valuation = Valuation({X: "a", Y: "b"}).restrict([X])
+        assert X in valuation and Y not in valuation
+
+    def test_override(self):
+        valuation = Valuation({X: "a"}).override({X: "c", Y: "d"})
+        assert valuation[X] == Constant("c") and valuation[Y] == Constant("d")
+
+    def test_domain(self):
+        assert Valuation({X: "a", Y: "b"}).domain() == {X, Y}
+
+
+class TestApplication:
+    def test_apply_term_identity_on_constants(self):
+        assert Valuation({X: "a"}).apply_term(Constant(9)) == Constant(9)
+
+    def test_apply_term_identity_on_unbound_variables(self):
+        assert Valuation({X: "a"}).apply_term(Y) == Y
+
+    def test_apply_atom_partial(self):
+        atom = R.atom(X, Y, 1)
+        image = Valuation({X: "a"}).apply_atom(atom)
+        assert image.variables == {Y}
+
+    def test_ground_full(self):
+        fact = Valuation({X: "a", Y: "b"}).ground(R.atom(X, Y, 1))
+        assert isinstance(fact, Fact)
+        assert fact.values == ("a", "b", 1)
+
+    def test_ground_missing_binding_raises(self):
+        with pytest.raises(ValueError):
+            Valuation({X: "a"}).ground(R.atom(X, Y, 1))
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Valuation({X: "a"}) == Valuation({X: "a"})
+        assert Valuation({X: "a"}) != Valuation({X: "b"})
+        assert len({Valuation({X: "a"}), Valuation({X: "a"})}) == 1
+
+    def test_items_iteration(self):
+        valuation = Valuation({X: "a", Y: "b"})
+        assert dict(valuation.items()) == {X: Constant("a"), Y: Constant("b")}
