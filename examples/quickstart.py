@@ -9,6 +9,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro import (
+    CertaintySession,
     UncertainDatabase,
     certain_answers,
     classify,
@@ -56,6 +57,19 @@ def main() -> None:
     answers = certain_answers(db, open_query)
     names = sorted(value.value for (value,) in answers)
     print("employees certainly located in Mons:", names)
+
+    # 4. Serving repeated queries: a CertaintySession compiles each query
+    #    once (classification + solver dispatch, cached in an LRU plan
+    #    cache) and keeps a fact index that is updated incrementally as the
+    #    database mutates — no re-classification or re-indexing per call.
+    with CertaintySession(db) as session:
+        print("\nsession CERTAINTY(q):", session.is_certain(query))
+        # Ingest a correction: bob's department conflict is resolved.
+        db.discard(schema["Emp"].fact("bob", "net"))
+        answers = session.certain_answers(open_query)
+        names = sorted(value.value for (value,) in answers)
+        print("after resolving bob's conflict, certainly in Mons:", names)
+        print("plan cache:", session.plan_cache.stats)
 
 
 if __name__ == "__main__":

@@ -1,3 +1,43 @@
-from setuptools import setup
+"""Packaging for the Wijsen PODS 2013 CERTAINTY reproduction.
 
-setup()
+The version is read from ``src/repro/__init__.py`` (single source of truth)
+without importing the package, so building does not require dependencies.
+"""
+
+import pathlib
+import re
+
+from setuptools import find_packages, setup
+
+_INIT = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(
+    r'^__version__\s*=\s*"([^"]+)"', _INIT.read_text(encoding="utf-8"), re.MULTILINE
+).group(1)
+
+setup(
+    name="repro-certainty-wijsen13",
+    version=_VERSION,
+    description=(
+        "Certain conjunctive query answering over uncertain databases: "
+        "a reproduction of Wijsen, 'Charting the Tractability Frontier of "
+        "Certain Conjunctive Query Answering' (PODS 2013), with a "
+        "compiled-plan certainty engine"
+    ),
+    long_description=(pathlib.Path(__file__).parent / "PAPER.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -26,6 +26,25 @@ Quickstart
 'FO'
 >>> is_certain(db, q)
 False
+
+Sessions and compiled plans
+---------------------------
+For repeated queries against one (possibly mutating) database, the engine
+subsystem separates one-time query compilation from per-database execution.
+A :class:`CertaintySession` keeps an incrementally updated fact index over
+the database (wired into its observer hooks) and compiles queries into
+cached :class:`QueryPlan` objects, so neither classification nor indexing
+is redone per call — and ``session.certain_answers(q)`` classifies the
+query shape once for all candidate groundings:
+
+>>> from repro import CertaintySession
+>>> with CertaintySession(db) as session:
+...     session.is_certain(q)
+False
+
+The one-shot ``solve``/``is_certain``/``certain_answers`` keep their
+signatures and delegate to the same engine through a process-wide plan
+cache.
 """
 
 from .attacks import Attack, AttackCycle, AttackGraph
@@ -43,7 +62,22 @@ from .certainty import (
     solve,
     theorem2_reduction,
 )
-from .core import Classification, ComplexityBand, classify, classify_corpus, frontier_table
+from .core import (
+    Classification,
+    ComplexityBand,
+    classify,
+    classify_cached,
+    classify_corpus,
+    frontier_table,
+)
+from .engine import (
+    CacheStats,
+    CertaintySession,
+    PlanCache,
+    QueryPlan,
+    compile_plan,
+    default_plan_cache,
+)
 from .fo import certain_rewriting, evaluate_sentence
 from .model import (
     Atom,
@@ -80,7 +114,9 @@ __all__ = [
     "AttackCycle",
     "AttackGraph",
     "BIDDatabase",
+    "CacheStats",
     "CertaintyOutcome",
+    "CertaintySession",
     "Classification",
     "ComplexityBand",
     "ConjunctiveQuery",
@@ -89,6 +125,8 @@ __all__ = [
     "Fact",
     "IntractableQueryError",
     "JoinTree",
+    "PlanCache",
+    "QueryPlan",
     "RelationSchema",
     "UncertainDatabase",
     "UnsupportedQueryError",
@@ -103,7 +141,10 @@ __all__ = [
     "certain_rewriting",
     "certain_terminal_cycles",
     "classify",
+    "classify_cached",
     "classify_corpus",
+    "compile_plan",
+    "default_plan_cache",
     "count_repairs",
     "cycle_query_ac",
     "cycle_query_c",

@@ -26,6 +26,7 @@ from ..model.database import BlockKey, UncertainDatabase
 from ..model.repairs import enumerate_repairs
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import satisfies, witnesses
+from .context import SolverContext
 
 
 class BruteForceResult:
@@ -51,19 +52,29 @@ def certain_by_enumeration(db: UncertainDatabase, query: ConjunctiveQuery) -> bo
     return all(satisfies(repair, query) for repair in enumerate_repairs(db))
 
 
-def certain_brute_force(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+def certain_brute_force(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    context: Optional[SolverContext] = None,
+) -> bool:
     """Decide ``db ∈ CERTAINTY(q)`` with the pruned witness-based search."""
-    return brute_force_with_certificate(db, query).certain
+    return brute_force_with_certificate(db, query, context=context).certain
 
 
 def brute_force_with_certificate(
     db: UncertainDatabase,
     query: ConjunctiveQuery,
+    context: Optional[SolverContext] = None,
 ) -> BruteForceResult:
-    """Decide certainty and, when the answer is "no", exhibit a falsifying repair."""
+    """Decide certainty and, when the answer is "no", exhibit a falsifying repair.
+
+    *context*, when given, supplies a shared fact index over *db* so the
+    witness computation avoids re-indexing the database.
+    """
     if query.is_empty:
         return BruteForceResult(True, None)
-    witness_sets = witnesses(query, db.facts)
+    shared_index = context.index_for(db) if context is not None else None
+    witness_sets = witnesses(query, shared_index if shared_index is not None else db.facts)
     if not witness_sets:
         # No repair can satisfy the query; any repair falsifies it.
         repair = next(enumerate_repairs(db))

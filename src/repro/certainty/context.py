@@ -1,0 +1,85 @@
+"""Shared precomputed state for the certainty solvers.
+
+Every solver in this package historically rebuilt its own structures from
+scratch on each call: attack graphs of (residual) queries, cycle-shape
+detection, and fact indexes over the database.  A :class:`SolverContext`
+bundles those structures so they can be computed once — by the engine's
+``QueryPlan``/``CertaintySession`` layer — and shared across many calls.
+
+All solver entry points accept ``context=None`` and behave exactly as
+before when no context is given, so the one-shot APIs are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..attacks.graph import AttackGraph
+from ..core.classify import Classification
+from ..model.database import UncertainDatabase
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import FactIndex
+from ..query.families import CycleQueryShape, cycle_query_shape
+
+#: Cap on the number of memoised attack graphs / cycle shapes per context.
+#: Residual queries produced by the peeling recursion are distinct per
+#: grounding, so a long-lived session context could otherwise grow without
+#: bound; when the cap is hit the memo is simply dropped and rebuilt.
+_MEMO_CAP = 4096
+
+_SHAPE_MISS = object()
+
+
+class SolverContext:
+    """Precomputed, reusable state threaded through the certainty solvers.
+
+    Parameters
+    ----------
+    db:
+        The *root* database the context's shared :class:`FactIndex` covers.
+        Solvers work on purified copies internally; the shared index is only
+        substituted when a solver is asked about this exact database object.
+    index:
+        An up-to-date fact index over *db* (typically the incrementally
+        maintained index of a ``CertaintySession``).
+    classification:
+        The classification of the query being solved, when already known.
+    """
+
+    def __init__(
+        self,
+        db: Optional[UncertainDatabase] = None,
+        index: Optional[FactIndex] = None,
+        classification: Optional[Classification] = None,
+    ) -> None:
+        self.db = db
+        self.index = index
+        self.classification = classification
+        self._graphs: Dict[ConjunctiveQuery, AttackGraph] = {}
+        self._shapes: Dict[ConjunctiveQuery, Optional[CycleQueryShape]] = {}
+
+    def attack_graph(self, query: ConjunctiveQuery) -> AttackGraph:
+        """The attack graph of *query*, memoised across solver calls."""
+        graph = self._graphs.get(query)
+        if graph is None:
+            if len(self._graphs) >= _MEMO_CAP:
+                self._graphs.clear()
+            graph = AttackGraph(query)
+            self._graphs[query] = graph
+        return graph
+
+    def cycle_shape(self, query: ConjunctiveQuery) -> Optional[CycleQueryShape]:
+        """The ``C(k)``/``AC(k)`` shape of *query* (or ``None``), memoised."""
+        shape = self._shapes.get(query, _SHAPE_MISS)
+        if shape is _SHAPE_MISS:
+            if len(self._shapes) >= _MEMO_CAP:
+                self._shapes.clear()
+            shape = cycle_query_shape(query)
+            self._shapes[query] = shape
+        return shape  # type: ignore[return-value]
+
+    def index_for(self, db: UncertainDatabase) -> Optional[FactIndex]:
+        """The shared index when *db* is the context's root database."""
+        if self.db is not None and db is self.db:
+            return self.index
+        return None

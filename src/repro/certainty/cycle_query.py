@@ -32,6 +32,7 @@ from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.families import CycleQueryShape, cycle_query_shape
+from .context import SolverContext
 from .exceptions import UnsupportedQueryError
 from .purify import purify
 
@@ -39,12 +40,20 @@ from .purify import purify
 _Node = Tuple[int, Constant]
 
 
-def certain_cycle_query(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
-    """Decide ``db ∈ CERTAINTY(q)`` for a query of the ``C(k)``/``AC(k)`` shape."""
-    shape = cycle_query_shape(query)
+def certain_cycle_query(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    context: Optional[SolverContext] = None,
+) -> bool:
+    """Decide ``db ∈ CERTAINTY(q)`` for a query of the ``C(k)``/``AC(k)`` shape.
+
+    *context* optionally supplies the memoised cycle shape and a shared fact
+    index for purification.
+    """
+    shape = context.cycle_shape(query) if context is not None else cycle_query_shape(query)
     if shape is None:
         raise UnsupportedQueryError(f"{query} is not of the C(k)/AC(k) shape of Definition 8")
-    purified = purify(db, query)
+    purified = purify(db, query, index=context.index_for(db) if context is not None else None)
     if not purified:
         return False
     graph = _FactGraph(purified, shape)

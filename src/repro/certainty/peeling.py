@@ -36,6 +36,7 @@ from ..model.database import UncertainDatabase
 from ..model.symbols import Constant, Variable, is_constant, is_variable
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.substitution import substitute_atom, substitute_query
+from .context import SolverContext
 from .exceptions import UnsupportedQueryError
 from .purify import purify
 
@@ -90,22 +91,29 @@ def peel_certain(
     query: ConjunctiveQuery,
     base_case: BaseCaseHandler,
     _purified: bool = False,
+    context: Optional[SolverContext] = None,
 ) -> bool:
     """Decide ``db ∈ CERTAINTY(q)`` by the unattacked-atom recursion.
 
     *base_case* is invoked when the attack graph of the (residual) query has
     no unattacked atom; it receives the purified database, the residual
-    query, and its attack graph.
+    query, and its attack graph.  *context*, when given, supplies memoised
+    attack graphs (residual queries repeat across blocks) and a shared fact
+    index for the initial purification.
     """
     if query.has_self_join:
         raise UnsupportedQueryError("the peeling recursion requires a self-join-free query")
     if query.is_empty:
         return True
-    current = db if _purified else purify(db, query)
+    if _purified:
+        current = db
+    else:
+        index = context.index_for(db) if context is not None else None
+        current = purify(db, query, index=index)
     if not current:
         return False
 
-    graph = AttackGraph(query)
+    graph = context.attack_graph(query) if context is not None else AttackGraph(query)
     unattacked = graph.unattacked_atoms()
     if not unattacked:
         return base_case(current, query, graph)
@@ -138,7 +146,7 @@ def peel_certain(
             residual_query = substitute_query(
                 substitute_query(residual, key_binding), full_binding
             )
-            if not peel_certain(candidate_db, residual_query, base_case):
+            if not peel_certain(candidate_db, residual_query, base_case, context=context):
                 success = False
                 break
         if success:

@@ -15,7 +15,7 @@ graph lies on a witness cycle).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set
+from typing import FrozenSet, Optional, Set
 
 from ..model.atoms import Fact
 from ..model.database import UncertainDatabase
@@ -23,9 +23,18 @@ from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import FactIndex, iterate_valuations
 
 
-def relevant_facts(db: UncertainDatabase, query: ConjunctiveQuery) -> FrozenSet[Fact]:
-    """The facts of *db* that occur in at least one witness ``θ(q) ⊆ db``."""
-    index = FactIndex(db.facts)
+def relevant_facts(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    index: Optional[FactIndex] = None,
+) -> FrozenSet[Fact]:
+    """The facts of *db* that occur in at least one witness ``θ(q) ⊆ db``.
+
+    When *index* is given it must be an up-to-date index over the facts of
+    *db* (it is then used instead of building a fresh one).
+    """
+    if index is None:
+        index = FactIndex(db.facts)
     used: Set[Fact] = set()
     for valuation in iterate_valuations(query, index):
         for atom in query.atoms:
@@ -33,19 +42,28 @@ def relevant_facts(db: UncertainDatabase, query: ConjunctiveQuery) -> FrozenSet[
     return frozenset(used)
 
 
-def purify(db: UncertainDatabase, query: ConjunctiveQuery) -> UncertainDatabase:
+def purify(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    index: Optional[FactIndex] = None,
+) -> UncertainDatabase:
     """Return a purified copy of *db* relative to *query* (Lemma 1).
 
     The loop removes, as long as one exists, the block of a fact that is not
     part of any witness, and repeats (removals can cascade because witnesses
     may lose their support).  Certainty is preserved:
     ``purify(db, q) ∈ CERTAINTY(q)  ⇔  db ∈ CERTAINTY(q)``.
+
+    *index*, when given, must cover exactly the facts of *db*; it is used
+    for the first witness sweep only (later sweeps run on a shrunk copy).
     """
     current = db.copy()
     if query.is_empty:
         return current
+    first_sweep = True
     while True:
-        used = relevant_facts(current, query)
+        used = relevant_facts(current, query, index if first_sweep else None)
+        first_sweep = False
         stale_blocks = {
             fact.block_key for fact in current.facts if fact not in used
         }

@@ -14,29 +14,40 @@ are cross-checked in the test suite.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..attacks.graph import AttackGraph
 from ..model.database import UncertainDatabase
 from ..query.conjunctive import ConjunctiveQuery
+from .context import SolverContext
 from .exceptions import UnsupportedQueryError
 from .peeling import empty_base_case, peel_certain
 
 
-def is_fo_expressible(query: ConjunctiveQuery) -> bool:
+def is_fo_expressible(
+    query: ConjunctiveQuery, context: Optional[SolverContext] = None
+) -> bool:
     """``True`` iff the attack graph of *query* is acyclic (Theorem 1)."""
     if query.has_self_join:
         raise UnsupportedQueryError("FO classification requires a self-join-free query")
     if query.is_empty:
         return True
-    return AttackGraph(query).is_acyclic()
+    graph = context.attack_graph(query) if context is not None else AttackGraph(query)
+    return graph.is_acyclic()
 
 
-def certain_fo(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
+def certain_fo(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    context: Optional[SolverContext] = None,
+) -> bool:
     """Decide ``db ∈ CERTAINTY(q)`` for a query with an acyclic attack graph.
 
     Raises :class:`UnsupportedQueryError` when the attack graph is cyclic.
+    *context* optionally supplies precomputed attack graphs and fact indexes.
     """
-    if not is_fo_expressible(query):
+    if not is_fo_expressible(query, context=context):
         raise UnsupportedQueryError(
             f"the attack graph of {query} is cyclic; CERTAINTY(q) is not first-order expressible"
         )
-    return peel_certain(db, query, empty_base_case)
+    return peel_certain(db, query, empty_base_case, context=context)

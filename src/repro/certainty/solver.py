@@ -18,24 +18,22 @@ unsupported           brute force, only with ``allow_exponential=True``
 Non-Boolean queries (with free variables) are answered by
 :func:`certain_answers`, which grounds the free variables with every
 candidate answer of the full database and keeps the certain ones.
+
+All three entry points keep their historical signatures but delegate to the
+:mod:`repro.engine` subsystem: queries are compiled once into cached
+``QueryPlan`` objects (classification + dispatch), and ``certain_answers``
+runs through a transient ``CertaintySession`` so the query shape is
+classified once instead of once per candidate tuple.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Optional, Set, Tuple
 
-from ..core.classify import Classification, classify
-from ..core.complexity import ComplexityBand
+from ..core.classify import Classification
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
-from ..query.evaluation import answer_tuples
-from ..query.substitution import ground_free_variables
-from .brute_force import certain_brute_force
-from .cycle_query import certain_cycle_query
-from .exceptions import IntractableQueryError, UnsupportedQueryError
-from .rewriting import certain_fo
-from .terminal_cycles import certain_terminal_cycles
 
 
 class CertaintyOutcome:
@@ -62,28 +60,23 @@ def solve(
     allow_exponential: bool = False,
     classification: Optional[Classification] = None,
 ) -> CertaintyOutcome:
-    """Decide ``db ∈ CERTAINTY(q)`` and report which algorithm was used."""
+    """Decide ``db ∈ CERTAINTY(q)`` and report which algorithm was used.
+
+    Delegates to the engine: the query is compiled into a :class:`QueryPlan`
+    through the process-wide plan cache, so repeated calls with the same
+    query skip classification.  An explicitly provided *classification*
+    bypasses the cache and compiles an ad-hoc plan from it.
+    """
+    # Imported lazily: repro.engine imports this module for CertaintyOutcome.
+    from ..engine.cache import default_plan_cache
+    from ..engine.plan import compile_plan
+
     boolean = query.as_boolean() if not query.is_boolean else query
-    classification = classification if classification is not None else classify(boolean)
-    band = classification.band
-    if band is ComplexityBand.FO:
-        return CertaintyOutcome(certain_fo(db, boolean), "fo-rewriting", classification)
-    if band is ComplexityBand.PTIME_NOT_FO:
-        return CertaintyOutcome(
-            certain_terminal_cycles(db, boolean), "theorem3-terminal-cycles", classification
-        )
-    if band is ComplexityBand.PTIME_CYCLE_QUERY:
-        return CertaintyOutcome(certain_cycle_query(db, boolean), "theorem4-cycle-query", classification)
-    if not allow_exponential:
-        if band is ComplexityBand.CONP_COMPLETE:
-            raise IntractableQueryError(
-                f"CERTAINTY({boolean}) is coNP-complete; pass allow_exponential=True to use brute force"
-            )
-        raise UnsupportedQueryError(
-            f"no polynomial algorithm is known for {boolean} ({band.name}); "
-            "pass allow_exponential=True to use brute force"
-        )
-    return CertaintyOutcome(certain_brute_force(db, boolean), "brute-force", classification)
+    if classification is not None:
+        plan = compile_plan(boolean, classification=classification)
+    else:
+        plan = default_plan_cache().get_or_compile(boolean)
+    return plan.execute(db, allow_exponential=allow_exponential)
 
 
 def is_certain(
@@ -105,17 +98,15 @@ def certain_answers(
     A tuple ``t`` is a certain answer when the Boolean grounding
     ``q[free ↦ t]`` is certain.  Candidate tuples are the answers over the
     whole (inconsistent) database — certain answers are always among them.
+
+    Delegates to a transient :class:`~repro.engine.CertaintySession`, which
+    classifies the query shape once and reuses one shared fact index for
+    candidate enumeration and every grounding (the historical loop
+    re-classified and re-indexed per candidate tuple).
     """
+    from ..engine.session import CertaintySession
+
     if query.is_boolean:
         raise ValueError("certain_answers expects a query with free variables")
-    candidates = answer_tuples(query, db.facts)
-    certain: Set[Tuple[Constant, ...]] = set()
-    classification: Optional[Classification] = None
-    for candidate in sorted(candidates, key=lambda t: tuple(str(c) for c in t)):
-        grounded = ground_free_variables(query, [c.value for c in candidate])
-        # Each grounding has the same shape, but constants can change the
-        # attack graph, so classify per grounding (cheap: queries are small).
-        outcome = solve(db, grounded, allow_exponential=allow_exponential)
-        if outcome.certain:
-            certain.add(candidate)
-    return certain
+    with CertaintySession(db, allow_exponential=allow_exponential) as session:
+        return session.certain_answers(query)

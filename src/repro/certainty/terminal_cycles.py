@@ -20,7 +20,7 @@ the proof of Theorem 3:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..attacks.cycles import (
     all_cycles_terminal,
@@ -33,13 +33,14 @@ from ..model.database import UncertainDatabase
 from ..model.symbols import Constant, Variable
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import satisfies
+from .context import SolverContext
 from .exceptions import UnsupportedQueryError
 from .pair_solver import certain_two_atom
 from .peeling import match_full_atom, peel_certain
 from .purify import purify
 
 
-def applies_to(query: ConjunctiveQuery) -> bool:
+def applies_to(query: ConjunctiveQuery, context: Optional[SolverContext] = None) -> bool:
     """``True`` iff Theorem 3 covers the query (weak terminal cycles only).
 
     Queries with an *acyclic* attack graph are also covered (they simply
@@ -47,17 +48,24 @@ def applies_to(query: ConjunctiveQuery) -> bool:
     """
     if query.has_self_join or query.is_empty:
         return not query.has_self_join
-    graph = AttackGraph(query)
+    graph = context.attack_graph(query) if context is not None else AttackGraph(query)
     return not has_strong_cycle(graph) and all_cycles_terminal(graph)
 
 
-def certain_terminal_cycles(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:
-    """Decide ``db ∈ CERTAINTY(q)`` for a query with weak terminal cycles only."""
-    if not applies_to(query):
+def certain_terminal_cycles(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    context: Optional[SolverContext] = None,
+) -> bool:
+    """Decide ``db ∈ CERTAINTY(q)`` for a query with weak terminal cycles only.
+
+    *context* optionally supplies precomputed attack graphs and fact indexes.
+    """
+    if not applies_to(query, context=context):
         raise UnsupportedQueryError(
             f"Theorem 3 does not apply to {query}: its attack graph has a strong or nonterminal cycle"
         )
-    return peel_certain(db, query, _weak_terminal_base_case)
+    return peel_certain(db, query, _weak_terminal_base_case, context=context)
 
 
 def _weak_terminal_base_case(

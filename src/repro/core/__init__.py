@@ -1,6 +1,12 @@
 """The paper's primary contribution: the tractability-frontier classifier."""
 
-from .classify import Classification, classify
+from .classify import (
+    Classification,
+    classify,
+    classify_cached,
+    classify_invocations,
+    reset_classify_invocations,
+)
 from .complexity import ComplexityBand
 from .frontier import band_counts, classify_corpus, frontier_table, summarize_frontier
 
@@ -9,7 +15,10 @@ __all__ = [
     "ComplexityBand",
     "band_counts",
     "classify",
+    "classify_cached",
     "classify_corpus",
+    "classify_invocations",
     "frontier_table",
+    "reset_classify_invocations",
     "summarize_frontier",
 ]

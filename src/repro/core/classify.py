@@ -12,6 +12,7 @@ paper is — to acyclic queries without self-joins, with the additional
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from ..attacks.cycles import (
@@ -57,6 +58,17 @@ class Classification:
         """``True`` when CERTAINTY(q) is first-order expressible."""
         return self.band.is_first_order
 
+    @property
+    def cache_key(self) -> Tuple[ConjunctiveQuery, "ComplexityBand", Optional[int]]:
+        """The value identity of the classification (query, band, parameter)."""
+        return (self.query, self.band, self.cycle_parameter)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Classification) and self.cache_key == other.cache_key
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key)
+
     def __repr__(self) -> str:
         return f"Classification({self.query} → {self.band.name})"
 
@@ -78,6 +90,31 @@ def _cycle_shape(query: ConjunctiveQuery) -> Optional[Tuple[int, bool]]:
     return (shape.k, shape.has_sk_atom)
 
 
+#: Number of times :func:`classify` has run the full decision procedure.
+#: Exposed so benchmarks and tests can assert that compiled plans / cached
+#: classifications actually avoid re-classification.
+_classify_calls = 0
+
+
+def classify_invocations() -> int:
+    """How many times :func:`classify` has executed (cache hits excluded)."""
+    return _classify_calls
+
+
+def reset_classify_invocations() -> int:
+    """Reset the invocation counter; returns the previous value."""
+    global _classify_calls
+    previous = _classify_calls
+    _classify_calls = 0
+    return previous
+
+
+@lru_cache(maxsize=1024)
+def classify_cached(query: ConjunctiveQuery) -> Classification:
+    """Memoised :func:`classify`; safe because classification is pure."""
+    return classify(query)
+
+
 def classify(query: ConjunctiveQuery) -> Classification:
     """Classify ``CERTAINTY(q)`` for a Boolean conjunctive query.
 
@@ -90,6 +127,8 @@ def classify(query: ConjunctiveQuery) -> Classification:
        coNP-complete), Theorem 3 (weak terminal cycles → P), Theorem 4
        (``AC(k)`` → P), and otherwise report the open case of Conjecture 1.
     """
+    global _classify_calls
+    _classify_calls += 1
     boolean = query.as_boolean() if not query.is_boolean else query
     if boolean.has_self_join:
         return Classification(

@@ -1,0 +1,32 @@
+"""The compiled-plan certainty engine.
+
+This subsystem separates the two halves of answering ``CERTAINTY(q)`` under
+heavy query traffic, following the standard query-compilation architecture
+of database engines:
+
+* **compile once per query** — :func:`compile_plan` classifies the query on
+  the tractability frontier, fixes the solver dispatch and the greedy atom
+  order, and packages the result as a :class:`QueryPlan`; plans are cached
+  by query signature in a bounded LRU :class:`PlanCache`;
+* **execute many times per database** — a :class:`CertaintySession` wraps
+  one ``UncertainDatabase``, maintains incrementally updated fact indexes
+  (wired into the database's observer hooks, so ``add``/``discard`` update
+  the index instead of rebuilding it), and runs plans through a shared
+  :class:`~repro.certainty.SolverContext`.
+
+The module-level one-shot APIs (``repro.solve``, ``repro.is_certain``,
+``repro.certain_answers``) keep their signatures and delegate here.
+"""
+
+from .cache import CacheStats, PlanCache, default_plan_cache
+from .plan import QueryPlan, compile_plan
+from .session import CertaintySession
+
+__all__ = [
+    "CacheStats",
+    "CertaintySession",
+    "PlanCache",
+    "QueryPlan",
+    "compile_plan",
+    "default_plan_cache",
+]

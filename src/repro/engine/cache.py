@@ -1,0 +1,117 @@
+"""A bounded LRU cache of compiled query plans.
+
+Heavy query traffic tends to repeat a small working set of query shapes; a
+:class:`PlanCache` keeps the most recently used compiled plans so repeated
+``solve``/``is_certain``/``certain_answers`` calls skip classification
+entirely.  The cache is keyed by the query itself (queries hash as sets of
+atoms plus the free-variable tuple, so semantically equal queries share one
+plan).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from ..query.conjunctive import ConjunctiveQuery
+from .plan import QueryPlan, compile_plan
+
+
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`PlanCache`."""
+
+    __slots__ = ("hits", "misses", "evictions", "size", "maxsize")
+
+    def __init__(self, hits: int, misses: int, evictions: int, size: int, maxsize: int) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.size = size
+        self.maxsize = maxsize
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, size={self.size}/{self.maxsize})"
+        )
+
+
+class PlanCache:
+    """Bounded LRU mapping queries to compiled :class:`QueryPlan` objects."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("PlanCache maxsize must be at least 1")
+        self._maxsize = maxsize
+        self._plans: "OrderedDict[ConjunctiveQuery, QueryPlan]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, query: object) -> bool:
+        return query in self._plans
+
+    def get(self, query: ConjunctiveQuery) -> Optional[QueryPlan]:
+        """The cached plan for *query*, or ``None`` (counts as hit/miss)."""
+        plan = self._plans.get(query)
+        if plan is None:
+            self._misses += 1
+            return None
+        self._plans.move_to_end(query)
+        self._hits += 1
+        return plan
+
+    def put(self, query: ConjunctiveQuery, plan: QueryPlan) -> None:
+        """Insert (or refresh) a plan, evicting the least recently used one."""
+        if query in self._plans:
+            self._plans.move_to_end(query)
+        self._plans[query] = plan
+        while len(self._plans) > self._maxsize:
+            self._plans.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_compile(
+        self,
+        query: ConjunctiveQuery,
+        compiler: Callable[[ConjunctiveQuery], QueryPlan] = compile_plan,
+    ) -> QueryPlan:
+        """The cached plan for *query*, compiling and inserting on a miss."""
+        plan = self.get(query)
+        if plan is None:
+            plan = compiler(query)
+            self.put(query, plan)
+        return plan
+
+    def clear(self) -> None:
+        """Drop all plans and reset the counters."""
+        self._plans.clear()
+        self._hits = self._misses = self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the cache counters."""
+        return CacheStats(
+            self._hits, self._misses, self._evictions, len(self._plans), self._maxsize
+        )
+
+
+#: The process-wide cache behind the one-shot ``solve``/``certain_answers``.
+_default_cache = PlanCache(maxsize=256)
+
+
+def default_plan_cache() -> PlanCache:
+    """The shared plan cache used by the module-level one-shot APIs."""
+    return _default_cache

@@ -1,0 +1,197 @@
+"""Compiled query plans: classify once, execute many times.
+
+A :class:`QueryPlan` separates the *query-compilation* work of the
+CERTAINTY solver — classification on the tractability frontier, attack-graph
+construction, solver dispatch, greedy atom ordering — from the per-database
+*execution* work.  Compilation depends only on the query, so a plan compiled
+once can be executed against many databases (or against one mutating
+database through a ``CertaintySession``) without re-classifying.
+
+Non-Boolean queries are compiled from a *representative grounding*: the free
+variables are replaced by fresh placeholder constants.  For self-join-free
+queries the complexity band of ``CERTAINTY(q[free ↦ t])`` does not depend on
+the constants in ``t`` — attacks, functional-dependency closures, hypergraph
+acyclicity and the ``C(k)``/``AC(k)`` shape are all functions of the
+variable pattern alone, which is identical for every candidate tuple — so
+one classification covers every grounding of the batched
+``certain_answers`` loop.  Queries *with* self-joins are the one exception:
+a candidate tuple with repeated constants can collapse two same-relation
+atoms into one and change the band, so their plans are marked
+``per_grounding`` and re-classify each grounding (matching the historical
+per-candidate behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.classify import Classification, classify_cached
+from ..core.complexity import ComplexityBand
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import order_atoms
+from ..query.substitution import ground_free_variables
+from ..certainty.brute_force import certain_brute_force
+from ..certainty.context import SolverContext
+from ..certainty.cycle_query import certain_cycle_query
+from ..certainty.exceptions import IntractableQueryError, UnsupportedQueryError
+from ..certainty.rewriting import certain_fo
+from ..certainty.solver import CertaintyOutcome
+from ..certainty.terminal_cycles import certain_terminal_cycles
+
+#: Prefix of the fresh constants used to ground free variables when
+#: compiling the plan of a non-Boolean query.
+_PLACEHOLDER_PREFIX = "__plan_placeholder_"
+
+_BAND_METHODS = {
+    ComplexityBand.FO: "fo-rewriting",
+    ComplexityBand.PTIME_NOT_FO: "theorem3-terminal-cycles",
+    ComplexityBand.PTIME_CYCLE_QUERY: "theorem4-cycle-query",
+}
+
+
+def _representative_grounding(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Ground the free variables with distinct fresh placeholder constants."""
+    placeholders = [
+        f"{_PLACEHOLDER_PREFIX}{i}__" for i in range(len(query.free_variables))
+    ]
+    return ground_free_variables(query, placeholders)
+
+
+class QueryPlan:
+    """The compiled form of one CERTAINTY(q) problem.
+
+    Attributes
+    ----------
+    source_query:
+        The query the plan was compiled from (possibly non-Boolean).
+    query:
+        The Boolean query the classification refers to: ``source_query``
+        itself when Boolean, otherwise its representative grounding.
+    classification:
+        The frontier classification, computed once at compile time.
+    method:
+        The dispatched algorithm name (same strings as ``solve``):
+        ``"fo-rewriting"``, ``"theorem3-terminal-cycles"``,
+        ``"theorem4-cycle-query"``, or ``"brute-force"``.
+    atom_order:
+        The greedy join order of the Boolean query's atoms (shared with the
+        evaluation layer's memoised :func:`order_atoms`).
+    per_grounding:
+        ``True`` when the compiled dispatch cannot be trusted for arbitrary
+        groundings (non-Boolean queries with self-joins, where repeated
+        candidate constants can collapse atoms): :meth:`execute` then
+        re-classifies each supplied grounding.
+    """
+
+    __slots__ = (
+        "source_query",
+        "query",
+        "classification",
+        "method",
+        "atom_order",
+        "per_grounding",
+    )
+
+    def __init__(
+        self,
+        source_query: ConjunctiveQuery,
+        query: ConjunctiveQuery,
+        classification: Classification,
+        method: str,
+        per_grounding: bool = False,
+    ) -> None:
+        self.source_query = source_query
+        self.query = query
+        self.classification = classification
+        self.method = method
+        self.atom_order = order_atoms(query)
+        self.per_grounding = per_grounding
+
+    @property
+    def band(self) -> ComplexityBand:
+        """The complexity band of the classification."""
+        return self.classification.band
+
+    @property
+    def requires_exponential(self) -> bool:
+        """``True`` when execution needs ``allow_exponential=True``."""
+        return self.method == "brute-force"
+
+    def __repr__(self) -> str:
+        return f"QueryPlan({self.source_query} → {self.band.name} via {self.method})"
+
+    def execute(
+        self,
+        db: UncertainDatabase,
+        grounding: Optional[ConjunctiveQuery] = None,
+        allow_exponential: bool = False,
+        context: Optional[SolverContext] = None,
+    ) -> CertaintyOutcome:
+        """Run the compiled plan against *db*.
+
+        *grounding*, used by the batched ``certain_answers`` path, is a
+        Boolean grounding of ``source_query``'s shape to execute instead of
+        the plan's own query; it shares the variable pattern the plan was
+        compiled from, so for self-join-free queries the band (and hence
+        the compiled dispatch) is constant-independent and remains valid.
+        ``per_grounding`` plans instead re-classify each grounding, because
+        repeated constants can collapse same-relation atoms and change the
+        band (classification stays memoised through ``classify_cached``).
+        """
+        if grounding is not None and self.per_grounding:
+            return compile_plan(grounding).execute(
+                db, allow_exponential=allow_exponential, context=context
+            )
+        target = grounding if grounding is not None else self.query
+        if self.method == "fo-rewriting":
+            return CertaintyOutcome(
+                certain_fo(db, target, context=context), self.method, self.classification
+            )
+        if self.method == "theorem3-terminal-cycles":
+            return CertaintyOutcome(
+                certain_terminal_cycles(db, target, context=context),
+                self.method,
+                self.classification,
+            )
+        if self.method == "theorem4-cycle-query":
+            return CertaintyOutcome(
+                certain_cycle_query(db, target, context=context),
+                self.method,
+                self.classification,
+            )
+        if not allow_exponential:
+            if self.band is ComplexityBand.CONP_COMPLETE:
+                raise IntractableQueryError(
+                    f"CERTAINTY({target}) is coNP-complete; "
+                    "pass allow_exponential=True to use brute force"
+                )
+            raise UnsupportedQueryError(
+                f"no polynomial algorithm is known for {target} ({self.band.name}); "
+                "pass allow_exponential=True to use brute force"
+            )
+        return CertaintyOutcome(
+            certain_brute_force(db, target, context=context), self.method, self.classification
+        )
+
+
+def compile_plan(
+    query: ConjunctiveQuery,
+    classification: Optional[Classification] = None,
+) -> QueryPlan:
+    """Compile *query* into a :class:`QueryPlan`.
+
+    Classification (the expensive, database-independent part of ``solve``)
+    happens here, at most once per compiled plan — through the process-wide
+    ``classify_cached`` memo, so even separate :class:`PlanCache` instances
+    share classification work.  An explicit *classification* can be injected
+    to bypass it (used by the one-shot ``solve`` wrapper's
+    ``classification=`` parameter).
+    """
+    boolean = query if query.is_boolean else _representative_grounding(query)
+    if classification is None:
+        classification = classify_cached(boolean)
+    method = _BAND_METHODS.get(classification.band, "brute-force")
+    per_grounding = not query.is_boolean and query.has_self_join
+    return QueryPlan(query, boolean, classification, method, per_grounding=per_grounding)

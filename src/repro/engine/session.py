@@ -1,0 +1,167 @@
+"""Certainty sessions: a database wrapper with shared, incremental indexes.
+
+A :class:`CertaintySession` is the per-database execution half of the
+engine.  It wraps an :class:`~repro.model.database.UncertainDatabase`,
+builds a :class:`~repro.query.evaluation.FactIndex` over it **once**, and
+registers the index as a database observer so every ``add``/``discard``/
+``remove_block`` on the database updates the index incrementally instead of
+forcing a rebuild.  Queries are compiled into cached
+:class:`~repro.engine.plan.QueryPlan` objects, and a shared
+:class:`~repro.certainty.context.SolverContext` carries the index and
+memoised attack graphs into the solvers.
+
+The batched :meth:`certain_answers` classifies the query *shape* once and
+reuses the plan for every candidate grounding — unlike the historical
+one-shot loop, which re-classified (and re-indexed) per candidate tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..certainty.context import SolverContext
+from ..certainty.solver import CertaintyOutcome
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import FactIndex, answer_tuples
+from ..query.substitution import ground_free_variables
+from .cache import PlanCache, default_plan_cache
+from .plan import QueryPlan
+
+
+class CertaintySession:
+    """Batched CERTAINTY answering over one (possibly mutating) database.
+
+    Parameters
+    ----------
+    db:
+        The uncertain database to serve queries against.  The session
+        registers an observer on it; call :meth:`close` (or use the session
+        as a context manager) to detach.
+    plan_cache:
+        The plan cache to compile queries through.  Defaults to the
+        process-wide cache shared with the one-shot APIs, so plans compiled
+        by either layer benefit both.
+    allow_exponential:
+        Session-wide default for the brute-force escape hatch.
+
+    Example
+    -------
+    >>> with CertaintySession(db) as session:          # doctest: +SKIP
+    ...     session.is_certain(q)
+    ...     db.add(new_fact)          # index updated incrementally
+    ...     session.certain_answers(open_q)
+    """
+
+    def __init__(
+        self,
+        db: UncertainDatabase,
+        plan_cache: Optional[PlanCache] = None,
+        allow_exponential: bool = False,
+    ) -> None:
+        self._db = db
+        self._index = FactIndex(db.facts)
+        db.register_observer(self._index)
+        self._cache = plan_cache if plan_cache is not None else default_plan_cache()
+        self._allow_exponential = allow_exponential
+        self._context = SolverContext(db=db, index=self._index)
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach the session's index from the database (idempotent)."""
+        if not self._closed:
+            self._db.unregister_observer(self._index)
+            self._closed = True
+
+    def __enter__(self) -> "CertaintySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def db(self) -> UncertainDatabase:
+        """The wrapped database."""
+        return self._db
+
+    @property
+    def index(self) -> FactIndex:
+        """The incrementally maintained fact index over the database."""
+        return self._index
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The plan cache queries are compiled through."""
+        return self._cache
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run (the index no longer tracks)."""
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"CertaintySession({self._db!r}, {state})"
+
+    # -- query answering ---------------------------------------------------------
+
+    def plan_for(self, query: ConjunctiveQuery) -> QueryPlan:
+        """The compiled plan for *query* (compiling on a cache miss)."""
+        return self._cache.get_or_compile(query)
+
+    def solve(
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+    ) -> CertaintyOutcome:
+        """Decide ``db ∈ CERTAINTY(q)`` with full provenance."""
+        self._check_open()
+        allow = self._allow_exponential if allow_exponential is None else allow_exponential
+        plan = self.plan_for(query.as_boolean() if not query.is_boolean else query)
+        return plan.execute(self._db, allow_exponential=allow, context=self._context)
+
+    def is_certain(
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+    ) -> bool:
+        """``True`` iff every repair of the database satisfies *query*."""
+        return self.solve(query, allow_exponential=allow_exponential).certain
+
+    def certain_answers(
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+    ) -> Set[Tuple[Constant, ...]]:
+        """The certain answers of a non-Boolean query, batched.
+
+        The query shape is compiled (classified) once; every candidate
+        grounding is then executed through the same plan, and candidate
+        enumeration runs on the session's shared index.
+        """
+        self._check_open()
+        if query.is_boolean:
+            raise ValueError("certain_answers expects a query with free variables")
+        allow = self._allow_exponential if allow_exponential is None else allow_exponential
+        plan = self.plan_for(query)
+        candidates = answer_tuples(query, self._index)
+        certain: Set[Tuple[Constant, ...]] = set()
+        for candidate in sorted(candidates, key=lambda t: tuple(str(c) for c in t)):
+            grounded = ground_free_variables(query, [c.value for c in candidate])
+            outcome = plan.execute(
+                self._db, grounding=grounded, allow_exponential=allow, context=self._context
+            )
+            if outcome.certain:
+                certain.add(candidate)
+        return certain
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this CertaintySession is closed; its index no longer tracks the database"
+            )

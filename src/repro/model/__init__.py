@@ -1,7 +1,7 @@
 """Relational model substrate: terms, atoms, facts, schemas, databases, repairs."""
 
 from .atoms import Atom, Fact, RelationSchema, atoms_use_distinct_relations
-from .database import BlockKey, UncertainDatabase
+from .database import BlockKey, DatabaseObserver, UncertainDatabase
 from .repairs import (
     Repair,
     count_possible_worlds,
@@ -35,6 +35,7 @@ __all__ = [
     "Atom",
     "BlockKey",
     "Constant",
+    "DatabaseObserver",
     "DatabaseSchema",
     "EMPTY_VALUATION",
     "Fact",

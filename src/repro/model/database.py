@@ -18,12 +18,31 @@ from .symbols import Constant
 BlockKey = Tuple[str, Tuple[Constant, ...]]
 
 
+class DatabaseObserver:
+    """Protocol for objects notified of database mutations.
+
+    Observers registered with :meth:`UncertainDatabase.register_observer`
+    receive ``fact_added(fact)`` after an insertion and
+    ``fact_discarded(fact)`` after a removal.  Derived structures (such as
+    the engine's shared fact indexes) use the hooks to stay consistent
+    incrementally instead of being rebuilt per call.
+    """
+
+    def fact_added(self, fact: Fact) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def fact_discarded(self, fact: Fact) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
 class UncertainDatabase:
     """A finite set of facts over a database schema.
 
     The database may violate primary keys; facts sharing a relation name and
     a key value form a *block*.  The class is a mutable container but every
     derived view (blocks, repairs) is computed from the current contents.
+    Per-relation fact and block indexes are maintained on mutation, and
+    observers can register for add/discard notifications.
     """
 
     def __init__(
@@ -34,8 +53,25 @@ class UncertainDatabase:
         self._schema = schema if schema is not None else DatabaseSchema()
         self._facts: Set[Fact] = set()
         self._blocks: Dict[BlockKey, Set[Fact]] = {}
+        self._by_relation: Dict[str, Set[Fact]] = {}
+        self._relation_block_keys: Dict[str, Set[BlockKey]] = {}
+        self._observers: List[DatabaseObserver] = []
         for fact in facts:
             self.add(fact)
+
+    # -- observers --------------------------------------------------------------
+
+    def register_observer(self, observer: DatabaseObserver) -> None:
+        """Register an observer for add/discard notifications (idempotent)."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unregister_observer(self, observer: DatabaseObserver) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # -- mutation ---------------------------------------------------------------
 
@@ -46,8 +82,13 @@ class UncertainDatabase:
         self._schema.add(fact.relation)
         if fact in self._facts:
             return
+        name = fact.relation.name
         self._facts.add(fact)
         self._blocks.setdefault(fact.block_key, set()).add(fact)
+        self._by_relation.setdefault(name, set()).add(fact)
+        self._relation_block_keys.setdefault(name, set()).add(fact.block_key)
+        for observer in self._observers:
+            observer.fact_added(fact)
 
     def add_all(self, facts: Iterable[Fact]) -> None:
         """Insert every fact in *facts*."""
@@ -58,12 +99,25 @@ class UncertainDatabase:
         """Remove a fact if present."""
         if fact not in self._facts:
             return
+        name = fact.relation.name
         self._facts.discard(fact)
         block = self._blocks.get(fact.block_key)
         if block is not None:
             block.discard(fact)
             if not block:
                 del self._blocks[fact.block_key]
+                keys = self._relation_block_keys.get(name)
+                if keys is not None:
+                    keys.discard(fact.block_key)
+                    if not keys:
+                        del self._relation_block_keys[name]
+        relation_facts = self._by_relation.get(name)
+        if relation_facts is not None:
+            relation_facts.discard(fact)
+            if not relation_facts:
+                del self._by_relation[name]
+        for observer in self._observers:
+            observer.fact_discarded(fact)
 
     def remove_block(self, block_key: BlockKey) -> None:
         """Remove an entire block of key-equal facts."""
@@ -103,8 +157,8 @@ class UncertainDatabase:
         return frozenset(self._facts)
 
     def relation_facts(self, name: str) -> FrozenSet[Fact]:
-        """All facts of relation *name*."""
-        return frozenset(f for f in self._facts if f.relation.name == name)
+        """All facts of relation *name* (read from the per-relation index)."""
+        return frozenset(self._by_relation.get(name, ()))
 
     def blocks(self) -> List[FrozenSet[Fact]]:
         """All blocks, as frozensets of key-equal facts."""
@@ -125,8 +179,11 @@ class UncertainDatabase:
         return frozenset(self._blocks.get(block_key, frozenset()))
 
     def blocks_of_relation(self, name: str) -> List[FrozenSet[Fact]]:
-        """All blocks of relation *name*."""
-        return [frozenset(b) for key, b in self._blocks.items() if key[0] == name]
+        """All blocks of relation *name* (read from the per-relation index)."""
+        return [
+            frozenset(self._blocks[key])
+            for key in self._relation_block_keys.get(name, ())
+        ]
 
     def num_blocks(self) -> int:
         """The number of blocks."""
@@ -148,12 +205,22 @@ class UncertainDatabase:
         return frozenset(domain)
 
     def restrict_to_relations(self, names: Iterable[str]) -> "UncertainDatabase":
-        """The sub-database containing only facts of the given relations."""
+        """The sub-database containing only facts of the given relations.
+
+        The restricted database keeps the relation signatures of every kept
+        relation, including relations that currently have no facts.
+        """
         keep = set(names)
-        return UncertainDatabase(f for f in self._facts if f.relation.name in keep)
+        schema = DatabaseSchema(r for r in self._schema if r.name in keep)
+        return UncertainDatabase(
+            (f for f in self._facts if f.relation.name in keep), schema=schema
+        )
 
     def copy(self) -> "UncertainDatabase":
-        """A shallow copy (facts are immutable, so this is a full copy)."""
+        """A shallow copy (facts are immutable, so this is a full copy).
+
+        Observers are *not* copied: they track the original database only.
+        """
         return UncertainDatabase(self._facts, schema=DatabaseSchema(iter(self._schema)))
 
     def union(self, other: "UncertainDatabase") -> "UncertainDatabase":

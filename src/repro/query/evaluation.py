@@ -10,43 +10,95 @@ adequate for the query sizes that occur in certain-answer classification
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from functools import lru_cache
+from typing import Collection, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..model.atoms import Atom, Fact
 from ..model.symbols import Constant, Variable, is_constant, is_variable
 from ..model.valuation import Valuation
 from .conjunctive import ConjunctiveQuery
 
+_EMPTY: Dict[Fact, None] = {}
+
 
 class FactIndex:
     """Facts grouped by relation name, with an index on key values.
 
-    The index is immutable after construction; build it once per database and
-    reuse it across many query evaluations.
+    The index supports incremental :meth:`add`/:meth:`discard` updates, so a
+    long-lived index (e.g. the one held by an engine ``CertaintySession``)
+    can track a mutating database instead of being rebuilt per call.  It
+    implements the :class:`~repro.model.database.DatabaseObserver` protocol
+    and can be registered directly on an ``UncertainDatabase``.
+
+    Facts are stored in insertion-ordered dict-sets so iteration stays
+    deterministic and membership/removal is O(1).
     """
 
-    def __init__(self, facts: Iterable[Fact]) -> None:
-        self._by_relation: Dict[str, List[Fact]] = defaultdict(list)
-        self._by_block: Dict[Tuple[str, Tuple[Constant, ...]], List[Fact]] = defaultdict(list)
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._by_relation: Dict[str, Dict[Fact, None]] = {}
+        self._by_block: Dict[Tuple[str, Tuple[Constant, ...]], Dict[Fact, None]] = {}
+        self._size = 0
         for fact in facts:
-            self._by_relation[fact.relation.name].append(fact)
-            self._by_block[(fact.relation.name, fact.key_terms)].append(fact)
+            self.add(fact)
 
-    def relation(self, name: str) -> Sequence[Fact]:
+    # -- incremental maintenance ------------------------------------------------
+
+    def add(self, fact: Fact) -> None:
+        """Insert a fact (idempotent)."""
+        name = fact.relation.name
+        relation = self._by_relation.setdefault(name, {})
+        if fact in relation:
+            return
+        relation[fact] = None
+        self._by_block.setdefault((name, fact.key_terms), {})[fact] = None
+        self._size += 1
+
+    def discard(self, fact: Fact) -> None:
+        """Remove a fact if present."""
+        name = fact.relation.name
+        relation = self._by_relation.get(name)
+        if relation is None or fact not in relation:
+            return
+        del relation[fact]
+        if not relation:
+            del self._by_relation[name]
+        block_key = (name, fact.key_terms)
+        block = self._by_block.get(block_key)
+        if block is not None:
+            block.pop(fact, None)
+            if not block:
+                del self._by_block[block_key]
+        self._size -= 1
+
+    # Observer protocol of UncertainDatabase.
+    fact_added = add
+    fact_discarded = discard
+
+    # -- lookups ----------------------------------------------------------------
+
+    def relation(self, name: str) -> Collection[Fact]:
         """All facts of relation *name*."""
-        return self._by_relation.get(name, [])
+        return self._by_relation.get(name, _EMPTY).keys()
 
-    def block(self, name: str, key_values: Tuple[Constant, ...]) -> Sequence[Fact]:
+    def block(self, name: str, key_values: Tuple[Constant, ...]) -> Collection[Fact]:
         """All facts of relation *name* with the given key values."""
-        return self._by_block.get((name, key_values), [])
+        return self._by_block.get((name, key_values), _EMPTY).keys()
 
     def relations(self) -> List[str]:
         """The relation names present in the index."""
         return list(self._by_relation)
 
+    def __contains__(self, fact: object) -> bool:
+        if not isinstance(fact, Fact):
+            return False
+        return fact in self._by_relation.get(fact.relation.name, _EMPTY)
+
+    def __iter__(self) -> Iterator[Fact]:
+        for relation in self._by_relation.values():
+            yield from relation
+
     def __len__(self) -> int:
-        return sum(len(v) for v in self._by_relation.values())
+        return self._size
 
 
 def match_atom(atom: Atom, fact: Fact, valuation: Valuation) -> Optional[Valuation]:
@@ -72,11 +124,16 @@ def match_atom(atom: Atom, fact: Fact, valuation: Valuation) -> Optional[Valuati
     return Valuation(bindings)
 
 
-def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
-    """Greedy atom ordering: maximise connectivity with already-placed atoms."""
+@lru_cache(maxsize=2048)
+def order_atoms(query: ConjunctiveQuery) -> Tuple[Atom, ...]:
+    """Greedy atom ordering: maximise connectivity with already-placed atoms.
+
+    The ordering depends only on the query, so it is memoised: repeated
+    evaluations of the same (or residual) query reuse the compiled order.
+    """
     remaining = list(query.atoms)
     if not remaining:
-        return []
+        return ()
     ordered: List[Atom] = []
     bound: Set[Variable] = set()
     # Start with the atom having the most constants (most selective).
@@ -92,7 +149,12 @@ def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
         ordered.append(best)
         bound |= best.variables
         remaining.remove(best)
-    return ordered
+    return tuple(ordered)
+
+
+def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
+    """Back-compat wrapper around the memoised :func:`order_atoms`."""
+    return list(order_atoms(query))
 
 
 def iterate_valuations(
@@ -112,7 +174,7 @@ def iterate_valuations(
         When given, only facts in this set are considered (used to evaluate
         the same index against many repairs without re-indexing).
     """
-    ordered = _order_atoms(query)
+    ordered = order_atoms(query)
 
     def backtrack(position: int, valuation: Valuation) -> Iterator[Valuation]:
         if position == len(ordered):
