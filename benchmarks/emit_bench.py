@@ -1,0 +1,154 @@
+"""Emit ``BENCH_fo_rewriting.json``: naive vs compiled FO-rewriting evaluation.
+
+The script times the certain first-order rewriting of Theorem 1 under the
+two evaluation strategies of :class:`repro.fo.evaluate.FormulaEvaluator` —
+the naive active-domain recursion and the compiled set-at-a-time plans of
+:mod:`repro.fo.compile` — on a scaling workload, checks that they agree,
+and writes the measurements as JSON so the performance trajectory is
+recorded in CI from PR 2 onward.
+
+The workload (:func:`fo_bench_instance`) is adversarial for the naive
+strategy: the early relations of a path query are dense while the final
+relation is sparse, so the instance is rarely certain and the naive
+evaluator must exhaust the ``|adom|^k`` quantifier space before concluding
+— exactly the exponential behaviour the compiled plans eliminate.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py            # full sizes
+    PYTHONPATH=src python benchmarks/emit_bench.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+from typing import Dict, List, Sequence
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.fo import certain_rewriting_cached, compile_formula, evaluate_sentence
+from repro.model.database import UncertainDatabase
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.families import path_query
+
+#: Default scaling sizes (active-domain size n; facts grow linearly in n).
+FULL_SIZES = (8, 16, 32, 64, 96)
+SMOKE_SIZES = (8, 16)
+
+
+def bench_query() -> ConjunctiveQuery:
+    """The benchmark query: ``path_query(3)``, an FO-band three-atom chain."""
+    return path_query(3)
+
+
+def fo_bench_instance(query: ConjunctiveQuery, size: int, seed: int = 5) -> UncertainDatabase:
+    """A database of scale *size* that is hard for naive FO evaluation.
+
+    All but the last relation receive ``2·size`` random facts over a
+    domain of *size* constants; the last relation only ``size // 4`` — so
+    witnesses almost never complete, certainty usually fails, and the naive
+    evaluator cannot short-circuit its quantifier loops.
+    """
+    rng = random.Random(seed)
+    domain = [f"c{i}" for i in range(size)]
+    relations = [atom.relation for atom in query.atoms]
+    db = UncertainDatabase()
+    for position, relation in enumerate(relations):
+        count = 2 * size if position < len(relations) - 1 else max(1, size // 4)
+        for _ in range(count):
+            db.add(relation.fact(*[rng.choice(domain) for _ in range(relation.arity)]))
+    return db
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(sizes: Sequence[int], repeats: int = 3, seed: int = 5) -> Dict:
+    """Time naive vs compiled evaluation per size; verify agreement."""
+    query = bench_query()
+    formula = certain_rewriting_cached(query)
+    compile_start = time.perf_counter()
+    compile_formula(formula)
+    compile_seconds = time.perf_counter() - compile_start
+
+    results: List[Dict] = []
+    for size in sizes:
+        db = fo_bench_instance(query, size, seed=seed)
+        compiled_result = evaluate_sentence(db, formula, compiled=True)
+        naive_result = evaluate_sentence(db, formula, compiled=False)
+        agree = compiled_result == naive_result
+        compiled_seconds = _best_of(
+            repeats, lambda: evaluate_sentence(db, formula, compiled=True)
+        )
+        naive_seconds = _best_of(
+            repeats, lambda: evaluate_sentence(db, formula, compiled=False)
+        )
+        results.append(
+            {
+                "size": size,
+                "facts": len(db),
+                "certain": compiled_result,
+                "agree": agree,
+                "naive_seconds": naive_seconds,
+                "compiled_seconds": compiled_seconds,
+                "speedup": naive_seconds / compiled_seconds if compiled_seconds else None,
+            }
+        )
+    return {
+        "benchmark": "fo_rewriting",
+        "query": str(query),
+        "formula_compile_seconds": compile_seconds,
+        "repeats": repeats,
+        "results": results,
+        "largest_size_speedup": results[-1]["speedup"] if results else None,
+        "all_agree": all(r["agree"] for r in results),
+    }
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (small sizes, one repeat)"
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=None, help="explicit scaling sizes"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[1] / "BENCH_fo_rewriting.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(list(argv) or None)
+    if args.sizes:
+        sizes: Sequence[int] = args.sizes
+    else:
+        sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    report = run_benchmark(sizes, repeats=1 if args.smoke else 3)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["results"]:
+        print(
+            f"size={row['size']:4d} facts={row['facts']:5d} certain={row['certain']!s:5s} "
+            f"naive={row['naive_seconds']:.4f}s compiled={row['compiled_seconds']:.4f}s "
+            f"speedup={row['speedup']:.1f}x"
+        )
+    print(f"wrote {args.output}")
+    if not report["all_agree"]:
+        print("ERROR: naive and compiled evaluation disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

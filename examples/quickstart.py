@@ -12,6 +12,7 @@ from repro import (
     CertaintySession,
     UncertainDatabase,
     certain_answers,
+    certain_rewriting,
     classify,
     is_certain,
     parse_facts,
@@ -70,6 +71,19 @@ def main() -> None:
         names = sorted(value.value for (value,) in answers)
         print("after resolving bob's conflict, certainly in Mons:", names)
         print("plan cache:", session.plan_cache.stats)
+
+        # 5. Theorem 1, operationally: our query's attack graph is acyclic,
+        #    so CERTAINTY(q) has a *certain first-order rewriting* — and the
+        #    engine executes exactly that.  The rewriting is compiled once
+        #    into a guarded set-at-a-time relational plan (atom scans over
+        #    the session's fact index, joins, projections and anti-joins —
+        #    never a walk over the whole active domain) and evaluated like
+        #    any ordinary query.
+        outcome = session.solve(query)
+        print("\nsolver method:", outcome.method)             # fo-rewriting
+        formula = certain_rewriting(query)
+        print("certain FO rewriting:", formula)
+        print("db |= rewriting:", session.evaluate_formula(formula))
 
 
 if __name__ == "__main__":

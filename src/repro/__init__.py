@@ -56,6 +56,7 @@ from .certainty import (
     certain_brute_force,
     certain_cycle_query,
     certain_fo,
+    certain_fo_rewriting,
     certain_terminal_cycles,
     is_certain,
     purify,
@@ -138,6 +139,7 @@ __all__ = [
     "certain_brute_force",
     "certain_cycle_query",
     "certain_fo",
+    "certain_fo_rewriting",
     "certain_rewriting",
     "certain_terminal_cycles",
     "classify",

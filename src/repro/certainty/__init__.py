@@ -13,7 +13,7 @@ from .pair_solver import certain_two_atom, certain_weak_cycle_pair, is_two_atom_
 from .peeling import peel_certain
 from .purify import is_purified, purify, relevant_facts
 from .reductions import Theorem2Reduction, theorem2_reduction
-from .rewriting import certain_fo, is_fo_expressible
+from .rewriting import certain_fo, certain_fo_rewriting, is_fo_expressible
 from .solver import CertaintyOutcome, certain_answers, is_certain, solve
 from .terminal_cycles import certain_terminal_cycles
 
@@ -32,6 +32,7 @@ __all__ = [
     "certain_ck_via_reduction",
     "certain_cycle_query",
     "certain_fo",
+    "certain_fo_rewriting",
     "certain_terminal_cycles",
     "certain_two_atom",
     "certain_weak_cycle_pair",

@@ -15,6 +15,13 @@ affecting correctness:
   prunes a branch as soon as every witness is already broken (a falsifying
   repair exists) or some witness is already fully selected (this branch can
   never falsify).
+
+Witness bookkeeping is *incremental*: instead of rescanning every witness at
+every search node, each witness carries two counters — the number of its
+blocks still undecided and the number of decided blocks that rejected one of
+its facts — updated in O(witnesses-per-block) when a block choice is made or
+undone, alongside global broken/complete tallies that make the pruning
+checks O(1).
 """
 
 from __future__ import annotations
@@ -90,35 +97,66 @@ def brute_force_with_certificate(
                 relevant_blocks.append(fact.block_key)
     relevant_blocks.sort(key=lambda key: (key[0], tuple(str(c) for c in key[1])))
 
-    witness_lists: List[FrozenSet[Fact]] = witness_sets
     choice: Dict[BlockKey, Fact] = {}
 
-    def witness_state(witness: FrozenSet[Fact]) -> str:
-        """'broken' if some fact of the witness was rejected, 'complete' if all
-        its blocks are decided in its favour, else 'open'."""
-        complete = True
+    # Per-witness counters, updated incrementally on block choice/unchoice:
+    # ``undecided[w]`` blocks of witness w not yet decided, ``broken[w]``
+    # decided blocks that rejected one of w's facts.  ``block_witnesses``
+    # maps each block to the witnesses it intersects (with the facts of that
+    # witness inside the block — a self-join witness can hold several).
+    block_witnesses: Dict[BlockKey, List[Tuple[int, List[Fact]]]] = {}
+    undecided: List[int] = []
+    broken: List[int] = []
+    for w_index, witness in enumerate(witness_sets):
+        per_block: Dict[BlockKey, List[Fact]] = {}
         for fact in witness:
-            chosen = choice.get(fact.block_key)
-            if chosen is None:
-                complete = False
-            elif chosen != fact:
-                return "broken"
-        return "complete" if complete else "open"
+            per_block.setdefault(fact.block_key, []).append(fact)
+        undecided.append(len(per_block))
+        broken.append(0)
+        for key, facts in per_block.items():
+            block_witnesses.setdefault(key, []).append((w_index, facts))
+
+    total = len(witness_sets)
+    num_broken = 0  # witnesses with broken[w] > 0
+    num_complete = 0  # witnesses with broken[w] == 0 and undecided[w] == 0
+
+    def choose(block_key: BlockKey, chosen: Fact) -> None:
+        nonlocal num_broken, num_complete
+        for w_index, facts in block_witnesses.get(block_key, ()):
+            undecided[w_index] -= 1
+            if any(fact != chosen for fact in facts):
+                broken[w_index] += 1
+                if broken[w_index] == 1:
+                    num_broken += 1
+            elif undecided[w_index] == 0 and broken[w_index] == 0:
+                num_complete += 1
+
+    def unchoose(block_key: BlockKey, chosen: Fact) -> None:
+        nonlocal num_broken, num_complete
+        for w_index, facts in block_witnesses.get(block_key, ()):
+            if any(fact != chosen for fact in facts):
+                broken[w_index] -= 1
+                if broken[w_index] == 0:
+                    num_broken -= 1
+            elif undecided[w_index] == 0 and broken[w_index] == 0:
+                num_complete -= 1
+            undecided[w_index] += 1
 
     def search(position: int) -> Optional[Dict[BlockKey, Fact]]:
-        states = [witness_state(w) for w in witness_lists]
-        if any(state == "complete" for state in states):
-            return None  # this branch satisfies the query; cannot falsify
-        if all(state == "broken" for state in states):
+        if num_complete:
+            return None  # some witness fully selected: this branch satisfies q
+        if num_broken == total:
             return dict(choice)  # every witness destroyed: falsifying repair found
         if position == len(relevant_blocks):
             return dict(choice)
         block_key = relevant_blocks[position]
         for fact in sorted(db.block(block_key), key=str):
             choice[block_key] = fact
+            choose(block_key, fact)
             found = search(position + 1)
             if found is not None:
                 return found
+            unchoose(block_key, fact)
             del choice[block_key]
         return None
 

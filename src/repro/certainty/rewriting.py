@@ -1,15 +1,21 @@
-"""Polynomial CERTAINTY solver for queries with an acyclic attack graph.
+"""Polynomial CERTAINTY solvers for queries with an acyclic attack graph.
 
 Theorem 1 (Wijsen, TODS 2012; recalled as Theorem 1 in the paper) states
 that ``CERTAINTY(q)`` is first-order expressible iff the attack graph of
-``q`` is acyclic.  This module provides the operational counterpart: a
-solver that decides certainty by repeatedly *peeling* an unattacked atom, as
-in the proof of Theorem 3 (induction step) — the execution of the certain
-first-order rewriting.
+``q`` is acyclic.  This module provides two operational counterparts:
 
-An actual first-order rewriting formula (an AST that can be handed to the
-generic formula evaluator) is produced by :mod:`repro.fo.rewrite`; the two
-are cross-checked in the test suite.
+* :func:`certain_fo` — the *peeling* solver, which repeatedly peels an
+  unattacked atom as in the proof of Theorem 3 (induction step);
+* :func:`certain_fo_rewriting` — the *compiled rewriting* solver, which
+  builds the explicit certain first-order rewriting
+  (:mod:`repro.fo.rewrite`), compiles it once into a set-at-a-time
+  relational plan (:mod:`repro.fo.compile`), and evaluates that plan
+  against the database — i.e. certainty decided the way Theorem 1
+  promises, by ordinary first-order query evaluation.
+
+The engine's ``QueryPlan`` routes FO-band queries through the compiled
+rewriting; the two solvers are cross-checked against each other and against
+the brute-force oracle in the test suite.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..attacks.graph import AttackGraph
+from ..fo.compile import compile_formula
+from ..fo.rewrite import certain_rewriting_cached
 from ..model.database import UncertainDatabase
 from ..query.conjunctive import ConjunctiveQuery
 from .context import SolverContext
@@ -41,7 +49,7 @@ def certain_fo(
     query: ConjunctiveQuery,
     context: Optional[SolverContext] = None,
 ) -> bool:
-    """Decide ``db ∈ CERTAINTY(q)`` for a query with an acyclic attack graph.
+    """Decide ``db ∈ CERTAINTY(q)`` by peeling unattacked atoms.
 
     Raises :class:`UnsupportedQueryError` when the attack graph is cyclic.
     *context* optionally supplies precomputed attack graphs and fact indexes.
@@ -51,3 +59,26 @@ def certain_fo(
             f"the attack graph of {query} is cyclic; CERTAINTY(q) is not first-order expressible"
         )
     return peel_certain(db, query, empty_base_case, context=context)
+
+
+def certain_fo_rewriting(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    context: Optional[SolverContext] = None,
+) -> bool:
+    """Decide ``db ∈ CERTAINTY(q)`` by evaluating the compiled FO rewriting.
+
+    The certain first-order rewriting of *query* is constructed (memoised
+    per query) and compiled (memoised per formula) into a guarded
+    set-at-a-time plan, which is then evaluated against *db* — reusing the
+    incrementally maintained fact index of an engine session when *context*
+    carries one.  Raises :class:`UnsupportedQueryError` when the attack
+    graph is cyclic (Theorem 1: no FO rewriting exists).
+    """
+    if not is_fo_expressible(query, context=context):
+        raise UnsupportedQueryError(
+            f"the attack graph of {query} is cyclic; CERTAINTY(q) is not first-order expressible"
+        )
+    plan = compile_formula(certain_rewriting_cached(query))
+    index = context.index_for(db) if context is not None else None
+    return plan.evaluate(db, index=index)

@@ -23,12 +23,12 @@ per-candidate behaviour).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..core.classify import Classification, classify_cached
 from ..core.complexity import ComplexityBand
 from ..model.database import UncertainDatabase
-from ..model.symbols import Constant
+from ..model.symbols import Constant, Variable
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import order_atoms
 from ..query.substitution import ground_free_variables
@@ -39,6 +39,10 @@ from ..certainty.exceptions import IntractableQueryError, UnsupportedQueryError
 from ..certainty.rewriting import certain_fo
 from ..certainty.solver import CertaintyOutcome
 from ..certainty.terminal_cycles import certain_terminal_cycles
+from ..fo.compile import CompiledFormula, compile_formula
+from ..fo.formulas import replace_constants
+from ..fo.rewrite import certain_rewriting_cached
+from ..model.valuation import Valuation
 
 #: Prefix of the fresh constants used to ground free variables when
 #: compiling the plan of a non-Boolean query.
@@ -57,6 +61,61 @@ def _representative_grounding(query: ConjunctiveQuery) -> ConjunctiveQuery:
         f"{_PLACEHOLDER_PREFIX}{i}__" for i in range(len(query.free_variables))
     ]
     return ground_free_variables(query, placeholders)
+
+
+def _fo_rewriting_plan(query: ConjunctiveQuery) -> Optional[CompiledFormula]:
+    """The compiled certain FO rewriting of *query*, or ``None``.
+
+    ``None`` means the Theorem 1 construction is unavailable for this query
+    (a residual with no unattacked atom); execution then falls back to the
+    peeling solver, which implements the same induction operationally.
+    """
+    try:
+        return compile_formula(certain_rewriting_cached(query))
+    except UnsupportedQueryError:
+        return None
+
+
+def _open_fo_rewriting_plan(
+    source_query: ConjunctiveQuery, grounded: ConjunctiveQuery
+) -> Optional[Tuple[CompiledFormula, Tuple[Variable, ...]]]:
+    """One compiled rewriting serving *every* grounding of an open FO query.
+
+    The rewriting of the representative grounding is constructed once, then
+    its placeholder constants are substituted back by placeholder
+    *variables* (one per free variable of *source_query*, in order) that a
+    per-candidate valuation binds at evaluation time.  This is sound for
+    self-join-free queries because constants never enter the attack graph
+    (closures and join-tree labels are built from variables alone), so the
+    rewriting *structure* is identical for every candidate tuple — only
+    the constants differ.  Returns ``(compiled plan, valuation variables)``
+    or ``None`` when the construction is unavailable (fallback: compile per
+    grounding).
+    """
+    if any(v.name.startswith(_PLACEHOLDER_PREFIX) for v in grounded.variables):
+        return None  # a user variable shadows the placeholder namespace
+    # A user *constant* in the placeholder namespace is indistinguishable
+    # from a grounding placeholder once the representative grounding is
+    # built, so the back-substitution would capture it too — bail out.
+    for atom in source_query.atoms:
+        for constant in atom.constants:
+            if isinstance(constant.value, str) and constant.value.startswith(
+                _PLACEHOLDER_PREFIX
+            ):
+                return None
+    try:
+        formula = certain_rewriting_cached(grounded)
+    except UnsupportedQueryError:
+        return None
+    candidate_vars = tuple(
+        Variable(f"{_PLACEHOLDER_PREFIX}{i}__")
+        for i in range(len(source_query.free_variables))
+    )
+    mapping = {
+        Constant(f"{_PLACEHOLDER_PREFIX}{i}__"): variable
+        for i, variable in enumerate(candidate_vars)
+    }
+    return compile_formula(replace_constants(formula, mapping)), candidate_vars
 
 
 class QueryPlan:
@@ -78,6 +137,20 @@ class QueryPlan:
     atom_order:
         The greedy join order of the Boolean query's atoms (shared with the
         evaluation layer's memoised :func:`order_atoms`).
+    fo_rewriting:
+        For FO-band plans, the certain first-order rewriting of ``query``
+        compiled into a guarded set-at-a-time plan
+        (:class:`~repro.fo.compile.CompiledFormula`); ``None`` for other
+        bands.  Because plans are cached in the :class:`PlanCache`, the
+        rewriting is constructed and compiled once per query shape and
+        executed by ordinary relational evaluation — the operational
+        content of Theorem 1.  For non-Boolean plans the compiled formula
+        is *open*: its free variables are the ``fo_candidate_vars`` that a
+        per-candidate valuation binds, so one plan serves every grounding
+        of a batched ``certain_answers`` call.
+    fo_candidate_vars:
+        The valuation variables of an open ``fo_rewriting`` (aligned with
+        ``source_query.free_variables``); ``None`` for Boolean plans.
     per_grounding:
         ``True`` when the compiled dispatch cannot be trusted for arbitrary
         groundings (non-Boolean queries with self-joins, where repeated
@@ -91,6 +164,8 @@ class QueryPlan:
         "classification",
         "method",
         "atom_order",
+        "fo_rewriting",
+        "fo_candidate_vars",
         "per_grounding",
     )
 
@@ -107,6 +182,15 @@ class QueryPlan:
         self.classification = classification
         self.method = method
         self.atom_order = order_atoms(query)
+        self.fo_rewriting: Optional[CompiledFormula] = None
+        self.fo_candidate_vars: Optional[Tuple[Variable, ...]] = None
+        if method == "fo-rewriting" and not per_grounding:
+            if source_query.is_boolean:
+                self.fo_rewriting = _fo_rewriting_plan(query)
+            else:
+                open_plan = _open_fo_rewriting_plan(source_query, query)
+                if open_plan is not None:
+                    self.fo_rewriting, self.fo_candidate_vars = open_plan
         self.per_grounding = per_grounding
 
     @property
@@ -128,6 +212,7 @@ class QueryPlan:
         grounding: Optional[ConjunctiveQuery] = None,
         allow_exponential: bool = False,
         context: Optional[SolverContext] = None,
+        candidate: Optional[Tuple[Constant, ...]] = None,
     ) -> CertaintyOutcome:
         """Run the compiled plan against *db*.
 
@@ -139,6 +224,11 @@ class QueryPlan:
         ``per_grounding`` plans instead re-classify each grounding, because
         repeated constants can collapse same-relation atoms and change the
         band (classification stays memoised through ``classify_cached``).
+
+        *candidate* is the tuple of constants the grounding substituted for
+        ``source_query.free_variables``; when the plan carries an open
+        compiled rewriting, FO execution binds the candidate through a
+        valuation instead of constructing a rewriting per grounding.
         """
         if grounding is not None and self.per_grounding:
             return compile_plan(grounding).execute(
@@ -146,9 +236,8 @@ class QueryPlan:
             )
         target = grounding if grounding is not None else self.query
         if self.method == "fo-rewriting":
-            return CertaintyOutcome(
-                certain_fo(db, target, context=context), self.method, self.classification
-            )
+            certain = self._execute_fo(db, grounding, candidate, context)
+            return CertaintyOutcome(certain, self.method, self.classification)
         if self.method == "theorem3-terminal-cycles":
             return CertaintyOutcome(
                 certain_terminal_cycles(db, target, context=context),
@@ -174,6 +263,33 @@ class QueryPlan:
         return CertaintyOutcome(
             certain_brute_force(db, target, context=context), self.method, self.classification
         )
+
+    def _execute_fo(
+        self,
+        db: UncertainDatabase,
+        grounding: Optional[ConjunctiveQuery],
+        candidate: Optional[Tuple[Constant, ...]],
+        context: Optional[SolverContext],
+    ) -> bool:
+        """FO dispatch: evaluate the compiled rewriting, peel as fallback."""
+        index = context.index_for(db) if context is not None else None
+        if self.fo_candidate_vars is not None and self.fo_rewriting is not None:
+            if candidate is None and grounding is None:
+                # Representative execution of a non-Boolean plan: bind the
+                # placeholder constants themselves (the historical target).
+                candidate = tuple(
+                    Constant(v.name) for v in self.fo_candidate_vars
+                )
+            if candidate is not None:
+                valuation = Valuation(dict(zip(self.fo_candidate_vars, candidate)))
+                return self.fo_rewriting.evaluate(db, index=index, valuation=valuation)
+        elif self.fo_rewriting is not None and grounding is None:
+            return self.fo_rewriting.evaluate(db, index=index)
+        rewriting = _fo_rewriting_plan(grounding) if grounding is not None else None
+        if rewriting is not None:
+            return rewriting.evaluate(db, index=index)
+        target = grounding if grounding is not None else self.query
+        return certain_fo(db, target, context=context)
 
 
 def compile_plan(

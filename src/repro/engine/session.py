@@ -13,6 +13,13 @@ memoised attack graphs into the solvers.
 The batched :meth:`certain_answers` classifies the query *shape* once and
 reuses the plan for every candidate grounding — unlike the historical
 one-shot loop, which re-classified (and re-indexed) per candidate tuple.
+
+FO-band queries execute through their compiled certain rewriting: the plan
+carries a :class:`~repro.fo.compile.CompiledFormula` (a guarded
+set-at-a-time relational plan over the rewriting of Theorem 1) which is
+evaluated directly against the session's incrementally maintained index —
+see :meth:`evaluate_formula` for evaluating arbitrary formulas the same
+way.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ from typing import Optional, Set, Tuple
 
 from ..certainty.context import SolverContext
 from ..certainty.solver import CertaintyOutcome
+from ..fo.compile import compile_formula
+from ..fo.formulas import Formula
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
@@ -154,11 +163,26 @@ class CertaintySession:
         for candidate in sorted(candidates, key=lambda t: tuple(str(c) for c in t)):
             grounded = ground_free_variables(query, [c.value for c in candidate])
             outcome = plan.execute(
-                self._db, grounding=grounded, allow_exponential=allow, context=self._context
+                self._db,
+                grounding=grounded,
+                allow_exponential=allow,
+                context=self._context,
+                candidate=candidate,
             )
             if outcome.certain:
                 certain.add(candidate)
         return certain
+
+    def evaluate_formula(self, formula: "Formula") -> bool:
+        """Evaluate a first-order sentence against the session's database.
+
+        The formula is compiled (memoised per formula object) into a
+        set-at-a-time plan and run on the session's shared index, so
+        repeated evaluations against the mutating database skip both
+        re-compilation and re-indexing.
+        """
+        self._check_open()
+        return compile_formula(formula).evaluate(self._db, index=self._index)
 
     def _check_open(self) -> None:
         if self._closed:

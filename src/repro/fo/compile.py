@@ -1,0 +1,768 @@
+"""Compilation of first-order formulas into set-at-a-time relational plans.
+
+The naive :class:`~repro.fo.evaluate.FormulaEvaluator` enumerates the entire
+active domain for every quantified variable, which makes evaluation of the
+certain first-order rewritings of Theorem 1 exponential in quantifier depth.
+This module restores the promise of the theorem — FO-expressible means
+*evaluable by an ordinary database engine* — by compiling each subformula
+once into a :class:`PlanNode` whose result is the **set of satisfying
+assignment tuples over its free variables**, computed bottom-up with
+relational operations:
+
+* an atom ``R(t⃗)`` becomes a scan of the per-relation (or, when the key is
+  ground or bound by the surrounding plan, per-block) entries of a
+  :class:`~repro.query.evaluation.FactIndex`;
+* ``∃x φ`` becomes a projection of the plan of ``φ``;
+* conjunction becomes a sequence of (hash-)joins on shared free variables,
+  seeded by the *guarded* conjuncts (those whose satisfying set is bounded
+  by positive atoms) and finished by applying the remaining conjuncts as
+  selections / anti-joins;
+* disjunction becomes a union;
+* ``∀x⃗ φ`` and ``¬φ`` become anti-joins: the plan of the *violating*
+  assignments (``∃x⃗ ¬φ`` after pushing the negation inwards) is evaluated
+  and subtracted from the rows supplied by the surrounding conjunction.
+
+Range analysis happens at compile time: a node is *guarded* when its
+satisfying set can be produced without enumerating the active domain, which
+is the common shape emitted by :mod:`repro.fo.rewrite` (every quantified
+variable is bounded by a positive atom).  Active-domain enumeration survives
+only as a rare fallback (tracked by ``EvalContext.domain_expansions``) for
+formulas such as ``∀x ¬R(x | x)`` that no real rewriting produces.
+
+Compiled plans are memoised per formula object (formulas hash by identity),
+so re-evaluating the same rewriting against many databases compiles once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+from weakref import WeakKeyDictionary
+
+from ..model.atoms import Atom
+from ..model.database import UncertainDatabase
+from ..model.symbols import Constant, Variable, is_constant
+from ..model.valuation import Valuation
+from ..query.evaluation import FactIndex
+from .formulas import (
+    And,
+    AtomFormula,
+    Bottom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+
+#: A row of a relation: one constant per schema column.
+Row = Tuple[Constant, ...]
+
+
+class Relation:
+    """A set of assignment tuples over an ordered tuple of variables.
+
+    The *schema* lists the variables each column binds; *rows* is a set of
+    equally long constant tuples.  The Boolean relations are the two
+    zero-column relations: ``{()}`` (true) and ``{}`` (false).
+    """
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Tuple[Variable, ...], rows: Set[Row]) -> None:
+        self.schema = schema
+        self.rows = rows
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.schema)
+        return f"Relation([{names}], {len(self.rows)} rows)"
+
+
+def _ordered(variables: Iterable[Variable]) -> Tuple[Variable, ...]:
+    """A deterministic column order for a set of variables."""
+    return tuple(sorted(set(variables), key=lambda v: v.name))
+
+
+def _unit() -> Relation:
+    """The unit (true) relation: no columns, one empty row."""
+    return Relation((), {()})
+
+
+def _project(rel: Relation, schema: Tuple[Variable, ...]) -> Relation:
+    """Project (and/or reorder) *rel* onto *schema* ⊆ ``rel.schema``."""
+    if schema == rel.schema:
+        return rel
+    positions = [rel.schema.index(v) for v in schema]
+    return Relation(schema, {tuple(row[p] for p in positions) for row in rel.rows})
+
+
+def _join(left: Relation, right: Relation) -> Relation:
+    """Natural (hash) join of two relations on their shared variables."""
+    if not left.schema:
+        return right if left.rows else Relation(right.schema, set())
+    if not right.schema:
+        return left if right.rows else Relation(left.schema, set())
+    shared = [v for v in right.schema if v in left.schema]
+    extra = [v for v in right.schema if v not in left.schema]
+    out_schema = left.schema + tuple(extra)
+    if not shared:
+        rows = {lrow + rrow for lrow in left.rows for rrow in right.rows}
+        return Relation(out_schema, rows)
+    left_key = [left.schema.index(v) for v in shared]
+    right_key = [right.schema.index(v) for v in shared]
+    extra_pos = [right.schema.index(v) for v in extra]
+    table: Dict[Row, List[Row]] = {}
+    for rrow in right.rows:
+        table.setdefault(tuple(rrow[p] for p in right_key), []).append(
+            tuple(rrow[p] for p in extra_pos)
+        )
+    rows = set()
+    for lrow in left.rows:
+        for tail in table.get(tuple(lrow[p] for p in left_key), ()):
+            rows.add(lrow + tail)
+    return Relation(out_schema, rows)
+
+
+def _antijoin(rel: Relation, exclude: Relation) -> Relation:
+    """Rows of *rel* whose projection onto ``exclude.schema`` is absent there."""
+    if not exclude.schema:
+        return Relation(rel.schema, set()) if exclude.rows else rel
+    positions = [rel.schema.index(v) for v in exclude.schema]
+    rows = {row for row in rel.rows if tuple(row[p] for p in positions) not in exclude.rows}
+    return Relation(rel.schema, rows)
+
+
+def _semijoin(rel: Relation, keep: Relation) -> Relation:
+    """Rows of *rel* whose projection onto ``keep.schema`` is present there."""
+    if not keep.schema:
+        return rel if keep.rows else Relation(rel.schema, set())
+    positions = [rel.schema.index(v) for v in keep.schema]
+    rows = {row for row in rel.rows if tuple(row[p] for p in positions) in keep.rows}
+    return Relation(rel.schema, rows)
+
+
+class EvalContext:
+    """Per-database state for one or more compiled-plan evaluations.
+
+    Bundles the :class:`FactIndex` the atom scans read, the active domain
+    used by the (rare) unguarded fallbacks, and instrumentation counters:
+
+    ``domain_expansions``
+        number of times a plan node had to enumerate the active domain for
+        an unguarded variable — ``0`` for every formula produced by
+        :mod:`repro.fo.rewrite`;
+    ``atom_scans`` / ``block_lookups``
+        how atom leaves obtained their facts (full relation scan versus
+        guarded per-block index probes).
+    """
+
+    __slots__ = (
+        "index",
+        "_domain",
+        "_domain_set",
+        "explicit_domain",
+        "domain_expansions",
+        "atom_scans",
+        "block_lookups",
+    )
+
+    def __init__(
+        self,
+        index: FactIndex,
+        domain: Optional[Iterable[Constant]] = None,
+    ) -> None:
+        self.index = index
+        # An explicitly supplied domain may be *smaller* than the set of
+        # constants in the facts; quantifier nodes must then re-check that
+        # the bindings found through atom guards lie inside it (matching the
+        # naive evaluator, whose quantifier loops range over this domain).
+        self.explicit_domain = domain is not None
+        if domain is None:
+            # Guarded plans never consult the domain, so deriving it from
+            # the (possibly large) index is deferred until first use.
+            self._domain: Optional[Tuple[Constant, ...]] = None
+        else:
+            self._domain = tuple(sorted(set(domain), key=str))
+        self._domain_set: Optional[FrozenSet[Constant]] = None
+        self.domain_expansions = 0
+        self.atom_scans = 0
+        self.block_lookups = 0
+
+    @property
+    def domain(self) -> Tuple[Constant, ...]:
+        """The quantification domain (computed from the index on first use)."""
+        if self._domain is None:
+            values: Set[Constant] = set()
+            for fact in self.index:
+                values.update(fact.terms)
+            self._domain = tuple(sorted(values, key=str))
+        return self._domain
+
+    @property
+    def domain_set(self) -> FrozenSet[Constant]:
+        if self._domain_set is None:
+            self._domain_set = frozenset(self.domain)
+        return self._domain_set
+
+    @classmethod
+    def for_database(
+        cls,
+        db: UncertainDatabase,
+        index: Optional[FactIndex] = None,
+        domain: Optional[Iterable[Constant]] = None,
+    ) -> "EvalContext":
+        """A context over *db*, reusing *index* when supplied (else building one)."""
+        if index is None:
+            index = FactIndex(db.facts)
+        return cls(index, domain=domain)
+
+    def in_domain(self, rel: Relation, variables: Iterable[Variable]) -> Relation:
+        """Restrict *rel* to rows whose *variables* columns lie in the domain.
+
+        A no-op unless the domain was explicitly supplied (bindings found
+        through fact guards are by definition in the active domain).
+        """
+        if not self.explicit_domain:
+            return rel
+        positions = [rel.schema.index(v) for v in variables if v in rel.schema]
+        if not positions:
+            return rel
+        rows = {row for row in rel.rows if all(row[p] in self.domain_set for p in positions)}
+        return Relation(rel.schema, rows)
+
+    def expand(self, rel: Relation, missing: Iterable[Variable]) -> Relation:
+        """Cross product of *rel* with the active domain for *missing* variables.
+
+        This is the unguarded fallback; each call bumps ``domain_expansions``.
+        """
+        missing = _ordered(missing)
+        if not missing:
+            return rel
+        self.domain_expansions += 1
+        schema = rel.schema + missing
+        rows = {
+            row + combo
+            for row in rel.rows
+            for combo in itertools.product(self.domain, repeat=len(missing))
+        }
+        return Relation(schema, rows)
+
+
+def push_negation(formula: Formula) -> Formula:
+    """The negation of *formula*, pushed through the connectives.
+
+    Rewriting ``¬∀`` into ``∃¬`` (and dually) at compile time is what keeps
+    universal quantification guarded: the violating assignments of
+    ``∀w⃗ (R(x⃗, w⃗) → φ)`` are ``∃w⃗ (R(x⃗, w⃗) ∧ ¬φ)``, whose quantified
+    variables are bounded by the positive atom ``R``.
+    """
+    if isinstance(formula, Top):
+        return Bottom()
+    if isinstance(formula, Bottom):
+        return Top()
+    if isinstance(formula, Not):
+        return formula.operand
+    if isinstance(formula, And):
+        return Or([push_negation(o) for o in formula.operands])
+    if isinstance(formula, Or):
+        return And([push_negation(o) for o in formula.operands])
+    if isinstance(formula, Implies):
+        return And([formula.antecedent, push_negation(formula.consequent)])
+    if isinstance(formula, Exists):
+        return Forall(formula.variables, push_negation(formula.operand))
+    if isinstance(formula, Forall):
+        return Exists(formula.variables, push_negation(formula.operand))
+    return Not(formula)
+
+
+class PlanNode:
+    """A compiled subformula.
+
+    Every node knows its free variables and whether it is *guarded* — able
+    to :meth:`produce` its satisfying set without enumerating the active
+    domain.  Two evaluation entry points exist:
+
+    ``produce(ctx, env)``
+        the satisfying assignments over ``env.schema ∪ free``, restricted to
+        rows extending *env* (sideways information passing: an enclosing
+        join hands its partial result down so atom leaves can use per-block
+        index lookups);
+    ``filter(ctx, rel)``
+        the rows of *rel* (whose schema must cover ``free``) that satisfy
+        the node — the set-at-a-time selection/anti-join used for equality
+        conditions, negation and universal quantification.
+    """
+
+    __slots__ = ("free", "schema", "guarded")
+
+    def __init__(self, free: FrozenSet[Variable], guarded: bool) -> None:
+        self.free = free
+        self.schema = _ordered(free)
+        self.guarded = guarded
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        raise NotImplementedError
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        """Default filter: semi-join *rel* with the produced satisfying set."""
+        env = _project(rel, self.schema)
+        sat = self.produce(ctx, env)
+        return _semijoin(rel, _project(sat, self.schema))
+
+
+class TopNode(PlanNode):
+    def __init__(self) -> None:
+        super().__init__(frozenset(), True)
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        return env if env is not None else _unit()
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        return rel
+
+
+class BottomNode(PlanNode):
+    def __init__(self) -> None:
+        super().__init__(frozenset(), True)
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        return Relation(env.schema if env is not None else (), set())
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        return Relation(rel.schema, set())
+
+
+class AtomNode(PlanNode):
+    """A scan of the fact index, matching the atom's term pattern."""
+
+    __slots__ = ("atom", "_const_checks", "_first_position", "_repeat_checks", "_key_terms")
+
+    def __init__(self, atom: Atom) -> None:
+        super().__init__(atom.variables, True)
+        self.atom = atom
+        self._const_checks: List[Tuple[int, Constant]] = []
+        self._first_position: Dict[Variable, int] = {}
+        self._repeat_checks: List[Tuple[int, int]] = []
+        for position, term in enumerate(atom.terms):
+            if is_constant(term):
+                self._const_checks.append((position, term))
+            elif term in self._first_position:
+                self._repeat_checks.append((position, self._first_position[term]))
+            else:
+                self._first_position[term] = position
+        self._key_terms = atom.key_terms
+
+    def _match(self, fact_terms: Sequence[Constant]) -> Optional[Row]:
+        for position, constant in self._const_checks:
+            if fact_terms[position] != constant:
+                return None
+        for position, first in self._repeat_checks:
+            if fact_terms[position] != fact_terms[first]:
+                return None
+        return tuple(fact_terms[self._first_position[v]] for v in self.schema)
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        relation = self.atom.relation
+        name = relation.name
+        # Guarded probe: the key is ground, or fully bound by the incoming rows.
+        if env is not None and env.rows:
+            env_positions = {v: p for p, v in enumerate(env.schema)}
+            key_getters = []
+            for term in self._key_terms:
+                if is_constant(term):
+                    key_getters.append((None, term))
+                elif term in env_positions:
+                    key_getters.append((env_positions[term], None))
+                else:
+                    key_getters.append(None)
+            if all(g is not None for g in key_getters):
+                ctx.block_lookups += 1
+                out_extra = [v for v in self.schema if v not in env_positions]
+                out_schema = env.schema + tuple(out_extra)
+                bound = [(env_positions[v], p) for v, p in self._first_position.items() if v in env_positions]
+                extra_pos = [self._first_position[v] for v in out_extra]
+                rows: Set[Row] = set()
+                for env_row in env.rows:
+                    key = tuple(
+                        env_row[pos] if const is None else const  # type: ignore[index]
+                        for pos, const in key_getters  # type: ignore[misc]
+                    )
+                    for fact in ctx.index.block(name, key):
+                        if fact.relation.arity != relation.arity:
+                            continue
+                        terms = fact.terms
+                        if self._match(terms) is None:
+                            continue
+                        if any(env_row[ep] != terms[fp] for ep, fp in bound):
+                            continue
+                        rows.add(env_row + tuple(terms[p] for p in extra_pos))
+                return Relation(out_schema, rows)
+        ctx.atom_scans += 1
+        if self._key_terms and all(is_constant(t) for t in self._key_terms):
+            candidates: Iterable = ctx.index.block(name, self._key_terms)
+        else:
+            candidates = ctx.index.relation(name)
+        rows = set()
+        for fact in candidates:
+            if fact.relation.arity != relation.arity:
+                continue
+            row = self._match(fact.terms)
+            if row is not None:
+                rows.add(row)
+        rel = Relation(self.schema, rows)
+        if env is not None:
+            rel = _join(env, rel)
+        return rel
+
+
+class EqualsNode(PlanNode):
+    """An equality ``t1 = t2``: a selection, or a one-row relation."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right) -> None:
+        free = frozenset(t for t in (left, right) if isinstance(t, Variable))
+        # Guarded when at most one side must range over the domain *and* a
+        # constant pins it down; ``x = y`` / ``x = x`` need the domain.
+        guarded = len(free) <= 1 and not (len(free) == 1 and left == right)
+        super().__init__(free, guarded)
+        self.left = left
+        self.right = right
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        def getter(term):
+            if isinstance(term, Variable):
+                position = rel.schema.index(term)
+                return lambda row: row[position]
+            return lambda row: term
+
+        get_left, get_right = getter(self.left), getter(self.right)
+        rows = {row for row in rel.rows if get_left(row) == get_right(row)}
+        return Relation(rel.schema, rows)
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        if env is not None and self.free <= set(env.schema):
+            return self.filter(ctx, env)
+        if not self.free:  # constant = constant
+            rows = {()} if self.left == self.right else set()
+            base = Relation((), rows)
+            return _join(env, base) if env is not None else base
+        if self.guarded:
+            variable = next(iter(self.free))
+            constant = self.right if isinstance(self.left, Variable) else self.left
+            rows = {(constant,)} if constant in ctx.domain_set else set()
+            base = Relation((variable,), rows)
+            return _join(env, base) if env is not None else base
+        # x = y (or x = x): enumerate the domain — the unguarded fallback.
+        base = env if env is not None else _unit()
+        missing = self.free - set(base.schema)
+        return self.filter(ctx, ctx.expand(base, missing))
+
+
+class NotNode(PlanNode):
+    """Negation of a (post-push) leaf: a difference against the input rows."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: PlanNode) -> None:
+        super().__init__(operand.free, False)
+        self.operand = operand
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        sat = self.operand.filter(ctx, rel)
+        return Relation(rel.schema, rel.rows - sat.rows)
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        base = env if env is not None else _unit()
+        missing = self.free - set(base.schema)
+        if missing:
+            base = ctx.expand(base, missing)
+        return self.filter(ctx, base)
+
+
+class AndNode(PlanNode):
+    """Conjunction: join the guarded conjuncts, apply the rest as filters."""
+
+    __slots__ = ("producers", "filters")
+
+    def __init__(self, children: Sequence[PlanNode]) -> None:
+        free = frozenset().union(*(c.free for c in children)) if children else frozenset()
+        producers = [c for c in children if c.guarded]
+        covered = frozenset().union(*(p.free for p in producers)) if producers else frozenset()
+        super().__init__(free, free <= covered)
+        self.producers = producers
+        self.filters = [c for c in children if not c.guarded]
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        rel = env if env is not None else _unit()
+        remaining = list(self.producers)
+        while remaining:
+            bound = set(rel.schema)
+            # Greedy join order: prefer conjuncts sharing variables with the
+            # rows built so far (turns scans into guarded block probes and
+            # avoids cross products).
+            best = max(remaining, key=lambda p: (len(p.free & bound), -len(p.free)))
+            remaining.remove(best)
+            rel = best.produce(ctx, rel)
+        missing = self.free - set(rel.schema)
+        if missing:
+            rel = ctx.expand(rel, missing)
+        for child in self.filters:
+            if not rel.rows:
+                break
+            rel = child.filter(ctx, rel)
+        return rel
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        for child in self.producers + self.filters:
+            if not rel.rows:
+                break
+            rel = child.filter(ctx, rel)
+        return rel
+
+
+class OrNode(PlanNode):
+    """Disjunction: a union of the operand plans."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[PlanNode]) -> None:
+        free = frozenset().union(*(c.free for c in children)) if children else frozenset()
+        guarded = bool(children) and all(c.guarded and c.free == free for c in children)
+        super().__init__(free, guarded)
+        self.children = list(children)
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        env_schema = env.schema if env is not None else ()
+        out_schema = env_schema + tuple(v for v in self.schema if v not in env_schema)
+        rows: Set[Row] = set()
+        for child in self.children:
+            rel = child.produce(ctx, env)
+            missing = set(out_schema) - set(rel.schema)
+            if missing:
+                rel = ctx.expand(rel, missing)
+            rows |= _project(rel, out_schema).rows
+        return Relation(out_schema, rows)
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        rows: Set[Row] = set()
+        for child in self.children:
+            rows |= child.filter(ctx, rel).rows
+            if len(rows) == len(rel.rows):
+                break
+        return Relation(rel.schema, rows)
+
+
+class ExistsNode(PlanNode):
+    """Existential quantification: a projection of the operand plan."""
+
+    __slots__ = ("qvars", "operand", "vacuous")
+
+    def __init__(self, qvars: FrozenSet[Variable], operand: PlanNode) -> None:
+        super().__init__(operand.free - qvars, operand.guarded)
+        self.qvars = qvars
+        self.operand = operand
+        self.vacuous = qvars - operand.free
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        inner_env = env
+        shadowed = env is not None and any(v in self.qvars for v in env.schema)
+        if shadowed:
+            inner_env = _project(env, tuple(v for v in env.schema if v not in self.qvars))
+        env_schema = inner_env.schema if inner_env is not None else ()
+        out_schema = env_schema + tuple(v for v in self.schema if v not in env_schema)
+        if self.vacuous and not ctx.domain:
+            # ∃x φ is false over an empty active domain.
+            sat = Relation(out_schema, set())
+        else:
+            inner = self.operand.produce(ctx, inner_env)
+            inner = ctx.in_domain(inner, self.qvars)
+            sat = _project(inner, out_schema)
+        if shadowed:
+            return _join(env, sat)  # re-attach the shadowed outer columns
+        return sat
+
+
+class ForallNode(PlanNode):
+    """Universal quantification, evaluated as an anti-join with its violations.
+
+    ``∀x⃗ φ`` holds for an assignment iff the *violation plan* —
+    ``∃x⃗ ¬φ`` with the negation pushed inwards — produces no extension of
+    it.  When ``φ`` is the guarded implication shape of the rewritings, the
+    violation plan is guarded by the implication's antecedent atom and never
+    touches the active domain.
+    """
+
+    __slots__ = ("qvars", "violation")
+
+    def __init__(self, qvars: FrozenSet[Variable], operand_free: FrozenSet[Variable], violation: PlanNode) -> None:
+        super().__init__(operand_free - qvars, False)
+        self.qvars = qvars
+        self.violation = violation
+
+    def filter(self, ctx: EvalContext, rel: Relation) -> Relation:
+        env = _project(rel, self.schema)
+        violations = self.violation.produce(ctx, env)
+        return _antijoin(rel, _project(violations, self.schema))
+
+    def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        base = env if env is not None else _unit()
+        shadowed = tuple(v for v in base.schema if v in self.qvars)
+        if shadowed:
+            base = _project(base, tuple(v for v in base.schema if v not in self.qvars))
+        missing = self.free - set(base.schema)
+        if missing:
+            base = ctx.expand(base, missing)
+        result = self.filter(ctx, base)
+        if shadowed and env is not None:
+            return _join(env, result)
+        return result
+
+
+def _compile(formula: Formula) -> PlanNode:
+    if isinstance(formula, Top):
+        return TopNode()
+    if isinstance(formula, Bottom):
+        return BottomNode()
+    if isinstance(formula, AtomFormula):
+        return AtomNode(formula.atom)
+    if isinstance(formula, Equals):
+        return EqualsNode(formula.left, formula.right)
+    if isinstance(formula, Not):
+        pushed = push_negation(formula.operand)
+        if isinstance(pushed, Not):
+            # ¬atom / ¬equality: a genuine difference node.
+            return NotNode(_compile(pushed.operand))
+        return _compile(pushed)
+    if isinstance(formula, And):
+        return AndNode([_compile(o) for o in formula.operands])
+    if isinstance(formula, Or):
+        return OrNode([_compile(o) for o in formula.operands])
+    if isinstance(formula, Implies):
+        # a → c  ≡  ¬a ∨ c, with the negation pushed for guardedness.
+        return OrNode([_compile(push_negation(formula.antecedent)), _compile(formula.consequent)])
+    if isinstance(formula, Exists):
+        if not formula.variables:
+            return _compile(formula.operand)
+        return ExistsNode(frozenset(formula.variables), _compile(formula.operand))
+    if isinstance(formula, Forall):
+        if not formula.variables:
+            return _compile(formula.operand)
+        qvars = frozenset(formula.variables)
+        violation = _compile(Exists(formula.variables, push_negation(formula.operand)))
+        return ForallNode(qvars, formula.operand.free_variables(), violation)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+class CompiledFormula:
+    """A formula compiled into a relational plan, evaluable against databases.
+
+    Instances are produced by :func:`compile_formula` (which memoises per
+    formula object) and are immutable: one compiled formula can be evaluated
+    against many databases, or against one mutating database through a
+    long-lived :class:`EvalContext` / engine session index.
+
+    The source formula is intentionally *not* retained: the memo keys
+    formulas weakly, and a strong back-reference from the cached value
+    would keep every key alive forever.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: PlanNode) -> None:
+        self.root = root
+
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.root.free
+
+    def evaluate(
+        self,
+        db: Optional[UncertainDatabase] = None,
+        *,
+        index: Optional[FactIndex] = None,
+        domain: Optional[Iterable[Constant]] = None,
+        valuation: Optional[Valuation] = None,
+        context: Optional[EvalContext] = None,
+    ) -> bool:
+        """``db |= formula [valuation]`` via the compiled plan.
+
+        Either *db*, an *index*, or a prebuilt *context* must be supplied;
+        free variables of the formula must be covered by *valuation*.
+        """
+        ctx = self._context(db, index, domain, context)
+        free = self.root.free
+        if free:
+            valuation = valuation if valuation is not None else Valuation()
+            missing = free - valuation.domain()
+            if missing:
+                names = ", ".join(sorted(v.name for v in missing))
+                raise ValueError(f"free variables not bound by the valuation: {names}")
+            schema = self.root.schema
+            seed = Relation(schema, {tuple(valuation[v] for v in schema)})
+            return bool(self.root.filter(ctx, seed).rows)
+        return bool(self.root.produce(ctx, None).rows)
+
+    def satisfying_assignments(
+        self,
+        db: Optional[UncertainDatabase] = None,
+        *,
+        index: Optional[FactIndex] = None,
+        domain: Optional[Iterable[Constant]] = None,
+        context: Optional[EvalContext] = None,
+    ) -> Relation:
+        """The full satisfying set over the formula's free variables."""
+        ctx = self._context(db, index, domain, context)
+        return _project(self.root.produce(ctx, None), self.root.schema)
+
+    @staticmethod
+    def _context(
+        db: Optional[UncertainDatabase],
+        index: Optional[FactIndex],
+        domain: Optional[Iterable[Constant]],
+        context: Optional[EvalContext],
+    ) -> EvalContext:
+        if context is not None:
+            return context
+        if index is not None:
+            return EvalContext(index, domain=domain)
+        if db is not None:
+            return EvalContext.for_database(db, domain=domain)
+        raise ValueError("evaluate needs a database, a fact index, or an EvalContext")
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.root.schema)
+        return f"CompiledFormula(free=[{names}])"
+
+
+#: Compiled-plan memo, keyed by formula identity (formulas hash by object
+#: identity); weak keys keep per-grounding rewritings from accumulating once
+#: the formula itself is dropped (e.g. evicted from the rewriting lru_cache).
+_PLAN_MEMO: "WeakKeyDictionary[Formula, CompiledFormula]" = WeakKeyDictionary()
+
+
+def compile_formula(formula: Formula) -> CompiledFormula:
+    """Compile *formula* into a relational plan (memoised per formula object)."""
+    plan = _PLAN_MEMO.get(formula)
+    if plan is None:
+        plan = CompiledFormula(_compile(formula))
+        _PLAN_MEMO[formula] = plan
+    return plan

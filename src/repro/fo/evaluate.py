@@ -4,6 +4,19 @@ A database is viewed as an ordinary relational structure (the key
 constraints play no role in plain satisfaction).  Quantifiers range over the
 *active domain* of the database, which is the standard semantics for certain
 first-order rewritings.
+
+Two evaluation strategies are available:
+
+* the **compiled** strategy (the default): the formula is compiled once by
+  :mod:`repro.fo.compile` into a bottom-up set-at-a-time relational plan —
+  atom leaves scan :class:`~repro.query.evaluation.FactIndex` entries,
+  quantifiers become projections and guarded anti-joins — so evaluation
+  cost tracks the data actually matching the formula's atoms instead of
+  ``|adom|^quantifier-depth``;
+* the **naive** strategy (``compiled=False``): the textbook recursive
+  model checker that enumerates the active domain for every quantified
+  variable.  It is kept as the executable definition of the semantics and
+  as the reference side of the differential tests.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from ..model.database import UncertainDatabase
 from ..model.symbols import Constant, Variable
 from ..model.valuation import Valuation
 from ..query.evaluation import FactIndex, match_atom
+from .compile import EvalContext, compile_formula
 from .formulas import (
     And,
     AtomFormula,
@@ -31,14 +45,51 @@ from .formulas import (
 
 
 class FormulaEvaluator:
-    """Evaluate formulas against a fixed database (facts + active domain)."""
+    """Evaluate formulas against a fixed database (facts + active domain).
 
-    def __init__(self, db: UncertainDatabase, domain: Optional[Iterable[Constant]] = None) -> None:
+    Parameters
+    ----------
+    db:
+        The database acting as the relational structure.
+    domain:
+        Quantification domain; defaults to the active domain of *db*.
+    index:
+        An externally shared :class:`FactIndex` over *db* (e.g. the
+        incrementally maintained index of an engine session, via
+        ``SolverContext.index_for``).  When omitted, one is built from the
+        database's facts.
+    compiled:
+        When ``True`` (the default) formulas are evaluated through the
+        set-at-a-time plans of :mod:`repro.fo.compile`; ``False`` selects
+        the naive active-domain recursion.
+    """
+
+    def __init__(
+        self,
+        db: UncertainDatabase,
+        domain: Optional[Iterable[Constant]] = None,
+        index: Optional[FactIndex] = None,
+        compiled: bool = True,
+    ) -> None:
         self.db = db
-        self.index = FactIndex(db.facts)
-        self.domain: Sequence[Constant] = sorted(
-            set(domain) if domain is not None else db.active_domain(), key=str
+        self.index = index if index is not None else FactIndex(db.facts)
+        self._explicit_domain = domain is not None
+        # The active domain is only needed by the naive recursion (and by
+        # the rare unguarded compiled fallbacks, which derive it from the
+        # index themselves), so it is collected lazily — the compiled fast
+        # path must not pay an O(|db| log |db|) setup scan it never reads.
+        self._domain: Optional[Sequence[Constant]] = (
+            sorted(set(domain), key=str) if domain is not None else None
         )
+        self.compiled = compiled
+        self._context: Optional[EvalContext] = None
+
+    @property
+    def domain(self) -> Sequence[Constant]:
+        """The quantification domain (defaults to the active domain of the db)."""
+        if self._domain is None:
+            self._domain = sorted(self.db.active_domain(), key=str)
+        return self._domain
 
     def evaluate(self, formula: Formula, valuation: Optional[Valuation] = None) -> bool:
         """``db |= formula [valuation]`` under active-domain semantics."""
@@ -47,7 +98,19 @@ class FormulaEvaluator:
         if missing:
             names = ", ".join(sorted(v.name for v in missing))
             raise ValueError(f"free variables not bound by the valuation: {names}")
+        if self.compiled:
+            return compile_formula(formula).evaluate(
+                context=self._eval_context(), valuation=valuation
+            )
         return self._eval(formula, valuation)
+
+    def _eval_context(self) -> EvalContext:
+        """The (lazily built, reused) compiled-plan context over the index."""
+        if self._context is None:
+            self._context = EvalContext(
+                self.index, domain=self.domain if self._explicit_domain else None
+            )
+        return self._context
 
     # -- recursive evaluation -----------------------------------------------------
 
@@ -60,7 +123,7 @@ class FormulaEvaluator:
             grounded = valuation.apply_atom(formula.atom)
             if grounded.variables:
                 raise ValueError(f"atom {formula.atom} not fully bound during evaluation")
-            return grounded.to_fact() in self.db
+            return grounded.to_fact() in self.index
         if isinstance(formula, Equals):
             left = valuation.apply_term(formula.left)
             right = valuation.apply_term(formula.right)
@@ -101,6 +164,16 @@ class FormulaEvaluator:
         return not existential
 
 
-def evaluate_sentence(db: UncertainDatabase, formula: Formula) -> bool:
-    """Evaluate a sentence (no free variables) against *db*."""
-    return FormulaEvaluator(db).evaluate(formula)
+def evaluate_sentence(
+    db: UncertainDatabase,
+    formula: Formula,
+    compiled: bool = True,
+    index: Optional[FactIndex] = None,
+) -> bool:
+    """Evaluate a sentence (no free variables) against *db*.
+
+    *compiled* selects the set-at-a-time plan evaluator (the fast path);
+    pass ``compiled=False`` for the naive active-domain recursion.  An
+    externally maintained *index* over *db* avoids the O(|db|) rebuild.
+    """
+    return FormulaEvaluator(db, index=index, compiled=compiled).evaluate(formula)

@@ -11,7 +11,7 @@ statement executable, this package provides a formula AST
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Union
 
 from ..model.atoms import Atom
 from ..model.symbols import Constant, Term, Variable
@@ -216,6 +216,45 @@ def disjunction(operands: Sequence[Formula]) -> Formula:
     if len(flattened) == 1:
         return flattened[0]
     return Or(flattened)
+
+
+def replace_constants(formula: Formula, mapping: "Mapping[Constant, Term]") -> Formula:
+    """Replace constants by terms throughout the formula (capture is the
+    caller's responsibility: replacement variables must not collide with
+    quantified ones).
+
+    Used by the engine to turn the rewriting of a *representative grounding*
+    back into an open formula: the placeholder constants become the query's
+    free variables, giving one compiled plan that serves every candidate
+    tuple of a batched ``certain_answers`` via a valuation.
+    """
+
+    def term(t: Term) -> Term:
+        return mapping.get(t, t) if not isinstance(t, Variable) else t
+
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, AtomFormula):
+        atom = formula.atom
+        return AtomFormula(Atom(atom.relation, tuple(term(t) for t in atom.terms)))
+    if isinstance(formula, Equals):
+        return Equals(term(formula.left), term(formula.right))
+    if isinstance(formula, Not):
+        return Not(replace_constants(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And([replace_constants(o, mapping) for o in formula.operands])
+    if isinstance(formula, Or):
+        return Or([replace_constants(o, mapping) for o in formula.operands])
+    if isinstance(formula, Implies):
+        return Implies(
+            replace_constants(formula.antecedent, mapping),
+            replace_constants(formula.consequent, mapping),
+        )
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, replace_constants(formula.operand, mapping))
+    if isinstance(formula, Forall):
+        return Forall(formula.variables, replace_constants(formula.operand, mapping))
+    raise TypeError(f"unknown formula node {formula!r}")
 
 
 def formula_size(formula: Formula) -> int:

@@ -13,13 +13,19 @@ conditions equate them with the constants / repeated variables of ``F``, and
 ``φ'`` is the rewriting of the remaining query with ``F``'s non-key
 variables renamed to the corresponding ``w``.
 
-The resulting sentence can be checked with
-:class:`repro.fo.evaluate.FormulaEvaluator`; the test suite verifies it
-against both the operational FO solver and the brute-force oracle.
+The resulting sentence is evaluated with
+:class:`repro.fo.evaluate.FormulaEvaluator`.  Since the evaluator's compiled
+set-at-a-time path (:mod:`repro.fo.compile`) made guarded evaluation as fast
+as the peeling solver, the rewriting is the *operational counterpart of
+Theorem 1* — the engine's production execution strategy for FO-band queries
+(see :func:`repro.certainty.rewriting.certain_fo_rewriting`) — and no longer
+just a test oracle; the test suite still verifies it against both the
+peeling solver and the brute-force oracle.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from ..attacks.graph import AttackGraph
@@ -68,6 +74,19 @@ def certain_rewriting(query: ConjunctiveQuery) -> Formula:
         )
     names = _FreshNames(frozenset(v.name for v in boolean.variables))
     return _rewrite(boolean, frozenset(), names)
+
+
+@lru_cache(maxsize=512)
+def certain_rewriting_cached(query: ConjunctiveQuery) -> Formula:
+    """Memoised :func:`certain_rewriting`.
+
+    The construction is pure and deterministic, so repeated executions of
+    the same query (or of the per-candidate groundings of a batched
+    ``certain_answers`` call) share one formula object — which in turn
+    shares one compiled plan through the identity-keyed memo of
+    :func:`repro.fo.compile.compile_formula`.
+    """
+    return certain_rewriting(query)
 
 
 def _rewrite(
