@@ -8,7 +8,7 @@ databases with a controlled amount of irrelevant noise.
 """
 
 from repro.certainty import certain_cycle_query, certain_terminal_cycles, purify
-from repro.query import cycle_query_ac, cycle_query_c
+from repro.query import cycle_query_c
 from repro.workloads import ring_instance, synthetic_instance
 
 

@@ -1,28 +1,40 @@
-"""Emit ``BENCH_fo_rewriting.json``: naive vs compiled FO-rewriting evaluation.
+"""Emit benchmark JSON reports recording the engine's performance trajectory.
 
-The script times the certain first-order rewriting of Theorem 1 under the
-two evaluation strategies of :class:`repro.fo.evaluate.FormulaEvaluator` —
-the naive active-domain recursion and the compiled set-at-a-time plans of
-:mod:`repro.fo.compile` — on a scaling workload, checks that they agree,
-and writes the measurements as JSON so the performance trajectory is
-recorded in CI from PR 2 onward.
+Two suites:
 
-The workload (:func:`fo_bench_instance`) is adversarial for the naive
-strategy: the early relations of a path query are dense while the final
-relation is sparse, so the instance is rarely certain and the naive
-evaluator must exhaust the ``|adom|^k`` quantifier space before concluding
-— exactly the exponential behaviour the compiled plans eliminate.
+``fo_rewriting`` (default) → ``BENCH_fo_rewriting.json``
+    Times the certain first-order rewriting of Theorem 1 under the two
+    evaluation strategies of :class:`repro.fo.evaluate.FormulaEvaluator` —
+    the naive active-domain recursion and the compiled set-at-a-time plans
+    of :mod:`repro.fo.compile` — on a scaling workload and checks that they
+    agree.  The workload (:func:`fo_bench_instance`) is adversarial for the
+    naive strategy: the early relations of a path query are dense while the
+    final relation is sparse, so the instance is rarely certain and the
+    naive evaluator must exhaust the ``|adom|^k`` quantifier space before
+    concluding — exactly the exponential behaviour the compiled plans
+    eliminate.
+
+``parallel_answers`` → ``BENCH_parallel_answers.json``
+    Times the batched sequential ``certain_answers`` against the sharded
+    :class:`repro.engine.ParallelCertaintySession` at 1/2/4 workers on a
+    large FO-band open-query workload, cross-checks that every strategy
+    returns the identical answer set, and records the purify fast path
+    (zero database copies on already-purified inputs).  Speedup scales
+    with physical cores; ``cpu_count`` is recorded alongside so numbers
+    from single-core CI boxes are read in context.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full sizes
     PYTHONPATH=src python benchmarks/emit_bench.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/emit_bench.py --suite parallel_answers
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import random
 import sys
@@ -31,9 +43,13 @@ from typing import Dict, List, Sequence
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.certainty import is_purified, purify, purify_copy_count, reset_purify_copy_count
+from repro.engine import CertaintySession, ParallelCertaintySession
 from repro.fo import certain_rewriting_cached, compile_formula, evaluate_sentence
 from repro.model.database import UncertainDatabase
+from repro.model.symbols import Variable
 from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.evaluation import answer_tuples
 from repro.query.families import path_query
 
 #: Default scaling sizes (active-domain size n; facts grow linearly in n).
@@ -116,38 +132,226 @@ def run_benchmark(sizes: Sequence[int], repeats: int = 3, seed: int = 5) -> Dict
     }
 
 
-def main(argv: Sequence[str] = ()) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke", action="store_true", help="CI-sized run (small sizes, one repeat)"
-    )
-    parser.add_argument(
-        "--sizes", type=int, nargs="*", default=None, help="explicit scaling sizes"
-    )
-    parser.add_argument(
-        "--output",
-        type=pathlib.Path,
-        default=pathlib.Path(__file__).resolve().parents[1] / "BENCH_fo_rewriting.json",
-        help="where to write the JSON report",
-    )
-    args = parser.parse_args(list(argv) or None)
+#: Planted-chain counts for the parallel_answers suite (the actual candidate
+#: count is higher: cross-links between chains create extra matches).
+PARALLEL_FULL_CANDIDATES = 1024
+PARALLEL_SMOKE_CANDIDATES = 48
+
+#: Worker counts compared against the sequential baseline.
+PARALLEL_WORKER_COUNTS = (1, 2, 4)
+
+
+def parallel_bench_query() -> ConjunctiveQuery:
+    """The FO-band open query: ``path_query(3)`` with its head variable free."""
+    base = path_query(3)
+    return ConjunctiveQuery(base.atoms, free_variables=[Variable("x1")])
+
+
+def parallel_bench_instance(
+    query: ConjunctiveQuery, candidates: int, seed: int = 13
+) -> UncertainDatabase:
+    """A database with ~*candidates* candidate answers and heavy key conflicts.
+
+    Each candidate ``x1 = s{i}`` roots one witness chain; every chain link
+    gets extra key-conflicting facts so the certain rewriting must reason
+    over multi-fact blocks for every candidate — the per-candidate work the
+    sharded loop distributes.
+    """
+    rng = random.Random(seed)
+    relations = [atom.relation for atom in query.atoms]
+    db = UncertainDatabase()
+    for i in range(candidates):
+        chain = [f"s{i}"] + [f"v{i}_{level}" for level in range(1, len(relations) + 1)]
+        conflicted = rng.random() < 0.75  # ~25% of chains stay certain
+        for level, relation in enumerate(relations):
+            db.add(relation.fact(chain[level], chain[level + 1]))
+            if conflicted:
+                # Conflicting claims inside the block of every chain link.
+                # Live targets (other chains' nodes) keep the rewriting's
+                # universal quantifier chasing real continuations; dead
+                # targets give the falsifier a pick with no continuation, so
+                # a fair share of candidates decide NOT-certain and the
+                # sequential-vs-parallel cross-check covers both branches.
+                for conflict in range(3):
+                    if conflict == 0 and level < len(relations) - 1:
+                        # No fact ever continues from a dead node, so a
+                        # repair picking this conflict breaks the chain.
+                        target = f"dead{rng.randrange(candidates)}"
+                    else:
+                        target = f"v{rng.randrange(candidates)}_{level + 1}"
+                    db.add(relation.fact(chain[level], target))
+        # Cross-links between chains keep the join fan-out honest.
+        for _ in range(3):
+            level = rng.randrange(len(relations))
+            relation = relations[level]
+            db.add(
+                relation.fact(
+                    f"v{rng.randrange(candidates)}_{level}",
+                    f"v{rng.randrange(candidates)}_{level + 1}",
+                )
+            )
+    return db
+
+
+def run_parallel_benchmark(
+    candidates: int, repeats: int = 3, seed: int = 13
+) -> Dict:
+    """Sequential vs parallel certain answers at 1/2/4 workers, cross-checked."""
+    query = parallel_bench_query()
+    db = parallel_bench_instance(query, candidates, seed=seed)
+
+    with CertaintySession(db) as session:
+        candidate_count = len(answer_tuples(query, session.index))
+        sequential_answers = session.certain_answers(query)
+        sequential_seconds = _best_of(
+            repeats, lambda: session.certain_answers(query)
+        )
+
+    results: List[Dict] = []
+    all_agree = True
+    for workers in PARALLEL_WORKER_COUNTS:
+        with ParallelCertaintySession(
+            db, max_workers=workers, mode="process", min_parallel_candidates=1
+        ) as parallel_session:
+            parallel_answers = parallel_session.certain_answers(query)
+            agree = parallel_answers == sequential_answers
+            all_agree = all_agree and agree
+            parallel_seconds = _best_of(
+                repeats, lambda: parallel_session.certain_answers(query)
+            )
+        results.append(
+            {
+                "workers": workers,
+                "parallel_seconds": parallel_seconds,
+                "speedup_vs_sequential": (
+                    sequential_seconds / parallel_seconds if parallel_seconds else None
+                ),
+                "answers": len(parallel_answers),
+                "agree": agree,
+            }
+        )
+
+    # The purify fast path: re-purifying an already-purified database must
+    # copy nothing (the polynomial solvers funnel through purify per call).
+    purified = purify(db, query.as_boolean())
+    assert is_purified(purified, query.as_boolean())
+    reset_purify_copy_count()
+    for _ in range(100):
+        purify(purified, query.as_boolean())
+    zero_copy_purifies = purify_copy_count()
+
+    return {
+        "benchmark": "parallel_answers",
+        "query": str(query),
+        "cpu_count": os.cpu_count(),
+        "facts": len(db),
+        "planted_chains": candidates,
+        "candidate_answers": candidate_count,
+        "certain_answers": len(sequential_answers),
+        "repeats": repeats,
+        "sequential_seconds": sequential_seconds,
+        "results": results,
+        "all_agree": all_agree,
+        "purify_fast_path": {
+            "repurify_runs": 100,
+            "copies": zero_copy_purifies,
+            "zero_copies": zero_copy_purifies == 0,
+        },
+    }
+
+
+def _emit_fo_rewriting(args: argparse.Namespace, output: pathlib.Path) -> int:
     if args.sizes:
         sizes: Sequence[int] = args.sizes
     else:
         sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
     report = run_benchmark(sizes, repeats=1 if args.smoke else 3)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    output.write_text(json.dumps(report, indent=2) + "\n")
     for row in report["results"]:
         print(
             f"size={row['size']:4d} facts={row['facts']:5d} certain={row['certain']!s:5s} "
             f"naive={row['naive_seconds']:.4f}s compiled={row['compiled_seconds']:.4f}s "
             f"speedup={row['speedup']:.1f}x"
         )
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     if not report["all_agree"]:
         print("ERROR: naive and compiled evaluation disagree", file=sys.stderr)
         return 1
     return 0
+
+
+def _emit_parallel_answers(args: argparse.Namespace, output: pathlib.Path) -> int:
+    if args.sizes:
+        candidates = args.sizes[0]  # chain count for this suite
+    else:
+        candidates = PARALLEL_SMOKE_CANDIDATES if args.smoke else PARALLEL_FULL_CANDIDATES
+    report = run_parallel_benchmark(candidates, repeats=1 if args.smoke else 3)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"sequential: {report['sequential_seconds']:.4f}s over "
+        f"{report['candidate_answers']} candidates ({report['facts']} facts, "
+        f"{report['cpu_count']} cpus)"
+    )
+    for row in report["results"]:
+        print(
+            f"workers={row['workers']} parallel={row['parallel_seconds']:.4f}s "
+            f"speedup={row['speedup_vs_sequential']:.2f}x agree={row['agree']}"
+        )
+    fast_path = report["purify_fast_path"]
+    print(
+        f"purify fast path: {fast_path['copies']} copies over "
+        f"{fast_path['repurify_runs']} re-purifications"
+    )
+    print(f"wrote {output}")
+    if not report["all_agree"]:
+        print("ERROR: parallel and sequential answers disagree", file=sys.stderr)
+        return 1
+    if not fast_path["zero_copies"]:
+        print("ERROR: purify copied an already-purified database", file=sys.stderr)
+        return 1
+    return 0
+
+
+_DEFAULT_OUTPUTS = {
+    "fo_rewriting": "BENCH_fo_rewriting.json",
+    "parallel_answers": "BENCH_parallel_answers.json",
+}
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=("fo_rewriting", "parallel_answers"),
+        default="fo_rewriting",
+        help="which benchmark suite to run",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (small sizes, one repeat)"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="explicit scaling sizes (fo_rewriting: domain sizes; "
+        "parallel_answers: the first value is the planted-chain count)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="where to write the JSON report (default: BENCH_<suite>.json)",
+    )
+    args = parser.parse_args(list(argv) or None)
+    output = args.output
+    if output is None:
+        output = (
+            pathlib.Path(__file__).resolve().parents[1] / _DEFAULT_OUTPUTS[args.suite]
+        )
+    if args.suite == "parallel_answers":
+        return _emit_parallel_answers(args, output)
+    return _emit_fo_rewriting(args, output)
 
 
 if __name__ == "__main__":

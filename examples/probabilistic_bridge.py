@@ -13,7 +13,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro import classify, is_certain, parse_query
+from repro import is_certain, parse_query
 from repro.probability import (
     BIDDatabase,
     compare_frontiers,

@@ -74,8 +74,10 @@ from .core import (
 from .engine import (
     CacheStats,
     CertaintySession,
+    ParallelCertaintySession,
     PlanCache,
     QueryPlan,
+    certain_answers_parallel,
     compile_plan,
     default_plan_cache,
 )
@@ -126,6 +128,7 @@ __all__ = [
     "Fact",
     "IntractableQueryError",
     "JoinTree",
+    "ParallelCertaintySession",
     "PlanCache",
     "QueryPlan",
     "RelationSchema",
@@ -136,6 +139,7 @@ __all__ = [
     "__version__",
     "build_join_tree",
     "certain_answers",
+    "certain_answers_parallel",
     "certain_brute_force",
     "certain_cycle_query",
     "certain_fo",

@@ -14,7 +14,7 @@ Definition 5: an attack ``F ⤳ G`` is *weak* when ``key(G) ⊆ F^{⊞,q}`` and
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..model.atoms import Atom
 from ..model.symbols import Variable

@@ -9,15 +9,9 @@ tests over random queries), and the building blocks of experiment E9.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
-from ..model.atoms import Atom
-from .cycles import (
-    cycle_is_terminal,
-    enumerate_cycles,
-    has_strong_cycle,
-    strongly_connected_components,
-)
+from .cycles import enumerate_cycles, has_strong_cycle
 from .graph import AttackGraph
 
 

@@ -11,7 +11,13 @@ from .cycle_query import certain_ck_via_reduction, certain_cycle_query, lemma9_e
 from .exceptions import CertaintyError, IntractableQueryError, UnsupportedQueryError
 from .pair_solver import certain_two_atom, certain_weak_cycle_pair, is_two_atom_query
 from .peeling import peel_certain
-from .purify import is_purified, purify, relevant_facts
+from .purify import (
+    is_purified,
+    purify,
+    purify_copy_count,
+    relevant_facts,
+    reset_purify_copy_count,
+)
 from .reductions import Theorem2Reduction, theorem2_reduction
 from .rewriting import certain_fo, certain_fo_rewriting, is_fo_expressible
 from .solver import CertaintyOutcome, certain_answers, is_certain, solve
@@ -43,7 +49,9 @@ __all__ = [
     "lemma9_expand",
     "peel_certain",
     "purify",
+    "purify_copy_count",
     "relevant_facts",
+    "reset_purify_copy_count",
     "solve",
     "theorem2_reduction",
 ]

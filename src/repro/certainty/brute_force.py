@@ -26,7 +26,7 @@ checks O(1).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..model.atoms import Fact
 from ..model.database import BlockKey, UncertainDatabase

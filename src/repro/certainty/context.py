@@ -12,6 +12,7 @@ before when no context is given, so the one-shot APIs are unaffected.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 from ..attacks.graph import AttackGraph
@@ -57,25 +58,39 @@ class SolverContext:
         self.classification = classification
         self._graphs: Dict[ConjunctiveQuery, AttackGraph] = {}
         self._shapes: Dict[ConjunctiveQuery, Optional[CycleQueryShape]] = {}
+        # Contexts are session-local (one per CertaintySession / worker),
+        # but a session may still be driven from several threads; the memo
+        # dicts and their cap-eviction are guarded so lookups stay atomic.
+        self._lock = threading.RLock()
 
     def attack_graph(self, query: ConjunctiveQuery) -> AttackGraph:
         """The attack graph of *query*, memoised across solver calls."""
-        graph = self._graphs.get(query)
+        with self._lock:
+            graph = self._graphs.get(query)
         if graph is None:
-            if len(self._graphs) >= _MEMO_CAP:
-                self._graphs.clear()
-            graph = AttackGraph(query)
-            self._graphs[query] = graph
+            graph = AttackGraph(query)  # pure; built outside the lock
+            with self._lock:
+                existing = self._graphs.get(query)
+                if existing is not None:
+                    return existing
+                if len(self._graphs) >= _MEMO_CAP:
+                    self._graphs.clear()
+                self._graphs[query] = graph
         return graph
 
     def cycle_shape(self, query: ConjunctiveQuery) -> Optional[CycleQueryShape]:
         """The ``C(k)``/``AC(k)`` shape of *query* (or ``None``), memoised."""
-        shape = self._shapes.get(query, _SHAPE_MISS)
+        with self._lock:
+            shape = self._shapes.get(query, _SHAPE_MISS)
         if shape is _SHAPE_MISS:
-            if len(self._shapes) >= _MEMO_CAP:
-                self._shapes.clear()
-            shape = cycle_query_shape(query)
-            self._shapes[query] = shape
+            shape = cycle_query_shape(query)  # pure; built outside the lock
+            with self._lock:
+                cached = self._shapes.get(query, _SHAPE_MISS)
+                if cached is not _SHAPE_MISS:
+                    return cached  # type: ignore[return-value]
+                if len(self._shapes) >= _MEMO_CAP:
+                    self._shapes.clear()
+                self._shapes[query] = shape
         return shape  # type: ignore[return-value]
 
     def index_for(self, db: UncertainDatabase) -> Optional[FactIndex]:

@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import itertools
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from ..model.atoms import Fact, RelationSchema
+from ..model.atoms import RelationSchema
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery

@@ -35,13 +35,13 @@ The solver is validated against the brute-force oracle in the test suite.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from ..attacks.cycles import has_strong_cycle
 from ..attacks.graph import AttackGraph
 from ..model.atoms import Atom, Fact
 from ..model.database import UncertainDatabase
-from ..model.symbols import Constant, Variable, is_constant
+from ..model.symbols import Constant, is_constant
 from ..query.conjunctive import ConjunctiveQuery
 from .exceptions import IntractableQueryError, UnsupportedQueryError
 from .peeling import match_full_atom, peel_certain, empty_base_case

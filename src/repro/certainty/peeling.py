@@ -28,13 +28,14 @@ facts, and the depth is bounded by the number of atoms).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence
 
 from ..attacks.graph import AttackGraph
 from ..model.atoms import Atom, Fact
 from ..model.database import UncertainDatabase
-from ..model.symbols import Constant, Variable, is_constant, is_variable
+from ..model.symbols import Constant, Variable, is_constant
 from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import FactIndex
 from ..query.substitution import substitute_atom, substitute_query
 from .context import SolverContext
 from .exceptions import UnsupportedQueryError
@@ -105,11 +106,11 @@ def peel_certain(
         raise UnsupportedQueryError("the peeling recursion requires a self-join-free query")
     if query.is_empty:
         return True
+    shared_index = context.index_for(db) if context is not None else None
     if _purified:
         current = db
     else:
-        index = context.index_for(db) if context is not None else None
-        current = purify(db, query, index=index)
+        current = purify(db, query, index=shared_index)
     if not current:
         return False
 
@@ -117,6 +118,15 @@ def peel_certain(
     unattacked = graph.unattacked_atoms()
     if not unattacked:
         return base_case(current, query, graph)
+
+    # One index per recursion level: reused by every per-block re-purification
+    # below (purify never mutates a caller-supplied index).  When purify took
+    # its zero-copy fast path the context's shared index still covers it.
+    # Built only on branching levels — base-case levels never purify again.
+    if current is db and shared_index is not None:
+        level_index = shared_index
+    else:
+        level_index = FactIndex(current.facts)
 
     # Deterministically pick the unattacked atom with the fewest key variables
     # (cheapest branching), breaking ties by string representation.
@@ -133,7 +143,7 @@ def peel_certain(
             continue
         grounded_query = substitute_query(query, key_binding)
         grounded_atom = substitute_atom(atom, key_binding)
-        candidate_db = purify(current, grounded_query)
+        candidate_db = purify(current, grounded_query, index=level_index)
         if not candidate_db:
             continue
         block_facts = candidate_db.relation_facts(atom.relation.name)

@@ -11,16 +11,54 @@ All polynomial solvers in this package purify first; the graph-based
 algorithms (Theorem 4 and the weak-cycle pair solver) furthermore rely on
 purification for their structural preconditions (every edge of the fact
 graph lies on a witness cycle).
+
+Because every polynomial solver funnels through :func:`purify`, the function
+is written for the common case of an *already purified* input: nothing is
+copied until the first block is actually removed (the input database itself
+is returned when no removal happens), and the working fact index is
+maintained incrementally across removal sweeps instead of being rebuilt per
+sweep.  :func:`purify_copy_count` exposes how many defensive copies were
+made, so benchmarks and tests can assert the zero-copy fast path.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import FrozenSet, Optional, Set
 
 from ..model.atoms import Fact
 from ..model.database import UncertainDatabase
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import FactIndex, iterate_valuations
+
+#: Process-wide count of databases copied by :func:`purify` (diagnostics).
+_copy_count = 0
+_copy_count_lock = threading.Lock()
+
+
+def purify_copy_count() -> int:
+    """How many times :func:`purify` has copied its input database.
+
+    Already-purified inputs take the zero-copy fast path, so solvers that
+    repeatedly re-purify (e.g. the peeling recursion) do not pay O(db) per
+    call; this counter lets benchmarks and tests assert exactly that.
+    """
+    return _copy_count
+
+
+def reset_purify_copy_count() -> int:
+    """Reset the copy counter; returns the previous value."""
+    global _copy_count
+    with _copy_count_lock:
+        previous = _copy_count
+        _copy_count = 0
+    return previous
+
+
+def _note_copy() -> None:
+    global _copy_count
+    with _copy_count_lock:
+        _copy_count += 1
 
 
 def relevant_facts(
@@ -47,30 +85,50 @@ def purify(
     query: ConjunctiveQuery,
     index: Optional[FactIndex] = None,
 ) -> UncertainDatabase:
-    """Return a purified copy of *db* relative to *query* (Lemma 1).
+    """Return a purified database relative to *query* (Lemma 1).
 
     The loop removes, as long as one exists, the block of a fact that is not
     part of any witness, and repeats (removals can cascade because witnesses
     may lose their support).  Certainty is preserved:
     ``purify(db, q) ∈ CERTAINTY(q)  ⇔  db ∈ CERTAINTY(q)``.
 
-    *index*, when given, must cover exactly the facts of *db*; it is used
-    for the first witness sweep only (later sweeps run on a shrunk copy).
+    When no block needs removing, *db itself* is returned unchanged and
+    nothing is copied; a copy is made lazily on the first removal, so the
+    input database is never mutated.  *index*, when given, must cover
+    exactly the facts of *db*; it is read (never mutated) by the witness
+    sweeps.  Once a copy exists, the function maintains its own index over
+    the copy incrementally — via the database observer hooks — instead of
+    rebuilding an index per sweep.
     """
-    current = db.copy()
     if query.is_empty:
-        return current
-    first_sweep = True
-    while True:
-        used = relevant_facts(current, query, index if first_sweep else None)
-        first_sweep = False
-        stale_blocks = {
-            fact.block_key for fact in current.facts if fact not in used
-        }
-        if not stale_blocks:
-            return current
-        for block_key in stale_blocks:
-            current.remove_block(block_key)
+        return db
+    shared_index = index is not None
+    current_index = index if index is not None else FactIndex(db.facts)
+    current = db
+    working: Optional[UncertainDatabase] = None
+    try:
+        while True:
+            used = relevant_facts(current, query, current_index)
+            stale_blocks = {
+                fact.block_key for fact in current.facts if fact not in used
+            }
+            if not stale_blocks:
+                return current
+            if working is None:
+                working = db.copy()
+                _note_copy()
+                if shared_index:
+                    # The caller's index must stay untouched: build one
+                    # private index over the copy (once — it is maintained
+                    # incrementally from here on).
+                    current_index = FactIndex(working.facts)
+                working.register_observer(current_index)
+                current = working
+            for block_key in stale_blocks:
+                working.remove_block(block_key)
+    finally:
+        if working is not None:
+            working.unregister_observer(current_index)
 
 
 def is_purified(db: UncertainDatabase, query: ConjunctiveQuery) -> bool:

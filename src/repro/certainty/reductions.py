@@ -19,12 +19,10 @@ manufacture hard instances for the brute-force solver.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
 
 from ..attacks.closure import box_closure, plus_closure
 from ..attacks.cycles import strong_two_cycle
 from ..attacks.graph import AttackGraph
-from ..model.atoms import Atom, Fact
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant, Variable
 from ..model.valuation import Valuation

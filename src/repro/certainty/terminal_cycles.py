@@ -37,7 +37,6 @@ from .context import SolverContext
 from .exceptions import UnsupportedQueryError
 from .pair_solver import certain_two_atom
 from .peeling import match_full_atom, peel_certain
-from .purify import purify
 
 
 def applies_to(query: ConjunctiveQuery, context: Optional[SolverContext] = None) -> bool:

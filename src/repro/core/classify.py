@@ -12,8 +12,9 @@ paper is — to acyclic queries without self-joins, with the additional
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..attacks.cycles import (
     all_cycles_terminal,
@@ -92,8 +93,10 @@ def _cycle_shape(query: ConjunctiveQuery) -> Optional[Tuple[int, bool]]:
 
 #: Number of times :func:`classify` has run the full decision procedure.
 #: Exposed so benchmarks and tests can assert that compiled plans / cached
-#: classifications actually avoid re-classification.
+#: classifications actually avoid re-classification.  Updated under a lock:
+#: the engine may classify from several threads concurrently.
 _classify_calls = 0
+_classify_calls_lock = threading.Lock()
 
 
 def classify_invocations() -> int:
@@ -104,14 +107,21 @@ def classify_invocations() -> int:
 def reset_classify_invocations() -> int:
     """Reset the invocation counter; returns the previous value."""
     global _classify_calls
-    previous = _classify_calls
-    _classify_calls = 0
+    with _classify_calls_lock:
+        previous = _classify_calls
+        _classify_calls = 0
     return previous
 
 
 @lru_cache(maxsize=1024)
 def classify_cached(query: ConjunctiveQuery) -> Classification:
-    """Memoised :func:`classify`; safe because classification is pure."""
+    """Memoised :func:`classify`; safe because classification is pure.
+
+    ``lru_cache`` keeps its own state consistent under concurrent callers
+    (CPython serialises the bookkeeping); at worst two threads racing on
+    the same uncached query classify it twice, which is harmless because
+    classification is pure — the invocation counter stays exact either way.
+    """
     return classify(query)
 
 
@@ -128,7 +138,8 @@ def classify(query: ConjunctiveQuery) -> Classification:
        (``AC(k)`` → P), and otherwise report the open case of Conjecture 1.
     """
     global _classify_calls
-    _classify_calls += 1
+    with _classify_calls_lock:
+        _classify_calls += 1
     boolean = query.as_boolean() if not query.is_boolean else query
     if boolean.has_self_join:
         return Classification(

@@ -21,7 +21,7 @@ from typing import Tuple
 from ..model.database import UncertainDatabase
 from ..model.repairs import count_repairs, enumerate_repairs
 from ..query.conjunctive import ConjunctiveQuery
-from ..query.evaluation import FactIndex, iterate_valuations, satisfies, witnesses
+from ..query.evaluation import witnesses
 
 
 def count_satisfying_repairs(db: UncertainDatabase, query: ConjunctiveQuery) -> int:

@@ -16,17 +16,26 @@ of database engines:
 
 The module-level one-shot APIs (``repro.solve``, ``repro.is_certain``,
 ``repro.certain_answers``) keep their signatures and delegate here.
+
+For many-candidate open queries, :class:`ParallelCertaintySession` (and the
+one-shot :func:`certain_answers_parallel`) shard the candidate-grounding
+loop across a process pool — each worker receives one immutable database
+snapshot and decides its chunk with the ordinary sequential machinery, so
+the answer set is identical to the sequential session's.
 """
 
 from .cache import CacheStats, PlanCache, default_plan_cache
+from .parallel import ParallelCertaintySession, certain_answers_parallel
 from .plan import QueryPlan, compile_plan
 from .session import CertaintySession
 
 __all__ = [
     "CacheStats",
     "CertaintySession",
+    "ParallelCertaintySession",
     "PlanCache",
     "QueryPlan",
+    "certain_answers_parallel",
     "compile_plan",
     "default_plan_cache",
 ]

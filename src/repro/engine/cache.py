@@ -1,4 +1,4 @@
-"""A bounded LRU cache of compiled query plans.
+"""A bounded, thread-safe LRU cache of compiled query plans.
 
 Heavy query traffic tends to repeat a small working set of query shapes; a
 :class:`PlanCache` keeps the most recently used compiled plans so repeated
@@ -6,12 +6,20 @@ Heavy query traffic tends to repeat a small working set of query shapes; a
 entirely.  The cache is keyed by the query itself (queries hash as sets of
 atoms plus the free-variable tuple, so semantically equal queries share one
 plan).
+
+All cache operations — lookup, insertion, LRU eviction, counter updates,
+stats snapshots — are atomic under one internal lock, so a single cache can
+serve many threads.  :meth:`PlanCache.get_or_compile` additionally
+*single-flights* compilation: when several threads miss on the same query
+concurrently, exactly one compiles while the others wait for the result, so
+a query is never compiled twice for one cache.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from ..query.conjunctive import ConjunctiveQuery
 from .plan import QueryPlan, compile_plan
@@ -20,14 +28,23 @@ from .plan import QueryPlan, compile_plan
 class CacheStats:
     """Hit/miss/eviction counters of a :class:`PlanCache`."""
 
-    __slots__ = ("hits", "misses", "evictions", "size", "maxsize")
+    __slots__ = ("hits", "misses", "evictions", "size", "maxsize", "compiles")
 
-    def __init__(self, hits: int, misses: int, evictions: int, size: int, maxsize: int) -> None:
+    def __init__(
+        self,
+        hits: int,
+        misses: int,
+        evictions: int,
+        size: int,
+        maxsize: int,
+        compiles: int = 0,
+    ) -> None:
         self.hits = hits
         self.misses = misses
         self.evictions = evictions
         self.size = size
         self.maxsize = maxsize
+        self.compiles = compiles
 
     @property
     def hit_rate(self) -> float:
@@ -38,12 +55,20 @@ class CacheStats:
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions}, size={self.size}/{self.maxsize})"
+            f"evictions={self.evictions}, compiles={self.compiles}, "
+            f"size={self.size}/{self.maxsize})"
         )
 
 
 class PlanCache:
-    """Bounded LRU mapping queries to compiled :class:`QueryPlan` objects."""
+    """Bounded LRU mapping queries to compiled :class:`QueryPlan` objects.
+
+    Thread-safe: every public operation is atomic, and concurrent
+    :meth:`get_or_compile` calls for the same missing query compile it
+    exactly once (the losers of the race block until the winner's plan is
+    cached).  Compilation itself runs *outside* the cache lock, so a slow
+    compile of one query never stalls hits on other queries.
+    """
 
     def __init__(self, maxsize: int = 256) -> None:
         if maxsize < 1:
@@ -53,29 +78,41 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._compiles = 0
+        self._lock = threading.RLock()
+        #: Queries currently being compiled by some thread, mapped to the
+        #: event their waiters block on.
+        self._inflight: Dict[ConjunctiveQuery, threading.Event] = {}
 
     @property
     def maxsize(self) -> int:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, query: object) -> bool:
-        return query in self._plans
+        with self._lock:
+            return query in self._plans
 
     def get(self, query: ConjunctiveQuery) -> Optional[QueryPlan]:
         """The cached plan for *query*, or ``None`` (counts as hit/miss)."""
-        plan = self._plans.get(query)
-        if plan is None:
-            self._misses += 1
-            return None
-        self._plans.move_to_end(query)
-        self._hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(query)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._plans.move_to_end(query)
+            self._hits += 1
+            return plan
 
     def put(self, query: ConjunctiveQuery, plan: QueryPlan) -> None:
         """Insert (or refresh) a plan, evicting the least recently used one."""
+        with self._lock:
+            self._put_locked(query, plan)
+
+    def _put_locked(self, query: ConjunctiveQuery, plan: QueryPlan) -> None:
         if query in self._plans:
             self._plans.move_to_end(query)
         self._plans[query] = plan
@@ -88,24 +125,75 @@ class PlanCache:
         query: ConjunctiveQuery,
         compiler: Callable[[ConjunctiveQuery], QueryPlan] = compile_plan,
     ) -> QueryPlan:
-        """The cached plan for *query*, compiling and inserting on a miss."""
-        plan = self.get(query)
-        if plan is None:
-            plan = compiler(query)
-            self.put(query, plan)
-        return plan
+        """The cached plan for *query*, compiling and inserting on a miss.
+
+        Concurrent misses on the same query are single-flighted: one caller
+        runs *compiler* (outside the lock) while the rest wait and then read
+        the freshly cached plan.  Counter semantics under contention: every
+        call contributes exactly one hit or one miss, and the number of
+        misses equals the number of actual compiler invocations.
+        """
+        while True:
+            with self._lock:
+                plan = self._plans.get(query)
+                if plan is not None:
+                    self._plans.move_to_end(query)
+                    self._hits += 1
+                    return plan
+                event = self._inflight.get(query)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[query] = event
+                    self._misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                # Another thread is compiling this query; wait for it and
+                # serve its freshly cached plan (counted as this call's one
+                # hit — so hits + misses always equals the number of calls,
+                # and misses equals the number of compiler invocations).
+                event.wait()
+                with self._lock:
+                    plan = self._plans.get(query)
+                    if plan is not None:
+                        self._plans.move_to_end(query)
+                        self._hits += 1
+                        return plan
+                # The owner failed (compiler raised) — race to take over.
+                continue
+            try:
+                plan = compiler(query)
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(query, None)
+                event.set()
+                raise
+            with self._lock:
+                self._put_locked(query, plan)
+                self._compiles += 1
+                self._inflight.pop(query, None)
+            event.set()
+            return plan
 
     def clear(self) -> None:
         """Drop all plans and reset the counters."""
-        self._plans.clear()
-        self._hits = self._misses = self._evictions = 0
+        with self._lock:
+            self._plans.clear()
+            self._hits = self._misses = self._evictions = self._compiles = 0
 
     @property
     def stats(self) -> CacheStats:
-        """A snapshot of the cache counters."""
-        return CacheStats(
-            self._hits, self._misses, self._evictions, len(self._plans), self._maxsize
-        )
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                self._hits,
+                self._misses,
+                self._evictions,
+                len(self._plans),
+                self._maxsize,
+                self._compiles,
+            )
 
 
 #: The process-wide cache behind the one-shot ``solve``/``certain_answers``.

@@ -1,0 +1,425 @@
+"""Parallel sharded ``certain_answers``: fan the candidate loop out to workers.
+
+The batched :meth:`~repro.engine.session.CertaintySession.certain_answers`
+loop decides one ``CERTAINTY(q[free ↦ t])`` instance per candidate tuple
+``t``.  The instances are *independent* — Wijsen's Theorem 1/3/4 solvers
+share nothing across groundings but the (immutable) database and the
+(compile-once) plan — so the loop is embarrassingly parallel.  This module
+shards it:
+
+* a :class:`ParallelCertaintySession` snapshots the database once, ships the
+  snapshot to every worker process through the pool *initializer* (facts are
+  immutable and hashable, so a frozenset of facts plus the relation schemas
+  reconstruct the database exactly), and scatters chunks of candidate tuples
+  to the pool;
+* each worker rebuilds the database once per process, opens its own
+  sequential ``CertaintySession`` (own plan cache, own solver context, own
+  fact index), and decides its chunk — so per-candidate work in a worker is
+  byte-for-byte the sequential algorithm;
+* results are unioned; because certain answers form a *set* and every
+  candidate is decided by the same deterministic procedure, the parallel
+  result is identical to the sequential one regardless of scheduling.
+
+Small inputs skip the pool entirely (process startup would dominate), and a
+thread-pool mode exists for environments where subprocesses are unavailable
+(it shares one snapshot session across threads; the engine's caches and
+memos are thread-safe).  Database mutations between calls are detected
+through the observer hooks and trigger a pool rebuild with a fresh
+snapshot, so answers always reflect the current database.
+
+:func:`certain_answers_parallel` is the one-shot convenience wrapper.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..certainty.solver import CertaintyOutcome
+from ..model.atoms import Fact, RelationSchema
+from ..model.database import DatabaseObserver, UncertainDatabase
+from ..model.schema import DatabaseSchema
+from ..model.symbols import Constant
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import answer_tuples
+from .cache import PlanCache
+from .session import CertaintySession
+
+#: Candidate tuples below this count run serially: forking + pickling costs
+#: more than deciding a handful of groundings in-process.
+MIN_PARALLEL_CANDIDATES = 16
+
+#: Chunks handed out per worker (over-partitioning smooths out skew between
+#: cheap and expensive candidates without drowning in dispatch overhead).
+_CHUNKS_PER_WORKER = 4
+
+
+def _pool_mp_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The start-method context for worker pools.
+
+    ``fork`` (the Linux default) duplicates the parent mid-flight, including
+    any *held* lock — and this engine holds locks (plan cache, formula memo,
+    classify counter) precisely when other threads are busy, so a fork racing
+    a compile could hand workers a lock nobody will ever release.
+    ``forkserver`` forks workers from a clean, single-threaded server
+    process instead (and is still far cheaper than ``spawn``); platforms
+    without it (Windows) fall back to their default, which is the equally
+    safe ``spawn``.
+
+    One carve-out: forkserver (like spawn) re-imports the parent's
+    ``__main__`` in each worker, which is impossible when the parent runs
+    from stdin or an embedded interpreter (``__main__.__file__`` names no
+    real file) — workers would crash at startup.  Those parents fall back
+    to the platform default (``fork``), which needs no re-import.
+    """
+    main_file = getattr(sys.modules.get("__main__"), "__file__", None)
+    if main_file is not None and not os.path.exists(main_file):
+        return None
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - Windows
+        return None
+
+
+class _MutationCounter(DatabaseObserver):
+    """Counts database mutations so stale worker snapshots can be detected."""
+
+    __slots__ = ("version",)
+
+    def __init__(self) -> None:
+        self.version = 0
+
+    def fact_added(self, fact: Fact) -> None:
+        self.version += 1
+
+    def fact_discarded(self, fact: Fact) -> None:
+        self.version += 1
+
+
+# -- worker-process state ---------------------------------------------------------
+#
+# One snapshot database + sequential session per worker process, installed
+# by the pool initializer.  Module-level state is the standard idiom for
+# ProcessPoolExecutor initializers: with the ``fork`` start method the
+# snapshot is shared copy-on-write, with ``spawn`` it is shipped (pickled)
+# exactly once per worker instead of once per task.
+
+_WORKER_SESSION: Optional[CertaintySession] = None
+
+
+def _init_worker(
+    facts: FrozenSet[Fact], relations: Tuple[RelationSchema, ...]
+) -> None:
+    """Rebuild the immutable database snapshot inside a worker process."""
+    global _WORKER_SESSION
+    db = UncertainDatabase(facts, schema=DatabaseSchema(relations))
+    # A worker-local plan cache: plans cannot cross process boundaries, and
+    # the worker only ever sees one query shape per certain_answers call.
+    _WORKER_SESSION = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
+
+
+def _solve_chunk(
+    query: ConjunctiveQuery,
+    candidates: Sequence[Tuple[Constant, ...]],
+    allow_exponential: bool,
+) -> List[Tuple[Constant, ...]]:
+    """Decide a chunk of candidate groundings in this worker process."""
+    session = _WORKER_SESSION
+    if session is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker process was not initialised with a snapshot")
+    return session.decide_candidates(query, candidates, allow_exponential=allow_exponential)
+
+
+def _chunk(
+    items: Sequence[Tuple[Constant, ...]], chunk_size: int
+) -> List[Sequence[Tuple[Constant, ...]]]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+class ParallelCertaintySession:
+    """Certain answers over one database, sharded across worker processes.
+
+    Parameters
+    ----------
+    db:
+        The uncertain database to serve queries against.
+    max_workers:
+        Worker count for the pool (default: ``os.cpu_count()``, capped at 8
+        to keep fork storms bounded on large hosts).
+    mode:
+        ``"auto"`` (default) uses a process pool when more than one worker
+        is configured and runs inline otherwise.  ``"process"`` and
+        ``"thread"`` force that pool kind even for a single worker (useful
+        for measuring dispatch overhead); thread mode shares one snapshot
+        session across a thread pool — useful where subprocesses are
+        unavailable, though with CPython's GIL it provides concurrency but
+        little speedup.  ``"serial"`` never fans out.
+    chunk_size:
+        Candidates per dispatched task (default: candidates split into
+        ``max_workers * 4`` chunks).
+    min_parallel_candidates:
+        Below this candidate count the sequential path runs inline.
+    allow_exponential:
+        Session-wide default for the brute-force escape hatch.
+    plan_cache:
+        The plan cache of the *inline* session (candidate enumeration,
+        serial fallbacks, ``solve``/``is_certain``) and of thread-mode
+        snapshot sessions.  Process workers always compile through a
+        worker-local cache — plans cannot cross process boundaries.
+
+    Guarantees
+    ----------
+    ``certain_answers`` returns exactly the set the sequential
+    :class:`CertaintySession` returns — same candidates, same per-candidate
+    decision procedure, order-independent set union.  Mutating the database
+    between calls is supported: snapshots are versioned via the observer
+    hooks and stale pools are rebuilt before the next parallel call.
+
+    Example
+    -------
+    >>> with ParallelCertaintySession(db, max_workers=4) as psession:  # doctest: +SKIP
+    ...     psession.certain_answers(open_query)
+    """
+
+    def __init__(
+        self,
+        db: UncertainDatabase,
+        max_workers: Optional[int] = None,
+        mode: str = "auto",
+        chunk_size: Optional[int] = None,
+        min_parallel_candidates: int = MIN_PARALLEL_CANDIDATES,
+        allow_exponential: bool = False,
+        plan_cache: Optional[PlanCache] = None,
+    ) -> None:
+        if mode not in ("auto", "process", "thread", "serial"):
+            raise ValueError(
+                f"unknown mode {mode!r}: use 'auto', 'process', 'thread' or 'serial'"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._db = db
+        self._max_workers = max_workers if max_workers is not None else min(
+            os.cpu_count() or 1, 8
+        )
+        if mode == "auto":
+            mode = "process" if self._max_workers > 1 else "serial"
+        self._mode = mode
+        self._chunk_size = chunk_size
+        self._min_parallel = min_parallel_candidates
+        self._allow_exponential = allow_exponential
+        self._plan_cache = plan_cache
+        self._inner = CertaintySession(
+            db, plan_cache=plan_cache, allow_exponential=allow_exponential
+        )
+        self._version = _MutationCounter()
+        db.register_observer(self._version)
+        self._executor: Optional[Executor] = None
+        self._snapshot_session: Optional[CertaintySession] = None  # thread mode
+        self._snapshot_version = -1
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down and detach from the database (idempotent)."""
+        if self._closed:
+            return
+        self._teardown_pool()
+        self._db.unregister_observer(self._version)
+        self._inner.close()
+        self._closed = True
+
+    def __enter__(self) -> "ParallelCertaintySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _teardown_pool(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._snapshot_session is not None:
+            self._snapshot_session.close()
+            self._snapshot_session = None
+        self._snapshot_version = -1
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def db(self) -> UncertainDatabase:
+        """The wrapped database."""
+        return self._db
+
+    @property
+    def mode(self) -> str:
+        """The configured execution mode."""
+        return self._mode
+
+    @property
+    def max_workers(self) -> int:
+        """The configured worker count."""
+        return self._max_workers
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def pool_started(self) -> bool:
+        """``True`` while a worker pool is alive (small inputs never start one)."""
+        return self._executor is not None
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ParallelCertaintySession({self._db!r}, mode={self._mode!r}, "
+            f"workers={self._max_workers}, {state})"
+        )
+
+    # -- sequential delegates ----------------------------------------------------
+
+    def solve(
+        self, query: ConjunctiveQuery, allow_exponential: Optional[bool] = None
+    ) -> CertaintyOutcome:
+        """Decide ``db ∈ CERTAINTY(q)`` (single instance — runs inline)."""
+        self._check_open()
+        return self._inner.solve(query, allow_exponential=allow_exponential)
+
+    def is_certain(
+        self, query: ConjunctiveQuery, allow_exponential: Optional[bool] = None
+    ) -> bool:
+        """``True`` iff every repair of the database satisfies *query*."""
+        return self.solve(query, allow_exponential=allow_exponential).certain
+
+    # -- the sharded loop --------------------------------------------------------
+
+    def certain_answers(
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+    ) -> Set[Tuple[Constant, ...]]:
+        """The certain answers of a non-Boolean query, sharded over workers.
+
+        Identical to the sequential session's answer set: candidates are
+        enumerated once on the live database, then partitioned into chunks
+        that workers decide independently against the shared snapshot.
+        """
+        self._check_open()
+        if query.is_boolean:
+            raise ValueError("certain_answers expects a query with free variables")
+        allow = (
+            self._allow_exponential if allow_exponential is None else allow_exponential
+        )
+        candidates = sorted(
+            answer_tuples(query, self._inner.index),
+            key=lambda t: tuple(str(c) for c in t),
+        )
+        if self._mode == "serial" or len(candidates) < self._min_parallel:
+            return set(
+                self._inner.decide_candidates(query, candidates, allow_exponential=allow)
+            )
+        chunks = _chunk(candidates, self._effective_chunk_size(len(candidates)))
+        try:
+            return self._scatter(query, chunks, allow)
+        except BrokenExecutor:
+            # A worker died (OOM kill, interpreter crash).  Tear the broken
+            # pool down so this call — and every later one — gets a fresh
+            # pool instead of resubmitting to a permanently dead executor.
+            self._teardown_pool()
+            return self._scatter(query, chunks, allow)
+
+    def _scatter(
+        self,
+        query: ConjunctiveQuery,
+        chunks: Sequence[Sequence[Tuple[Constant, ...]]],
+        allow: bool,
+    ) -> Set[Tuple[Constant, ...]]:
+        """Dispatch chunks to the pool and union the shard results."""
+        self._ensure_pool()
+        assert self._executor is not None
+        if self._mode == "thread":
+            session = self._snapshot_session
+            assert session is not None
+            futures = [
+                self._executor.submit(
+                    session.decide_candidates, query, chunk, allow
+                )
+                for chunk in chunks
+            ]
+        else:
+            futures = [
+                self._executor.submit(_solve_chunk, query, chunk, allow)
+                for chunk in chunks
+            ]
+        certain: Set[Tuple[Constant, ...]] = set()
+        for future in futures:
+            certain.update(future.result())
+        return certain
+
+    def _effective_chunk_size(self, n_candidates: int) -> int:
+        if self._chunk_size is not None:
+            return max(1, self._chunk_size)
+        return max(1, -(-n_candidates // (self._max_workers * _CHUNKS_PER_WORKER)))
+
+    def _ensure_pool(self) -> None:
+        """(Re)build the worker pool when absent or holding a stale snapshot."""
+        if self._executor is not None and self._snapshot_version == self._version.version:
+            return
+        self._teardown_pool()
+        version = self._version.version
+        if self._mode == "thread":
+            snapshot = self._db.copy()
+            self._snapshot_session = CertaintySession(
+                snapshot,
+                plan_cache=self._plan_cache,
+                allow_exponential=self._allow_exponential,
+            )
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-certainty",
+            )
+        else:
+            facts = self._db.facts
+            relations = tuple(self._db.schema)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                mp_context=_pool_mp_context(),
+                initializer=_init_worker,
+                initargs=(facts, relations),
+            )
+        self._snapshot_version = version
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this ParallelCertaintySession is closed")
+
+
+def certain_answers_parallel(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    allow_exponential: bool = False,
+    max_workers: Optional[int] = None,
+    mode: str = "auto",
+    chunk_size: Optional[int] = None,
+) -> Set[Tuple[Constant, ...]]:
+    """One-shot parallel certain answers (see :class:`ParallelCertaintySession`).
+
+    Spins a session up, shards the candidate loop, and tears the pool down
+    again; returns exactly the set the sequential ``certain_answers``
+    returns.  For repeated queries against the same database prefer a
+    long-lived :class:`ParallelCertaintySession` so workers and snapshots
+    are reused across calls.
+    """
+    with ParallelCertaintySession(
+        db,
+        max_workers=max_workers,
+        mode=mode,
+        chunk_size=chunk_size,
+        allow_exponential=allow_exponential,
+    ) as session:
+        return session.certain_answers(query)

@@ -24,7 +24,7 @@ way.
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..certainty.context import SolverContext
 from ..certainty.solver import CertaintyOutcome
@@ -156,11 +156,31 @@ class CertaintySession:
         self._check_open()
         if query.is_boolean:
             raise ValueError("certain_answers expects a query with free variables")
+        candidates = sorted(
+            answer_tuples(query, self._index), key=lambda t: tuple(str(c) for c in t)
+        )
+        return set(
+            self.decide_candidates(query, candidates, allow_exponential=allow_exponential)
+        )
+
+    def decide_candidates(
+        self,
+        query: ConjunctiveQuery,
+        candidates: Sequence[Tuple[Constant, ...]],
+        allow_exponential: Optional[bool] = None,
+    ) -> List[Tuple[Constant, ...]]:
+        """The candidates whose grounding is certain, in input order.
+
+        This is the per-candidate half of :meth:`certain_answers`, split out
+        so the parallel session can shard one enumeration across workers:
+        each worker calls ``decide_candidates`` on its own chunk and the
+        shards union back into the same set the sequential loop produces.
+        """
+        self._check_open()
         allow = self._allow_exponential if allow_exponential is None else allow_exponential
         plan = self.plan_for(query)
-        candidates = answer_tuples(query, self._index)
-        certain: Set[Tuple[Constant, ...]] = set()
-        for candidate in sorted(candidates, key=lambda t: tuple(str(c) for c in t)):
+        certain: List[Tuple[Constant, ...]] = []
+        for candidate in candidates:
             grounded = ground_free_variables(query, [c.value for c in candidate])
             outcome = plan.execute(
                 self._db,
@@ -170,7 +190,7 @@ class CertaintySession:
                 candidate=candidate,
             )
             if outcome.certain:
-                certain.add(candidate)
+                certain.append(candidate)
         return certain
 
     def evaluate_formula(self, formula: "Formula") -> bool:

@@ -11,8 +11,7 @@ and EXPERIMENTS.md are built on these functions.
 from __future__ import annotations
 
 import random
-from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..attacks.cycles import enumerate_cycles, has_strong_cycle
 from ..attacks.graph import AttackGraph
@@ -24,15 +23,13 @@ from ..certainty import (
     certain_terminal_cycles,
     is_certain,
     purify,
-    solve,
     theorem2_reduction,
 )
 from ..core.classify import classify
 from ..core.complexity import ComplexityBand
 from ..core.frontier import band_counts, classify_corpus
 from ..counting import count_satisfying_repairs, repair_frequency
-from ..fo import certain_rewriting, evaluate_sentence, formula_size
-from ..model.database import UncertainDatabase
+from ..fo import evaluate_sentence, formula_size
 from ..model.repairs import count_repairs, enumerate_repairs, is_repair
 from ..probability import (
     BIDDatabase,
@@ -42,7 +39,6 @@ from ..probability import (
     probability_safe_plan,
     proposition1_holds,
 )
-from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import satisfies
 from ..query.families import (
     cycle_query_ac,
@@ -52,7 +48,7 @@ from ..query.families import (
     kolaitis_pema_q0,
 )
 from ..query.jointree import build_join_tree
-from ..workloads.corpora import mixed_corpus, named_corpus
+from ..workloads.corpora import mixed_corpus
 from ..workloads.generators import synthetic_instance, uniform_random_instance
 from ..workloads.instances import (
     figure1_database,

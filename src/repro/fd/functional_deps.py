@@ -13,7 +13,7 @@ constructions and reusable as a generic database-theory utility.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Set
 
 from ..model.symbols import Variable
 

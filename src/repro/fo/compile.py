@@ -36,6 +36,7 @@ so re-evaluating the same rewriting against many databases compiles once.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import (
     Dict,
     FrozenSet,
@@ -756,13 +757,25 @@ class CompiledFormula:
 #: Compiled-plan memo, keyed by formula identity (formulas hash by object
 #: identity); weak keys keep per-grounding rewritings from accumulating once
 #: the formula itself is dropped (e.g. evicted from the rewriting lru_cache).
+#: Guarded by a lock: a WeakKeyDictionary is not safe under concurrent
+#: mutation (GC callbacks and inserts can interleave mid-resize), and the
+#: engine compiles formulas from several threads.
 _PLAN_MEMO: "WeakKeyDictionary[Formula, CompiledFormula]" = WeakKeyDictionary()
+_PLAN_MEMO_LOCK = threading.Lock()
 
 
 def compile_formula(formula: Formula) -> CompiledFormula:
-    """Compile *formula* into a relational plan (memoised per formula object)."""
-    plan = _PLAN_MEMO.get(formula)
+    """Compile *formula* into a relational plan (memoised per formula object).
+
+    Thread-safe: the memo is read and written under a lock, while the pure
+    compilation itself runs outside it.  Two threads racing on the same
+    uncompiled formula may both compile it, but only the first result is
+    kept, so callers always share one plan per formula object.
+    """
+    with _PLAN_MEMO_LOCK:
+        plan = _PLAN_MEMO.get(formula)
     if plan is None:
         plan = CompiledFormula(_compile(formula))
-        _PLAN_MEMO[formula] = plan
+        with _PLAN_MEMO_LOCK:
+            plan = _PLAN_MEMO.setdefault(formula, plan)
     return plan

@@ -21,13 +21,12 @@ Two evaluation strategies are available:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
-from ..model.atoms import Fact
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant, Variable
 from ..model.valuation import Valuation
-from ..query.evaluation import FactIndex, match_atom
+from ..query.evaluation import FactIndex
 from .compile import EvalContext, compile_formula
 from .formulas import (
     And,

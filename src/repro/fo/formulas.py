@@ -11,7 +11,7 @@ statement executable, this package provides a formula AST
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from ..model.atoms import Atom
 from ..model.symbols import Constant, Term, Variable

@@ -26,25 +26,15 @@ peeling solver and the brute-force oracle.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List
 
 from ..attacks.graph import AttackGraph
 from ..certainty.exceptions import UnsupportedQueryError
 from ..model.atoms import Atom
-from ..model.symbols import Constant, Variable, is_constant
+from ..model.symbols import Variable, is_constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.substitution import rename_variables
-from .formulas import (
-    And,
-    AtomFormula,
-    Equals,
-    Exists,
-    Forall,
-    Formula,
-    Implies,
-    Top,
-    conjunction,
-)
+from .formulas import AtomFormula, Equals, Exists, Forall, Formula, Implies, Top, conjunction
 
 
 class _FreshNames:
@@ -85,6 +75,12 @@ def certain_rewriting_cached(query: ConjunctiveQuery) -> Formula:
     ``certain_answers`` call) share one formula object — which in turn
     shares one compiled plan through the identity-keyed memo of
     :func:`repro.fo.compile.compile_formula`.
+
+    Concurrency: ``lru_cache`` keeps its bookkeeping consistent under
+    concurrent callers; two threads racing on the same uncached query may
+    each build a rewriting, in which case one formula object wins the cache
+    and later calls converge on it (both objects are semantically equal, so
+    correctness is unaffected either way).
     """
     return certain_rewriting(query)
 

@@ -15,16 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence, Tuple
 
-from .symbols import (
-    Constant,
-    Term,
-    Variable,
-    constants_of,
-    is_variable,
-    make_constant,
-    make_term,
-    variables_of,
-)
+from .symbols import Constant, Term, Variable, constants_of, make_constant, make_term, variables_of
 
 
 class RelationSchema:
@@ -169,6 +160,20 @@ class Atom:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __getstate__(self):
+        # The cached hash must NOT cross process boundaries: string hashing
+        # is salted per interpreter (PYTHONHASHSEED), so an unpickled atom
+        # carrying its origin process's hash would be == to a locally built
+        # atom yet land in a different hash bucket — silently breaking set
+        # and dict membership (e.g. facts shipped to parallel workers).
+        return (self.relation, self.terms)
+
+    def __setstate__(self, state) -> None:
+        relation, terms = state
+        self.relation = relation
+        self.terms = terms
+        self._hash = hash(("Atom", relation, terms))
 
     def to_fact(self) -> "Fact":
         """Convert a variable-free atom into a :class:`Fact`."""

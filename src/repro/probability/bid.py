@@ -13,7 +13,7 @@ evaluator and the world-enumeration evaluator can be compared exactly.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple, Union
 
 from ..model.atoms import Fact
 from ..model.database import BlockKey, UncertainDatabase

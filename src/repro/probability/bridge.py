@@ -14,11 +14,9 @@ what experiment E10 reports.
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
 from ..certainty.brute_force import certain_brute_force
-from ..certainty.solver import is_certain
 from ..core.classify import classify
 from ..core.complexity import ComplexityBand
 from ..query.conjunctive import ConjunctiveQuery

@@ -19,9 +19,9 @@ the test suite are exact.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import Sequence
 
-from ..model.symbols import Constant, Variable
+from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import satisfies
 from ..query.substitution import substitute_query

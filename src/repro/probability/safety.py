@@ -14,10 +14,9 @@ decomposition.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from ..model.atoms import Atom
-from ..model.symbols import Constant, Variable
+from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.substitution import substitute_query
 

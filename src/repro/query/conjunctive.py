@@ -14,10 +14,10 @@ non-Boolean certain answers can be reduced to Boolean certainty by grounding
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
 from ..fd.functional_deps import FDSet, FunctionalDependency
-from ..model.atoms import Atom, RelationSchema
+from ..model.atoms import Atom
 from ..model.schema import DatabaseSchema
 from ..model.symbols import Constant, Variable
 

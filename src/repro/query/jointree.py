@@ -15,7 +15,7 @@ the choice of join tree; :mod:`repro.attacks.graph` relies on that.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..model.atoms import Atom
 from ..model.symbols import Variable

@@ -30,7 +30,7 @@ Examples
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..model.atoms import Atom, Fact, RelationSchema
 from ..model.schema import DatabaseSchema

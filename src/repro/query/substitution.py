@@ -8,9 +8,9 @@ Theorem 3 recursion, and by the ``IsSafe`` procedure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+from typing import Dict, Mapping, Sequence
 
-from ..model.atoms import Atom, Fact
+from ..model.atoms import Atom
 from ..model.symbols import Constant, Term, Variable, make_constant
 from .conjunctive import ConjunctiveQuery
 

@@ -11,7 +11,7 @@ existence of a join tree.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List
 
 from ..model.atoms import Atom, RelationSchema
 from ..model.symbols import Constant, Variable
@@ -20,10 +20,7 @@ from ..query.families import (
     all_named_queries,
     cycle_query_ac,
     cycle_query_c,
-    figure2_q1,
     figure4_query,
-    fuxman_miller_cfree_example,
-    kolaitis_pema_q0,
     path_query,
     star_query,
 )

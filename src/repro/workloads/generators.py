@@ -20,11 +20,10 @@ All generators take an explicit seed and are fully deterministic.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..model.atoms import Fact, RelationSchema
 from ..model.database import UncertainDatabase
-from ..model.symbols import Constant, Variable
+from ..model.symbols import Constant
 from ..model.valuation import Valuation
 from ..query.conjunctive import ConjunctiveQuery
 

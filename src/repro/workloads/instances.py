@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..model.atoms import RelationSchema
 from ..model.database import UncertainDatabase

@@ -4,16 +4,13 @@ import random
 
 import pytest
 
-from repro.model import RelationSchema, UncertainDatabase, Variable
 from repro.query import (
-    ConjunctiveQuery,
     cycle_query_ac,
     cycle_query_c,
     figure2_q1,
     figure4_query,
     fuxman_miller_cfree_example,
     kolaitis_pema_q0,
-    parse_query,
 )
 from repro.workloads import figure1_database, figure1_query, figure6_database
 

@@ -109,3 +109,61 @@ class TestSelfJoinDetection:
     def test_repeated_relation(self):
         r = RelationSchema("R", 2, 1)
         assert not atoms_use_distinct_relations([r.atom("x", "y"), r.atom("y", "z")])
+
+
+class TestPickling:
+    """Atoms must survive process boundaries with the hash/eq contract intact.
+
+    The parallel engine ships facts to worker processes whose string-hash
+    salt (PYTHONHASHSEED) differs from the parent's.  A pickled atom must
+    therefore NOT carry its origin process's cached hash: it would compare
+    equal to a locally built atom yet miss it in sets and dicts — which
+    silently corrupted purification (and thus certainty verdicts) in
+    workers before the `__getstate__`/`__setstate__` pair recomputed it.
+    """
+
+    def test_roundtrip_preserves_identity_in_this_process(self):
+        import pickle
+
+        R = RelationSchema("R", 2, 1)
+        fact = R.fact("a", "b")
+        atom = R.atom(Variable("x"), "b")
+        fact2, atom2 = pickle.loads(pickle.dumps((fact, atom)))
+        assert fact2 == fact and hash(fact2) == hash(fact)
+        assert atom2 == atom and hash(atom2) == hash(atom)
+        assert fact2 in {fact} and atom2 in {atom}
+        assert isinstance(fact2, Fact)
+
+    def test_cached_hash_is_not_pickled(self):
+        R = RelationSchema("R", 2, 1)
+        fact = R.fact("a", "b")
+        assert fact.__getstate__() == (fact.relation, fact.terms)
+
+    def test_unpickled_atoms_match_fresh_atoms_under_other_hash_seeds(self):
+        """Set membership must hold in a worker with a different hash salt."""
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        R = RelationSchema("R", 2, 1)
+        blob = pickle.dumps((R.fact("a", "b"), R.atom(Variable("x"), "b")))
+        probe = (
+            "import pickle, sys\n"
+            f"sys.path.insert(0, {os.path.abspath('src')!r})\n"
+            "from repro.model.atoms import RelationSchema\n"
+            "from repro.model.symbols import Variable\n"
+            f"fact, atom = pickle.loads({blob!r})\n"
+            "R = RelationSchema('R', 2, 1)\n"
+            "assert fact in {R.fact('a', 'b')}\n"
+            "assert atom in {R.atom(Variable('x'), 'b')}\n"
+            "assert hash(fact) == hash(R.fact('a', 'b'))\n"
+        )
+        for hash_seed in ("1", "2"):
+            result = subprocess.run(
+                [sys.executable, "-c", probe],
+                env={**os.environ, "PYTHONHASHSEED": hash_seed},
+                capture_output=True,
+                text=True,
+            )
+            assert result.returncode == 0, result.stderr

@@ -9,7 +9,6 @@ from repro.attacks import (
     box_closure,
     plus_closure,
 )
-from repro.model.symbols import Variable
 from repro.query import (
     all_join_trees,
     cycle_query_ac,

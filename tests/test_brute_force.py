@@ -1,6 +1,5 @@
 """Tests for the brute-force oracle solver."""
 
-import pytest
 
 from repro.certainty import (
     brute_force_with_certificate,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    Classification,
     ComplexityBand,
     band_counts,
     classify,

@@ -11,6 +11,8 @@ Covers the three behaviours the engine adds on top of the solvers:
 """
 
 import random
+import threading
+import time
 
 import pytest
 
@@ -26,7 +28,6 @@ from repro import (
     solve,
 )
 from repro.core import ComplexityBand, classify_invocations, reset_classify_invocations
-from repro.model.atoms import RelationSchema
 from repro.query import (
     FactIndex,
     answer_tuples,
@@ -132,6 +133,98 @@ class TestPlanCache:
     def test_rejects_nonpositive_maxsize(self):
         with pytest.raises(ValueError):
             PlanCache(maxsize=0)
+
+
+class TestPlanCacheConcurrency:
+    """The cache must be safe (and non-redundant) under thread contention."""
+
+    def test_eight_thread_stress_no_duplicate_compiles(self):
+        """8 threads hammering get_or_compile: consistent stats, one compile
+        per distinct query, and every thread sees the same plan object."""
+        from repro.engine.plan import compile_plan
+        from repro.workloads import random_acyclic_query
+
+        cache = PlanCache(maxsize=256)
+        queries = [random_acyclic_query(seed=s, atoms=3) for s in range(12)]
+        compiled = []
+        compile_lock = threading.Lock()
+
+        def slow_counting_compiler(query):
+            with compile_lock:
+                compiled.append(query)
+            time.sleep(0.002)  # widen the race window
+            return compile_plan(query)
+
+        calls_per_thread = 120
+        plans_seen = [dict() for _ in range(8)]
+        barrier = threading.Barrier(8)
+
+        def worker(slot):
+            barrier.wait()
+            for i in range(calls_per_thread):
+                query = queries[(i + slot) % len(queries)]
+                plan = cache.get_or_compile(query, compiler=slow_counting_compiler)
+                previous = plans_seen[slot].setdefault(query, plan)
+                assert previous is plan
+
+        threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # No query was compiled twice — concurrent misses single-flight.
+        assert len(compiled) == len(set(compiled)) == len(queries)
+        stats = cache.stats
+        assert stats.hits + stats.misses == 8 * calls_per_thread
+        assert stats.misses == stats.compiles == len(queries)
+        assert stats.size == len(queries)
+        # All threads converged on identical plan objects per query.
+        for query in queries:
+            owners = {id(seen[query]) for seen in plans_seen}
+            assert len(owners) == 1
+
+    def test_failed_compile_releases_the_single_flight(self):
+        cache = PlanCache(maxsize=4)
+        query = figure1_query()
+
+        calls = []
+
+        def flaky_compiler(q):
+            calls.append(q)
+            if len(calls) == 1:
+                raise RuntimeError("transient failure")
+            from repro.engine.plan import compile_plan
+
+            return compile_plan(q)
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compile(query, compiler=flaky_compiler)
+        # The in-flight marker is gone: the next call compiles successfully.
+        plan = cache.get_or_compile(query, compiler=flaky_compiler)
+        assert plan is cache.get_or_compile(query)
+        assert len(calls) == 2
+
+    def test_concurrent_mixed_get_put_is_consistent(self):
+        cache = PlanCache(maxsize=8)
+        queries = [figure1_query(), figure2_q1(), kolaitis_pema_q0()]
+
+        def worker():
+            for _ in range(300):
+                for query in queries:
+                    cache.get_or_compile(query)
+                    cache.get(query)
+                    len(cache)
+                    cache.stats
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats
+        assert stats.size == len(queries)
+        assert stats.compiles == stats.misses
 
 
 def assert_index_consistent(index: FactIndex, db: UncertainDatabase) -> None:
@@ -273,3 +366,58 @@ class TestBatchedClassification:
         # already knows it); the seed behaviour was >= 10.
         assert calls <= candidates / 2
         assert calls <= 1
+
+
+class TestSessionIndexCoherence:
+    """Differential tests: a long-lived session must agree with a fresh one.
+
+    The session's incrementally maintained index is its single point of
+    truth for candidate enumeration; after arbitrary interleavings of
+    ``add`` / ``discard`` / ``remove_block`` it must produce exactly the
+    answers a freshly built session (and the one-shot API) produces.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_interleaved_mutations_match_fresh_session(self, seed):
+        from repro.query.families import path_query
+        from repro.model.symbols import Variable
+        from repro.query import ConjunctiveQuery
+
+        base = path_query(3)
+        query = ConjunctiveQuery(base.atoms, free_variables=[Variable("x1")])
+        rng = random.Random(seed)
+        db = synthetic_instance(
+            query, seed=seed, domain_size=5, witnesses=8,
+            noise_per_relation=6, conflict_rate=0.6,
+        )
+        relations = [atom.relation for atom in query.atoms]
+        with CertaintySession(db) as session:
+            for step in range(12):
+                action = rng.choice(("add", "discard", "remove_block"))
+                if action == "add":
+                    relation = rng.choice(relations)
+                    values = [f"c{rng.randrange(5)}" for _ in range(relation.arity)]
+                    db.add(relation.fact(*values))
+                elif action == "discard" and len(db):
+                    db.discard(rng.choice(sorted(db.facts, key=str)))
+                elif action == "remove_block" and db.block_keys():
+                    db.remove_block(rng.choice(sorted(
+                        db.block_keys(), key=lambda k: (k[0], tuple(str(c) for c in k[1]))
+                    )))
+                live = session.certain_answers(query)
+                with CertaintySession(db) as fresh:
+                    assert live == fresh.certain_answers(query), f"step {step}"
+                assert live == certain_answers(db, query)
+                assert_index_consistent(session.index, db)
+
+    def test_mutations_visible_to_boolean_solve(self):
+        db, query, _ = employee_setup()
+        schema = db.schema
+        with CertaintySession(db) as session:
+            before = session.is_certain(query)
+            assert before == is_certain(db, query)
+            # Remove a whole conflicting block, then add it back.
+            db.remove_block(("Dept", (schema["Dept"].fact("net", "x").key_terms)))
+            assert session.is_certain(query) == is_certain(db, query)
+            db.add(schema["Dept"].fact("net", "Paris"))
+            assert session.is_certain(query) == is_certain(db, query)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.certainty import UnsupportedQueryError, certain_brute_force, certain_fo, is_fo_expressible
 from repro.fo import certain_rewriting, evaluate_sentence, formula_size
-from repro.fo.formulas import Exists, Forall
+from repro.fo.formulas import Exists
 from repro.model import UncertainDatabase
 from repro.query import (
     ConjunctiveQuery,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.model.atoms import RelationSchema
 from repro.model.symbols import Variable
 from repro.query import (
     ConjunctiveQuery,

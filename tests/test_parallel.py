@@ -1,0 +1,236 @@
+"""Tests for the parallel sharded certain-answers engine.
+
+The contract under test is *exact equivalence*: for every execution mode
+(serial inline, thread pool, process pool) and every workload band,
+``ParallelCertaintySession.certain_answers`` returns the same set as the
+sequential :class:`CertaintySession` — candidate sharding, snapshot
+shipping, and chunk sizing must never change the answer.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    ParallelCertaintySession,
+    UncertainDatabase,
+    certain_answers,
+    certain_answers_parallel,
+    is_certain,
+    parse_facts,
+    parse_query,
+)
+from repro.model.symbols import Variable
+from repro.query import ConjunctiveQuery, figure2_q1, figure4_query
+from repro.query.families import path_query
+from repro.workloads import synthetic_instance
+from repro.query.families import cycle_query_ac
+
+#: Worker counts stay small: CI boxes are 1-2 cores and the point is
+#: correctness under sharding, not throughput.
+MODES = ("serial", "thread", "process")
+
+
+def open_variant(query, variable_name):
+    """The query with one variable freed (same atoms, one free variable)."""
+    variable = Variable(variable_name)
+    assert variable in query.variables
+    return ConjunctiveQuery(query.atoms, free_variables=[variable])
+
+
+def band_workloads():
+    """(query, allow_exponential, instance kwargs) per complexity band.
+
+    The band refers to the classification of the *grounded* candidates the
+    sharded loop decides: FO (path query), PTIME_NOT_FO (Figure 4),
+    CONP_COMPLETE (Figure 2's q1 with the brute-force escape hatch), plus a
+    self-join query whose plans re-classify per grounding.
+    """
+    selfjoin = parse_query("R(x | 'c'), R(y | 'c')", free=["x", "y"])
+    return [
+        pytest.param(
+            open_variant(path_query(3), "x1"),
+            False,
+            dict(domain_size=6, witnesses=12, noise_per_relation=8, conflict_rate=0.5),
+            id="fo-band",
+        ),
+        pytest.param(
+            open_variant(figure4_query(), "x"),
+            False,
+            dict(domain_size=4, witnesses=6, noise_per_relation=3, conflict_rate=0.4),
+            id="ptime-not-fo-band",
+        ),
+        pytest.param(
+            open_variant(figure2_q1(), "z"),
+            True,
+            dict(domain_size=3, witnesses=4, noise_per_relation=2, conflict_rate=0.4),
+            id="conp-band-allow-exponential",
+        ),
+        pytest.param(
+            # Non-collapsing groundings of a self-join are unsupported by the
+            # polynomial solvers, so this band also exercises brute force.
+            selfjoin,
+            True,
+            dict(domain_size=4, witnesses=6, noise_per_relation=4, conflict_rate=0.5),
+            id="self-join-per-grounding",
+        ),
+    ]
+
+
+class TestParallelEqualsSequential:
+    @pytest.mark.parametrize("query,allow,kwargs", band_workloads())
+    @pytest.mark.parametrize("mode", MODES)
+    def test_randomized_workloads(self, query, allow, kwargs, mode):
+        for seed in range(3):
+            db = synthetic_instance(query, seed=seed, **kwargs)
+            expected = certain_answers(db, query, allow_exponential=allow)
+            with ParallelCertaintySession(
+                db,
+                max_workers=2,
+                mode=mode,
+                min_parallel_candidates=1,
+                allow_exponential=allow,
+            ) as session:
+                assert session.certain_answers(query) == expected
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_one_shot_wrapper(self, mode):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=11, domain_size=6, witnesses=12)
+        assert certain_answers_parallel(
+            db, query, mode=mode, max_workers=2
+        ) == certain_answers(db, query)
+
+    def test_chunk_size_extremes(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=4, domain_size=6, witnesses=12)
+        expected = certain_answers(db, query)
+        for chunk_size in (1, 2, 10_000):
+            with ParallelCertaintySession(
+                db,
+                max_workers=2,
+                mode="thread",
+                chunk_size=chunk_size,
+                min_parallel_candidates=1,
+            ) as session:
+                assert session.certain_answers(query) == expected
+
+    def test_cycle_query_band_via_boolean_delegate(self, fig6_db):
+        """Theorem 4 (PTIME_CYCLE_QUERY) runs through the session's solve."""
+        query = cycle_query_ac(3)
+        with ParallelCertaintySession(fig6_db, max_workers=2) as session:
+            assert session.is_certain(query) == is_certain(fig6_db, query)
+            assert session.solve(query).method == "theorem4-cycle-query"
+
+
+class TestSnapshotCoherence:
+    def test_mutation_between_calls_rebuilds_the_snapshot(self):
+        """Answers after add/discard reflect the live database, not a stale pool."""
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(
+            query, seed=7, domain_size=6, witnesses=12, conflict_rate=0.5
+        )
+        rng = random.Random(23)
+        with ParallelCertaintySession(
+            db, max_workers=2, mode="process", min_parallel_candidates=1
+        ) as session:
+            assert session.certain_answers(query) == certain_answers(db, query)
+            for _ in range(3):
+                # Interleave removals and inserts, then re-ask.
+                victim = sorted(db.facts, key=str)[rng.randrange(len(db))]
+                db.discard(victim)
+                relation = query.atoms[0].relation
+                db.add(relation.fact(f"n{rng.randrange(100)}", f"n{rng.randrange(100)}"))
+                assert session.certain_answers(query) == certain_answers(db, query)
+
+    def test_remove_block_between_calls(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(
+            query, seed=9, domain_size=5, witnesses=10, conflict_rate=0.8
+        )
+        with ParallelCertaintySession(
+            db, max_workers=2, mode="thread", min_parallel_candidates=1
+        ) as session:
+            session.certain_answers(query)
+            block_key = max(db.block_keys(), key=lambda k: len(db.block(k)))
+            db.remove_block(block_key)
+            assert session.certain_answers(query) == certain_answers(db, query)
+
+
+class TestLifecycleAndFallbacks:
+    def test_broken_pool_recovers_on_the_next_call(self):
+        """A worker crash must not permanently break the session."""
+        import os as _os
+
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=6, domain_size=6, witnesses=12)
+        expected = certain_answers(db, query)
+        with ParallelCertaintySession(
+            db, max_workers=2, mode="process", min_parallel_candidates=1
+        ) as session:
+            assert session.certain_answers(query) == expected
+            # Kill the workers out from under the executor: the next
+            # dispatch hits BrokenProcessPool and must rebuild the pool.
+            for _ in range(4):
+                try:
+                    session._executor.submit(_os._exit, 1).result()
+                except Exception:
+                    pass
+            assert session.certain_answers(query) == expected
+            assert session.certain_answers(query) == expected
+
+    def test_small_inputs_skip_the_pool(self):
+        query = parse_query("Emp(name | dept), Dept(dept | 'Mons')", free=["name"])
+        schema = query.schema()
+        db = UncertainDatabase(
+            parse_facts(
+                ["Emp('ada' | 'db')", "Dept('db' | 'Mons')"], schema=schema
+            )
+        )
+        with ParallelCertaintySession(db, max_workers=4, mode="process") as session:
+            answers = session.certain_answers(query)
+            assert not session.pool_started  # 1 candidate < MIN_PARALLEL_CANDIDATES
+        assert answers == certain_answers(db, query)
+
+    def test_single_worker_runs_inline(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=2, domain_size=6, witnesses=12)
+        with ParallelCertaintySession(
+            db, max_workers=1, min_parallel_candidates=1
+        ) as session:
+            assert session.certain_answers(query) == certain_answers(db, query)
+            assert not session.pool_started
+
+    def test_boolean_query_rejected(self):
+        query = path_query(2)
+        db = synthetic_instance(query, seed=1)
+        with ParallelCertaintySession(db) as session:
+            with pytest.raises(ValueError):
+                session.certain_answers(query)
+
+    def test_closed_session_refuses_queries(self):
+        query = open_variant(path_query(2), "x1")
+        db = synthetic_instance(query, seed=1)
+        session = ParallelCertaintySession(db)
+        session.close()
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            session.certain_answers(query)
+        session.close()  # idempotent
+
+    def test_invalid_parameters_rejected(self):
+        db = UncertainDatabase()
+        with pytest.raises(ValueError):
+            ParallelCertaintySession(db, mode="fibers")
+        with pytest.raises(ValueError):
+            ParallelCertaintySession(db, max_workers=0)
+
+    def test_context_manager_detaches_observer(self):
+        query = open_variant(path_query(2), "x1")
+        db = synthetic_instance(query, seed=5)
+        with ParallelCertaintySession(db) as session:
+            pass
+        # Mutations after close must not touch the closed session's state.
+        relation = query.atoms[0].relation
+        db.add(relation.fact("post", "close"))
+        assert session.closed

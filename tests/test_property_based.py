@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the core data structures and invariants."""
 
-import random
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -17,7 +16,7 @@ from repro.core import ComplexityBand, classify
 from repro.fd import FDSet, fd
 from repro.model import RelationSchema, UncertainDatabase, Variable
 from repro.model.repairs import count_repairs, enumerate_repairs, is_repair
-from repro.query import cycle_query_c, parse_query
+from repro.query import parse_query
 from repro.workloads import random_acyclic_query
 
 # --------------------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """End-to-end tests of the public API surface (the quickstart workflow)."""
 
-import pytest
 
 import repro
 from repro import (

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.certainty import certain_brute_force, is_purified, purify, relevant_facts
 from repro.model import RelationSchema, UncertainDatabase
@@ -86,3 +85,80 @@ class TestPurify:
         db = UncertainDatabase([schema["R"].fact("a", "b")])
         purify(db, q)
         assert len(db) == 1
+
+
+class TestPurifyFastPath:
+    """The hot-path contract: zero copies on already-purified inputs."""
+
+    def test_purified_input_returns_the_same_object(self):
+        from repro.certainty import purify_copy_count, reset_purify_copy_count
+
+        db = figure6_database()
+        q = cycle_query_ac(3)
+        assert is_purified(db, q)
+        reset_purify_copy_count()
+        result = purify(db, q)
+        assert result is db  # no copy at all: the input is returned unchanged
+        assert purify_copy_count() == 0
+
+    def test_empty_query_takes_the_fast_path(self):
+        from repro.certainty import purify_copy_count, reset_purify_copy_count
+
+        db = UncertainDatabase([R.fact("a", 1)])
+        reset_purify_copy_count()
+        assert purify(db, ConjunctiveQuery([])) is db
+        assert purify_copy_count() == 0
+
+    def test_impure_input_copies_exactly_once(self):
+        from repro.certainty import purify_copy_count, reset_purify_copy_count
+
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [schema["R"].fact("a", "b"), schema["S"].fact("b", "a"), schema["S"].fact("b", "c")]
+        )
+        reset_purify_copy_count()
+        purified = purify(db, q)
+        assert purify_copy_count() == 1  # one lazy copy, however many sweeps ran
+        assert purified is not db
+        assert len(db) == 3  # input untouched
+
+    def test_caller_supplied_index_is_never_mutated(self):
+        from repro.query.evaluation import FactIndex
+
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [schema["R"].fact("a", "b"), schema["S"].fact("b", "a"), schema["S"].fact("b", "c")]
+        )
+        index = FactIndex(db.facts)
+        purified = purify(db, q, index=index)
+        assert len(purified) < len(db)
+        # The shared index still covers exactly the original facts.
+        assert set(index) == set(db.facts)
+        assert len(index) == len(db)
+
+    def test_cascading_sweeps_with_shared_index(self, rng):
+        """Multi-sweep removals agree with the no-index result."""
+        from repro.query.evaluation import FactIndex
+
+        q = parse_query("A(x | y), B(y | z), C(z | x)")
+        for seed in range(10):
+            db = random_instance(q, random.Random(seed), domain_size=3, facts_per_relation=4)
+            index = FactIndex(db.facts)
+            with_index = purify(db, q, index=index)
+            without_index = purify(db, q)
+            assert with_index.facts == without_index.facts
+            assert set(index) == set(db.facts)
+
+    def test_returned_copy_tracks_no_hidden_observer(self):
+        """Mutating purify's result must not corrupt later purify calls."""
+        q = parse_query("R(x | y), S(y | x)")
+        schema = q.schema()
+        db = UncertainDatabase(
+            [schema["R"].fact("a", "b"), schema["S"].fact("b", "a"), schema["S"].fact("b", "c")]
+        )
+        purified = purify(db, q)
+        purified.add(schema["R"].fact("zz", "qq"))  # must not raise
+        again = purify(purified, q)
+        assert schema["R"].fact("zz", "qq") not in again

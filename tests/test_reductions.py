@@ -9,7 +9,7 @@ from repro.certainty import (
     purify,
     theorem2_reduction,
 )
-from repro.model import Constant, UncertainDatabase, Variable
+from repro.model import Constant, UncertainDatabase
 from repro.query import figure2_q1, fuxman_miller_cfree_example, kolaitis_pema_q0, parse_query
 
 from tests.helpers import random_instance

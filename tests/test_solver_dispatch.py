@@ -11,7 +11,7 @@ from repro.certainty import (
     solve,
 )
 from repro.core import ComplexityBand
-from repro.model import Constant, UncertainDatabase
+from repro.model import Constant
 from repro.query import (
     cycle_query_ac,
     cycle_query_c,

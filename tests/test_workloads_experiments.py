@@ -9,7 +9,6 @@ from repro.model.repairs import is_repair
 from repro.query import cycle_query_ac, fuxman_miller_cfree_example, is_acyclic, satisfies
 from repro.workloads import (
     figure1_database,
-    figure1_query,
     figure6_database,
     figure7_falsifying_repairs,
     mixed_corpus,
