@@ -1,6 +1,6 @@
 """Emit benchmark JSON reports recording the engine's performance trajectory.
 
-Two suites:
+Three suites:
 
 ``fo_rewriting`` (default) → ``BENCH_fo_rewriting.json``
     Times the certain first-order rewriting of Theorem 1 under the two
@@ -23,11 +23,22 @@ Two suites:
     with physical cores; ``cpu_count`` is recorded alongside so numbers
     from single-core CI boxes are read in context.
 
+``incremental_views`` → ``BENCH_incremental_views.json``
+    Times a :class:`repro.incremental.ViewManager`-maintained certain-answer
+    view against recompute-per-mutation over a stream of single-block
+    mutations, at several database scales.  After every mutation the
+    maintained answers are differentially checked against a cold
+    ``certain_answers``, and the support index is used to assert that the
+    view re-decided *exactly* the candidates whose decisions read the
+    mutated block (plus delta-discovered new candidates) — the block-local
+    maintenance the paper's FO rewritings make possible.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full sizes
     PYTHONPATH=src python benchmarks/emit_bench.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/emit_bench.py --suite parallel_answers
+    PYTHONPATH=src python benchmarks/emit_bench.py --suite incremental_views
 """
 
 from __future__ import annotations
@@ -260,6 +271,142 @@ def run_parallel_benchmark(
     }
 
 
+#: Planted-chain counts for the incremental_views suite.
+INCREMENTAL_FULL_SIZES = (64, 256, 1024)
+INCREMENTAL_SMOKE_SIZES = (16, 48)
+
+#: Single-block mutations applied (and differentially checked) per size.
+INCREMENTAL_FULL_MUTATIONS = 12
+INCREMENTAL_SMOKE_MUTATIONS = 6
+
+
+def _incremental_mutations(query, chains: int, count: int, seed: int):
+    """Single-block mutations against a ``parallel_bench_instance`` database.
+
+    Each mutation adds one key-conflicting fact to the block of an existing
+    chain link — the block-local write pattern a mutation-heavy workload
+    produces — so the support index can be checked for exact dirtying.
+    """
+    rng = random.Random(seed)
+    relations = [atom.relation for atom in query.atoms]
+    ops = []
+    for m in range(count):
+        level = rng.randrange(len(relations))
+        chain = rng.randrange(chains)
+        node = f"s{chain}" if level == 0 else f"v{chain}_{level}"
+        ops.append(relations[level].fact(node, f"mut{m}"))
+    return ops
+
+
+def run_incremental_benchmark(
+    sizes: Sequence[int], mutations: int, seed: int = 21
+) -> Dict:
+    """Maintained view vs recompute-per-mutation, differentially checked."""
+    from repro.incremental import ViewManager, delta_candidates
+    from repro.model.database import ChangeSet
+
+    query = parallel_bench_query()
+    results: List[Dict] = []
+    all_agree = True
+    only_dependents = True
+    for chains in sizes:
+        db = parallel_bench_instance(query, chains, seed=seed)
+        with CertaintySession(db) as cold_session, ViewManager(db) as manager:
+            materialize_start = time.perf_counter()
+            view = manager.register(query)
+            materialize_seconds = time.perf_counter() - materialize_start
+            assert view.fine_grained, "the FO-band open query must be fine-grained"
+            candidate_count = len(view.tracked_candidates)
+
+            maintain_seconds = 0.0
+            recompute_seconds = 0.0
+            dirty_sizes: List[int] = []
+            decisions_before = view.stats.decisions
+            for fact in _incremental_mutations(query, chains, mutations, seed + 1):
+                expected = view.support.dirty_for(ChangeSet(added=(fact,)))
+                tracked_before = view.tracked_candidates
+                start = time.perf_counter()
+                db.add(fact)  # index update + incremental view maintenance
+                maintain_seconds += time.perf_counter() - start
+                # Exact dirtying: the view decided the support-dirty
+                # candidates plus the delta-discovered new ones — nothing else.
+                new = {
+                    c
+                    for c in delta_candidates(query, manager.session.index, [fact])
+                    if c not in tracked_before
+                }
+                if view.stats.last_decided != len(expected | new):
+                    only_dependents = False
+                dirty_sizes.append(view.stats.last_decided)
+                start = time.perf_counter()
+                recomputed = cold_session.certain_answers(query)
+                recompute_seconds += time.perf_counter() - start
+                if view.answers != recomputed:
+                    all_agree = False
+        decisions = view.stats.decisions - decisions_before
+        results.append(
+            {
+                "planted_chains": chains,
+                "facts": len(db),
+                "candidate_answers": candidate_count,
+                "mutations": mutations,
+                "materialize_seconds": materialize_seconds,
+                "maintain_seconds": maintain_seconds,
+                "recompute_seconds": recompute_seconds,
+                "speedup_vs_recompute": (
+                    recompute_seconds / maintain_seconds if maintain_seconds else None
+                ),
+                "view_decisions": decisions,
+                "recompute_decisions": mutations * candidate_count,
+                "avg_dirty": sum(dirty_sizes) / len(dirty_sizes) if dirty_sizes else 0,
+                "max_dirty": max(dirty_sizes) if dirty_sizes else 0,
+                "incremental_refreshes": view.stats.incremental_refreshes,
+                "full_refreshes": view.stats.full_refreshes,
+            }
+        )
+    return {
+        "benchmark": "incremental_views",
+        "query": str(query),
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "all_agree": all_agree,
+        "support_dirties_only_dependents": only_dependents,
+        "largest_size_speedup": (
+            results[-1]["speedup_vs_recompute"] if results else None
+        ),
+    }
+
+
+def _emit_incremental_views(args: argparse.Namespace, output: pathlib.Path) -> int:
+    if args.sizes:
+        sizes: Sequence[int] = args.sizes
+    else:
+        sizes = INCREMENTAL_SMOKE_SIZES if args.smoke else INCREMENTAL_FULL_SIZES
+    mutations = INCREMENTAL_SMOKE_MUTATIONS if args.smoke else INCREMENTAL_FULL_MUTATIONS
+    report = run_incremental_benchmark(sizes, mutations)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["results"]:
+        print(
+            f"chains={row['planted_chains']:5d} facts={row['facts']:6d} "
+            f"candidates={row['candidate_answers']:5d} "
+            f"maintain={row['maintain_seconds']:.4f}s "
+            f"recompute={row['recompute_seconds']:.4f}s "
+            f"speedup={row['speedup_vs_recompute']:.1f}x "
+            f"avg_dirty={row['avg_dirty']:.1f}"
+        )
+    print(f"wrote {output}")
+    if not report["all_agree"]:
+        print("ERROR: maintained view and cold recompute disagree", file=sys.stderr)
+        return 1
+    if not report["support_dirties_only_dependents"]:
+        print(
+            "ERROR: the view re-decided candidates outside the support-dirty set",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _emit_fo_rewriting(args: argparse.Namespace, output: pathlib.Path) -> int:
     if args.sizes:
         sizes: Sequence[int] = args.sizes
@@ -315,6 +462,7 @@ def _emit_parallel_answers(args: argparse.Namespace, output: pathlib.Path) -> in
 _DEFAULT_OUTPUTS = {
     "fo_rewriting": "BENCH_fo_rewriting.json",
     "parallel_answers": "BENCH_parallel_answers.json",
+    "incremental_views": "BENCH_incremental_views.json",
 }
 
 
@@ -322,7 +470,7 @@ def main(argv: Sequence[str] = ()) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("fo_rewriting", "parallel_answers"),
+        choices=("fo_rewriting", "parallel_answers", "incremental_views"),
         default="fo_rewriting",
         help="which benchmark suite to run",
     )
@@ -351,6 +499,8 @@ def main(argv: Sequence[str] = ()) -> int:
         )
     if args.suite == "parallel_answers":
         return _emit_parallel_answers(args, output)
+    if args.suite == "incremental_views":
+        return _emit_incremental_views(args, output)
     return _emit_fo_rewriting(args, output)
 
 

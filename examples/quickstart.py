@@ -12,6 +12,7 @@ from repro import (
     CertaintySession,
     ParallelCertaintySession,
     UncertainDatabase,
+    ViewManager,
     certain_answers,
     certain_rewriting,
     classify,
@@ -100,6 +101,29 @@ def main() -> None:
         print("\nparallel certain answers (4 workers):", names)
         print("identical to the sequential set:", parallel_answers == answers)
         # One-shot equivalent: certain_answers_parallel(db, open_query).
+
+    # 7. Keeping certain answers fresh: under mutation-heavy traffic,
+    #    recomputing certain_answers per write wastes almost all of its
+    #    work.  A ViewManager materializes the answer set once, records
+    #    which *blocks* each candidate's compiled rewriting actually read
+    #    (its support), and on every mutation re-decides only the
+    #    candidates whose support was touched — everything else provably
+    #    cannot have changed.  Batches coalesce into one maintenance step,
+    #    and subscribers receive answer-level deltas.
+    with ViewManager(db) as manager:
+        view = manager.register(open_query)
+        view.subscribe(
+            on_insert=lambda t: print("  + now certainly in Mons:", t[0].value),
+            on_retract=lambda t: print("  - no longer certain:", t[0].value),
+        )
+        print("\nmaterialized view:", sorted(v.value for (v,) in view.answers))
+        with db.batch():  # one consolidated refresh for the whole batch
+            db.add(schema["Emp"].fact("eve", "db"))
+            db.add(schema["Dept"].fact("net", "Lille"))
+        print("after the batch:", sorted(v.value for (v,) in view.answers))
+        print("maintenance stats:", view.stats)
+        print("matches a cold recompute:",
+              view.answers == frozenset(certain_answers(db, open_query)))
 
 
 if __name__ == "__main__":

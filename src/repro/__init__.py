@@ -45,6 +45,23 @@ False
 The one-shot ``solve``/``is_certain``/``certain_answers`` keep their
 signatures and delegate to the same engine through a process-wide plan
 cache.
+
+Incremental certainty views
+---------------------------
+Under mutation-heavy traffic, a :class:`ViewManager` materializes the
+certain answers of registered queries and keeps them continuously equal to
+a cold recompute while the database mutates.  Fine-grained maintenance
+records the *blocks* each candidate's compiled FO rewriting read (its
+support) and re-decides only the candidates a mutation actually touched;
+``db.batch()`` / ``db.bulk_add`` coalesce write bursts into one maintenance
+step, and ``view.subscribe(on_insert, on_retract)`` streams answer-level
+deltas:
+
+>>> with ViewManager(db) as manager:                      # doctest: +SKIP
+...     view = manager.register(open_query)
+...     with db.batch():
+...         db.add(f1); db.discard(f2)
+...     view.answers        # == certain_answers(db, open_query), maintained
 """
 
 from .attacks import Attack, AttackCycle, AttackGraph
@@ -82,8 +99,10 @@ from .engine import (
     default_plan_cache,
 )
 from .fo import certain_rewriting, evaluate_sentence
+from .incremental import MaterializedCertainView, SupportIndex, ViewManager
 from .model import (
     Atom,
+    ChangeSet,
     Constant,
     DatabaseSchema,
     Fact,
@@ -120,6 +139,7 @@ __all__ = [
     "CacheStats",
     "CertaintyOutcome",
     "CertaintySession",
+    "ChangeSet",
     "Classification",
     "ComplexityBand",
     "ConjunctiveQuery",
@@ -128,14 +148,17 @@ __all__ = [
     "Fact",
     "IntractableQueryError",
     "JoinTree",
+    "MaterializedCertainView",
     "ParallelCertaintySession",
     "PlanCache",
     "QueryPlan",
     "RelationSchema",
+    "SupportIndex",
     "UncertainDatabase",
     "UnsupportedQueryError",
     "Valuation",
     "Variable",
+    "ViewManager",
     "__version__",
     "build_join_tree",
     "certain_answers",

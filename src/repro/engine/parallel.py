@@ -36,9 +36,10 @@ import multiprocessing
 import os
 import sys
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..certainty.solver import CertaintyOutcome
+from ..fo.compile import ReadSet
 from ..model.atoms import Fact, RelationSchema
 from ..model.database import DatabaseObserver, UncertainDatabase
 from ..model.schema import DatabaseSchema
@@ -121,16 +122,32 @@ def _init_worker(
     _WORKER_SESSION = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
 
 
+def _decide_chunk(
+    session: CertaintySession,
+    query: ConjunctiveQuery,
+    candidates: Sequence[Tuple[Constant, ...]],
+    allow_exponential: bool,
+    with_support: bool,
+) -> Tuple[List[Tuple[Constant, ...]], Optional[Dict[Tuple[Constant, ...], ReadSet]]]:
+    """Decide a chunk on *session*, optionally capturing per-candidate read sets."""
+    support: Optional[Dict[Tuple[Constant, ...], ReadSet]] = {} if with_support else None
+    certain = session.decide_candidates(
+        query, candidates, allow_exponential=allow_exponential, support=support
+    )
+    return certain, support
+
+
 def _solve_chunk(
     query: ConjunctiveQuery,
     candidates: Sequence[Tuple[Constant, ...]],
     allow_exponential: bool,
-) -> List[Tuple[Constant, ...]]:
+    with_support: bool = False,
+) -> Tuple[List[Tuple[Constant, ...]], Optional[Dict[Tuple[Constant, ...], ReadSet]]]:
     """Decide a chunk of candidate groundings in this worker process."""
     session = _WORKER_SESSION
     if session is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker process was not initialised with a snapshot")
-    return session.decide_candidates(query, candidates, allow_exponential=allow_exponential)
+    return _decide_chunk(session, query, candidates, allow_exponential, with_support)
 
 
 def _chunk(
@@ -319,46 +336,75 @@ class ParallelCertaintySession:
             answer_tuples(query, self._inner.index),
             key=lambda t: tuple(str(c) for c in t),
         )
+        return set(self.decide_candidates(query, candidates, allow_exponential=allow))
+
+    def decide_candidates(
+        self,
+        query: ConjunctiveQuery,
+        candidates: Sequence[Tuple[Constant, ...]],
+        allow_exponential: Optional[bool] = None,
+        support: Optional[Dict[Tuple[Constant, ...], ReadSet]] = None,
+    ) -> List[Tuple[Constant, ...]]:
+        """The certain candidates, in input order, sharded over workers.
+
+        The parallel counterpart of
+        :meth:`CertaintySession.decide_candidates` — same contract, same
+        order, with chunks decided concurrently.  When *support* is given,
+        per-candidate :class:`~repro.fo.compile.ReadSet`\\ s captured inside
+        the workers are shipped back and merged into it (read sets are
+        plain picklable values), so the incremental view subsystem can fan
+        large dirty-set re-decisions out without losing its support index.
+        Small inputs (below ``min_parallel_candidates``) run inline.
+        """
+        self._check_open()
+        allow = (
+            self._allow_exponential if allow_exponential is None else allow_exponential
+        )
         if self._mode == "serial" or len(candidates) < self._min_parallel:
-            return set(
-                self._inner.decide_candidates(query, candidates, allow_exponential=allow)
+            return self._inner.decide_candidates(
+                query, candidates, allow_exponential=allow, support=support
             )
         chunks = _chunk(candidates, self._effective_chunk_size(len(candidates)))
         try:
-            return self._scatter(query, chunks, allow)
+            return self._scatter(query, chunks, allow, support)
         except BrokenExecutor:
             # A worker died (OOM kill, interpreter crash).  Tear the broken
             # pool down so this call — and every later one — gets a fresh
             # pool instead of resubmitting to a permanently dead executor.
             self._teardown_pool()
-            return self._scatter(query, chunks, allow)
+            return self._scatter(query, chunks, allow, support)
 
     def _scatter(
         self,
         query: ConjunctiveQuery,
         chunks: Sequence[Sequence[Tuple[Constant, ...]]],
         allow: bool,
-    ) -> Set[Tuple[Constant, ...]]:
-        """Dispatch chunks to the pool and union the shard results."""
+        support: Optional[Dict[Tuple[Constant, ...], ReadSet]] = None,
+    ) -> List[Tuple[Constant, ...]]:
+        """Dispatch chunks to the pool and concatenate the shard results."""
         self._ensure_pool()
         assert self._executor is not None
+        with_support = support is not None
         if self._mode == "thread":
             session = self._snapshot_session
             assert session is not None
             futures = [
                 self._executor.submit(
-                    session.decide_candidates, query, chunk, allow
+                    _decide_chunk, session, query, chunk, allow, with_support
                 )
                 for chunk in chunks
             ]
         else:
             futures = [
-                self._executor.submit(_solve_chunk, query, chunk, allow)
+                self._executor.submit(_solve_chunk, query, chunk, allow, with_support)
                 for chunk in chunks
             ]
-        certain: Set[Tuple[Constant, ...]] = set()
+        certain: List[Tuple[Constant, ...]] = []
         for future in futures:
-            certain.update(future.result())
+            chunk_certain, chunk_support = future.result()
+            certain.extend(chunk_certain)
+            if support is not None and chunk_support is not None:
+                support.update(chunk_support)
         return certain
 
     def _effective_chunk_size(self, n_candidates: int) -> int:

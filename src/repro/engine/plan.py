@@ -39,7 +39,7 @@ from ..certainty.exceptions import IntractableQueryError, UnsupportedQueryError
 from ..certainty.rewriting import certain_fo
 from ..certainty.solver import CertaintyOutcome
 from ..certainty.terminal_cycles import certain_terminal_cycles
-from ..fo.compile import CompiledFormula, compile_formula
+from ..fo.compile import CompiledFormula, ReadSetRecorder, compile_formula
 from ..fo.formulas import replace_constants
 from ..fo.rewrite import certain_rewriting_cached
 from ..model.valuation import Valuation
@@ -213,6 +213,7 @@ class QueryPlan:
         allow_exponential: bool = False,
         context: Optional[SolverContext] = None,
         candidate: Optional[Tuple[Constant, ...]] = None,
+        recorder: Optional[ReadSetRecorder] = None,
     ) -> CertaintyOutcome:
         """Run the compiled plan against *db*.
 
@@ -229,15 +230,27 @@ class QueryPlan:
         ``source_query.free_variables``; when the plan carries an open
         compiled rewriting, FO execution binds the candidate through a
         valuation instead of constructing a rewriting per grounding.
+
+        *recorder*, when supplied, collects the read set of the decision
+        (see :class:`~repro.fo.compile.ReadSet`).  Only compiled-rewriting
+        execution is instrumented; every other path — the peeling fallback,
+        the Theorem 3/4 solvers, brute force — marks the recorder *opaque*,
+        so callers always receive a sound over-approximation.
         """
         if grounding is not None and self.per_grounding:
             return compile_plan(grounding).execute(
-                db, allow_exponential=allow_exponential, context=context
+                db,
+                allow_exponential=allow_exponential,
+                context=context,
+                recorder=recorder,
             )
         target = grounding if grounding is not None else self.query
         if self.method == "fo-rewriting":
-            certain = self._execute_fo(db, grounding, candidate, context)
+            certain = self._execute_fo(db, grounding, candidate, context, recorder)
             return CertaintyOutcome(certain, self.method, self.classification)
+        if recorder is not None:
+            # The solvers below are not read-set instrumented.
+            recorder.record_opaque()
         if self.method == "theorem3-terminal-cycles":
             return CertaintyOutcome(
                 certain_terminal_cycles(db, target, context=context),
@@ -270,6 +283,7 @@ class QueryPlan:
         grounding: Optional[ConjunctiveQuery],
         candidate: Optional[Tuple[Constant, ...]],
         context: Optional[SolverContext],
+        recorder: Optional[ReadSetRecorder] = None,
     ) -> bool:
         """FO dispatch: evaluate the compiled rewriting, peel as fallback."""
         index = context.index_for(db) if context is not None else None
@@ -282,13 +296,18 @@ class QueryPlan:
                 )
             if candidate is not None:
                 valuation = Valuation(dict(zip(self.fo_candidate_vars, candidate)))
-                return self.fo_rewriting.evaluate(db, index=index, valuation=valuation)
+                return self.fo_rewriting.evaluate(
+                    db, index=index, valuation=valuation, recorder=recorder
+                )
         elif self.fo_rewriting is not None and grounding is None:
-            return self.fo_rewriting.evaluate(db, index=index)
+            return self.fo_rewriting.evaluate(db, index=index, recorder=recorder)
         rewriting = _fo_rewriting_plan(grounding) if grounding is not None else None
         if rewriting is not None:
-            return rewriting.evaluate(db, index=index)
+            return rewriting.evaluate(db, index=index, recorder=recorder)
         target = grounding if grounding is not None else self.query
+        if recorder is not None:
+            # The peeling fallback is not read-set instrumented.
+            recorder.record_opaque()
         return certain_fo(db, target, context=context)
 
 

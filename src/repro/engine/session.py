@@ -24,11 +24,11 @@ way.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..certainty.context import SolverContext
 from ..certainty.solver import CertaintyOutcome
-from ..fo.compile import compile_formula
+from ..fo.compile import ReadSet, ReadSetRecorder, compile_formula
 from ..fo.formulas import Formula
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
@@ -109,6 +109,11 @@ class CertaintySession:
         return self._cache
 
     @property
+    def allow_exponential(self) -> bool:
+        """The session-wide brute-force default (per-call overrides win)."""
+        return self._allow_exponential
+
+    @property
     def closed(self) -> bool:
         """``True`` once :meth:`close` has run (the index no longer tracks)."""
         return self._closed
@@ -168,6 +173,7 @@ class CertaintySession:
         query: ConjunctiveQuery,
         candidates: Sequence[Tuple[Constant, ...]],
         allow_exponential: Optional[bool] = None,
+        support: Optional[Dict[Tuple[Constant, ...], ReadSet]] = None,
     ) -> List[Tuple[Constant, ...]]:
         """The candidates whose grounding is certain, in input order.
 
@@ -175,20 +181,35 @@ class CertaintySession:
         so the parallel session can shard one enumeration across workers:
         each worker calls ``decide_candidates`` on its own chunk and the
         shards union back into the same set the sequential loop produces.
+
+        When *support* is supplied, every decided candidate is mapped to the
+        :class:`~repro.fo.compile.ReadSet` of its decision — the dependency
+        capture the incremental view subsystem builds its support index
+        from.  Decisions that leave the instrumented compiled-rewriting path
+        yield opaque read sets (a sound "depends on everything").
         """
         self._check_open()
         allow = self._allow_exponential if allow_exponential is None else allow_exponential
         plan = self.plan_for(query)
+        # A Boolean query has exactly one candidate, the empty tuple; it
+        # executes the plan's own (compiled) query rather than a grounding.
+        boolean = query.is_boolean
         certain: List[Tuple[Constant, ...]] = []
         for candidate in candidates:
-            grounded = ground_free_variables(query, [c.value for c in candidate])
+            grounded = (
+                None if boolean else ground_free_variables(query, [c.value for c in candidate])
+            )
+            recorder = ReadSetRecorder() if support is not None else None
             outcome = plan.execute(
                 self._db,
                 grounding=grounded,
                 allow_exponential=allow,
                 context=self._context,
-                candidate=candidate,
+                candidate=None if boolean else candidate,
+                recorder=recorder,
             )
+            if support is not None:
+                support[candidate] = recorder.freeze()
             if outcome.certain:
                 certain.append(candidate)
         return certain

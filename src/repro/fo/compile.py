@@ -50,7 +50,7 @@ from typing import (
 from weakref import WeakKeyDictionary
 
 from ..model.atoms import Atom
-from ..model.database import UncertainDatabase
+from ..model.database import BlockKey, UncertainDatabase
 from ..model.symbols import Constant, Variable, is_constant
 from ..model.valuation import Valuation
 from ..query.evaluation import FactIndex
@@ -70,6 +70,111 @@ from .formulas import (
 
 #: A row of a relation: one constant per schema column.
 Row = Tuple[Constant, ...]
+
+
+class ReadSet:
+    """An immutable over-approximation of what one plan execution read.
+
+    A decision whose read set does not overlap a set of database mutations
+    is guaranteed to re-produce the same verdict: plan execution is
+    deterministic, the first index accesses are fixed by the plan structure,
+    and every later probe key is derived from facts found by earlier
+    accesses — so if no read block/relation changed, the entire execution
+    replays identically.  This is the dependency unit of the incremental
+    view subsystem (:mod:`repro.incremental`).
+
+    ``blocks``
+        block keys probed through the per-block index (including *empty*
+        probes — an insertion into a probed-but-empty block changes what
+        the probe returns, so it must dirty the verdict);
+    ``relations``
+        relations read through full scans (any mutation of the relation may
+        change the result);
+    ``domain_read``
+        the execution consulted the active domain derived from the whole
+        index — any mutation anywhere may change the verdict;
+    ``opaque``
+        the execution left the instrumented compiled-plan path (peeling
+        fallback, non-FO solver, brute force): the read set is unknown and
+        callers must treat the verdict as depending on everything.
+    """
+
+    __slots__ = ("blocks", "relations", "domain_read", "opaque")
+
+    def __init__(
+        self,
+        blocks: FrozenSet[BlockKey] = frozenset(),
+        relations: FrozenSet[str] = frozenset(),
+        domain_read: bool = False,
+        opaque: bool = False,
+    ) -> None:
+        self.blocks = blocks
+        self.relations = relations
+        self.domain_read = domain_read
+        self.opaque = opaque
+
+    @property
+    def is_global(self) -> bool:
+        """``True`` when any mutation whatsoever must dirty the verdict."""
+        return self.domain_read or self.opaque
+
+    def __repr__(self) -> str:
+        if self.opaque:
+            return "ReadSet(opaque)"
+        if self.domain_read:
+            return "ReadSet(domain)"
+        return f"ReadSet({len(self.blocks)} blocks, {len(self.relations)} relations)"
+
+    # ReadSets cross process boundaries (parallel support capture).
+    def __getstate__(self):
+        return (self.blocks, self.relations, self.domain_read, self.opaque)
+
+    def __setstate__(self, state):
+        self.blocks, self.relations, self.domain_read, self.opaque = state
+
+
+class ReadSetRecorder:
+    """Mutable collector the evaluator writes its index accesses into.
+
+    Hand one to :meth:`CompiledFormula.evaluate` (or thread it through
+    ``QueryPlan.execute``) and call :meth:`freeze` afterwards to obtain the
+    immutable :class:`ReadSet` of that execution.
+    """
+
+    __slots__ = ("blocks", "relations", "domain_read", "opaque")
+
+    def __init__(self) -> None:
+        self.blocks: Set[BlockKey] = set()
+        self.relations: Set[str] = set()
+        self.domain_read = False
+        self.opaque = False
+
+    def record_block(self, name: str, key: Tuple[Constant, ...]) -> None:
+        self.blocks.add((name, key))
+
+    def record_relation(self, name: str) -> None:
+        self.relations.add(name)
+
+    def record_domain(self) -> None:
+        self.domain_read = True
+
+    def record_opaque(self) -> None:
+        """Mark the read set unknown (execution left the instrumented path)."""
+        self.opaque = True
+
+    def freeze(self) -> ReadSet:
+        """The immutable read set collected so far."""
+        # Blocks of fully scanned relations are subsumed by the relation
+        # entry; dropping them keeps support indexes small.
+        blocks = frozenset(
+            key for key in self.blocks if key[0] not in self.relations
+        )
+        return ReadSet(
+            blocks=blocks,
+            relations=frozenset(self.relations),
+            domain_read=self.domain_read,
+            opaque=self.opaque,
+        )
 
 
 class Relation:
@@ -173,6 +278,11 @@ class EvalContext:
     ``atom_scans`` / ``block_lookups``
         how atom leaves obtained their facts (full relation scan versus
         guarded per-block index probes).
+
+    An optional :class:`ReadSetRecorder` captures every index access made
+    through the context — per-block probes, full relation scans, and active
+    domain derivations — so callers can learn which parts of the database a
+    verdict depended on.
     """
 
     __slots__ = (
@@ -183,14 +293,17 @@ class EvalContext:
         "domain_expansions",
         "atom_scans",
         "block_lookups",
+        "recorder",
     )
 
     def __init__(
         self,
         index: FactIndex,
         domain: Optional[Iterable[Constant]] = None,
+        recorder: Optional[ReadSetRecorder] = None,
     ) -> None:
         self.index = index
+        self.recorder = recorder
         # An explicitly supplied domain may be *smaller* than the set of
         # constants in the facts; quantifier nodes must then re-check that
         # the bindings found through atom guards lie inside it (matching the
@@ -210,6 +323,9 @@ class EvalContext:
     @property
     def domain(self) -> Tuple[Constant, ...]:
         """The quantification domain (computed from the index on first use)."""
+        if self.recorder is not None and not self.explicit_domain:
+            # A domain derived from the index depends on *every* fact.
+            self.recorder.record_domain()
         if self._domain is None:
             values: Set[Constant] = set()
             for fact in self.index:
@@ -396,6 +512,7 @@ class AtomNode(PlanNode):
                     key_getters.append(None)
             if all(g is not None for g in key_getters):
                 ctx.block_lookups += 1
+                recorder = ctx.recorder
                 out_extra = [v for v in self.schema if v not in env_positions]
                 out_schema = env.schema + tuple(out_extra)
                 bound = [(env_positions[v], p) for v, p in self._first_position.items() if v in env_positions]
@@ -406,6 +523,10 @@ class AtomNode(PlanNode):
                         env_row[pos] if const is None else const  # type: ignore[index]
                         for pos, const in key_getters  # type: ignore[misc]
                     )
+                    if recorder is not None:
+                        # Empty probes are recorded too: a later insertion
+                        # into this block changes what the probe returns.
+                        recorder.record_block(name, key)
                     for fact in ctx.index.block(name, key):
                         if fact.relation.arity != relation.arity:
                             continue
@@ -418,8 +539,12 @@ class AtomNode(PlanNode):
                 return Relation(out_schema, rows)
         ctx.atom_scans += 1
         if self._key_terms and all(is_constant(t) for t in self._key_terms):
+            if ctx.recorder is not None:
+                ctx.recorder.record_block(name, self._key_terms)
             candidates: Iterable = ctx.index.block(name, self._key_terms)
         else:
+            if ctx.recorder is not None:
+                ctx.recorder.record_relation(name)
             candidates = ctx.index.relation(name)
         rows = set()
         for fact in candidates:
@@ -703,13 +828,16 @@ class CompiledFormula:
         domain: Optional[Iterable[Constant]] = None,
         valuation: Optional[Valuation] = None,
         context: Optional[EvalContext] = None,
+        recorder: Optional[ReadSetRecorder] = None,
     ) -> bool:
         """``db |= formula [valuation]`` via the compiled plan.
 
         Either *db*, an *index*, or a prebuilt *context* must be supplied;
-        free variables of the formula must be covered by *valuation*.
+        free variables of the formula must be covered by *valuation*.  A
+        *recorder* captures the read set of this execution (pass it via the
+        context instead when supplying a prebuilt one).
         """
-        ctx = self._context(db, index, domain, context)
+        ctx = self._context(db, index, domain, context, recorder)
         free = self.root.free
         if free:
             valuation = valuation if valuation is not None else Valuation()
@@ -740,13 +868,19 @@ class CompiledFormula:
         index: Optional[FactIndex],
         domain: Optional[Iterable[Constant]],
         context: Optional[EvalContext],
+        recorder: Optional[ReadSetRecorder] = None,
     ) -> EvalContext:
         if context is not None:
+            if recorder is not None:
+                raise ValueError(
+                    "pass the recorder through the EvalContext when supplying one"
+                )
             return context
         if index is not None:
-            return EvalContext(index, domain=domain)
+            return EvalContext(index, domain=domain, recorder=recorder)
         if db is not None:
-            return EvalContext.for_database(db, domain=domain)
+            index = FactIndex(db.facts)
+            return EvalContext(index, domain=domain, recorder=recorder)
         raise ValueError("evaluate needs a database, a fact index, or an EvalContext")
 
     def __repr__(self) -> str:

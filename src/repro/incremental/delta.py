@@ -1,0 +1,85 @@
+"""Delta enumeration: which *new* candidate answers does an insertion create?
+
+The candidate answers of an open query ``q`` are the tuples of
+``answer_tuples(q, db)`` — a monotone conjunctive evaluation.  After a batch
+of mutations, every *newly satisfiable* candidate must use at least one
+inserted fact in at least one atom position (discards only ever shrink the
+candidate set, and a shrunk candidate re-decides to not-certain through its
+support anyway).  So instead of re-running the full join per batch, the
+incremental view seeds one backtracking join per (inserted fact, matching
+atom) pair: the fact is pinned to that atom, the remaining atoms are joined
+most-bound-first against the session's fact index, and the free-variable
+tuples of the completed valuations are the (superset of) new candidates.
+
+This is the classic delta-join of incremental view maintenance, specialised
+to the sideways-information-passing evaluator of
+:mod:`repro.query.evaluation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Set
+
+from ..model.atoms import Atom, Fact
+from ..model.symbols import Constant, is_constant
+from ..model.valuation import Valuation
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import FactIndex, match_atom
+from .support import Candidate
+
+
+def _boundness(atom: Atom, valuation: Valuation) -> int:
+    """How many of the atom's terms are already pinned down."""
+    return sum(1 for t in atom.terms if is_constant(t) or t in valuation)
+
+
+def _seeded_valuations(
+    atoms: Sequence[Atom], index: FactIndex, valuation: Valuation
+) -> Iterator[Valuation]:
+    """Complete *valuation* over the remaining *atoms* (most-bound-first)."""
+    if not atoms:
+        yield valuation
+        return
+    position = max(range(len(atoms)), key=lambda i: _boundness(atoms[i], valuation))
+    atom = atoms[position]
+    rest = [a for i, a in enumerate(atoms) if i != position]
+    key_values: List[Constant] = []
+    for term in atom.key_terms:
+        value = term if is_constant(term) else valuation.get(term)
+        if value is None:
+            break
+        key_values.append(value)  # type: ignore[arg-type]
+    else:
+        for fact in index.block(atom.relation.name, tuple(key_values)):
+            extended = match_atom(atom, fact, valuation)
+            if extended is not None:
+                yield from _seeded_valuations(rest, index, extended)
+        return
+    for fact in index.relation(atom.relation.name):
+        extended = match_atom(atom, fact, valuation)
+        if extended is not None:
+            yield from _seeded_valuations(rest, index, extended)
+
+
+def delta_candidates(
+    query: ConjunctiveQuery, index: FactIndex, added: Iterable[Fact]
+) -> Set[Candidate]:
+    """Candidate tuples of valuations that use at least one *added* fact.
+
+    A superset filter for novelty: the result may include candidates that
+    were already enumerable before the insertion (the caller dedups against
+    its known set), but every genuinely new candidate is guaranteed to be
+    present.
+    """
+    free = query.free_variables
+    atoms = query.atoms
+    out: Set[Candidate] = set()
+    for fact in added:
+        for position, atom in enumerate(atoms):
+            seed = match_atom(atom, fact, Valuation())
+            if seed is None:
+                continue
+            rest = [a for i, a in enumerate(atoms) if i != position]
+            for valuation in _seeded_valuations(rest, index, seed):
+                out.add(tuple(valuation[v] for v in free))
+    return out

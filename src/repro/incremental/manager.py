@@ -1,0 +1,265 @@
+"""The view manager: database observer driving all registered views.
+
+A :class:`ViewManager` is the subscription point of the incremental
+subsystem.  It owns (or wraps) a
+:class:`~repro.engine.session.CertaintySession`, registers itself as an
+observer on the session's database, and converts every mutation — single
+``add``/``discard`` calls, whole ``remove_block`` sweeps, or coalesced
+:meth:`~repro.model.database.UncertainDatabase.batch` blocks — into
+:class:`~repro.model.database.ChangeSet` deliveries to each registered
+:class:`~repro.incremental.view.MaterializedCertainView`.
+
+Ordering matters and is arranged by construction: the session's fact index
+is registered as an observer *before* the manager, so by the time a view
+refreshes, the index (which candidate enumeration, delta joins, and the
+compiled rewritings all read) already reflects the mutation.
+
+Large dirty sets can optionally be fanned out across a
+:class:`~repro.engine.parallel.ParallelCertaintySession` (``parallel_workers``):
+worker-captured read sets are shipped back with the verdicts, so the
+support index stays exact under parallel maintenance.
+
+Like :class:`~repro.model.database.UncertainDatabase` itself, the manager
+assumes a single writer: mutations (and hence maintenance) run on the
+mutating thread.  Decisions may still fan out to worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.cache import PlanCache
+from ..engine.parallel import ParallelCertaintySession
+from ..engine.session import CertaintySession
+from ..fo.compile import ReadSet
+from ..model.atoms import Fact
+from ..model.database import ChangeSet, DatabaseObserver, UncertainDatabase
+from ..query.conjunctive import ConjunctiveQuery
+from .support import Candidate
+from .view import MaterializedCertainView
+
+
+class ViewManager(DatabaseObserver):
+    """Keeps every registered certain-answer view fresh under mutation.
+
+    Parameters
+    ----------
+    db:
+        The uncertain database to observe.
+    session:
+        An existing :class:`CertaintySession` over *db* to decide through.
+        When omitted the manager opens (and owns) one; a supplied session
+        stays the caller's to close.
+    plan_cache / allow_exponential:
+        Forwarded to the owned session (ignored when *session* is given).
+    full_refresh_threshold:
+        Dirty fraction above which a view abandons incremental maintenance
+        for a full refresh (default ``0.5``).
+    parallel_workers:
+        When set, dirty sets of at least *parallel_min_dirty* candidates
+        are decided through a process-pool
+        :class:`ParallelCertaintySession` with this worker count.  Note the
+        pool re-snapshots the database after mutations, so fan-out pays off
+        when per-batch decision work is large.
+    parallel_min_dirty:
+        Candidate-count floor for fanning out (default ``64``).
+
+    Example
+    -------
+    >>> with ViewManager(db) as manager:               # doctest: +SKIP
+    ...     view = manager.register(open_query)
+    ...     view.subscribe(on_insert=print)
+    ...     with db.batch():                           # one consolidated refresh
+    ...         db.add(f1); db.discard(f2)
+    ...     view.answers
+    """
+
+    def __init__(
+        self,
+        db: UncertainDatabase,
+        session: Optional[CertaintySession] = None,
+        plan_cache: Optional[PlanCache] = None,
+        allow_exponential: bool = False,
+        full_refresh_threshold: float = 0.5,
+        parallel_workers: Optional[int] = None,
+        parallel_min_dirty: int = 64,
+    ) -> None:
+        if not 0.0 <= full_refresh_threshold <= 1.0:
+            raise ValueError("full_refresh_threshold must lie in [0, 1]")
+        self._db = db
+        if session is None:
+            session = CertaintySession(
+                db, plan_cache=plan_cache, allow_exponential=allow_exponential
+            )
+            self._owns_session = True
+        else:
+            if session.db is not db:
+                raise ValueError("the supplied session wraps a different database")
+            self._owns_session = False
+            # The supplied session's policy governs all maintenance, so the
+            # parallel fan-out below must not apply a different one.
+            allow_exponential = session.allow_exponential
+        self._session = session
+        self._full_refresh_threshold = full_refresh_threshold
+        self._parallel: Optional[ParallelCertaintySession] = None
+        self._parallel_min_dirty = parallel_min_dirty
+        if parallel_workers is not None:
+            # Created before the manager registers itself, so the parallel
+            # session's mutation counter (and its inline index) are notified
+            # first and snapshots are never stale at refresh time.
+            self._parallel = ParallelCertaintySession(
+                db,
+                max_workers=parallel_workers,
+                mode="process",
+                min_parallel_candidates=parallel_min_dirty,
+                allow_exponential=allow_exponential,
+            )
+        self._views: Dict[ConjunctiveQuery, MaterializedCertainView] = {}
+        self._pending: List[ChangeSet] = []
+        self._delivering = False
+        self._closed = False
+        db.register_observer(self)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the database and release owned resources (idempotent)."""
+        if self._closed:
+            return
+        self._db.unregister_observer(self)
+        if self._parallel is not None:
+            self._parallel.close()
+        if self._owns_session:
+            self._session.close()
+        self._closed = True
+
+    def __enter__(self) -> "ViewManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run (views no longer track)."""
+        return self._closed
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def db(self) -> UncertainDatabase:
+        """The observed database."""
+        return self._db
+
+    @property
+    def session(self) -> CertaintySession:
+        """The certainty session views decide through."""
+        return self._session
+
+    @property
+    def views(self) -> Tuple[MaterializedCertainView, ...]:
+        """Every registered view, in registration order."""
+        return tuple(self._views.values())
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"ViewManager({self._db!r}, {len(self._views)} views, {state})"
+
+    def register(
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+    ) -> MaterializedCertainView:
+        """Materialize the certain answers of *query* and keep them fresh.
+
+        Registration performs the initial (full) materialization.
+        Registering the same query twice returns the existing view.
+        """
+        self._check_open()
+        existing = self._views.get(query)
+        if existing is not None:
+            return existing
+        view = MaterializedCertainView(
+            self,
+            query,
+            allow_exponential=allow_exponential,
+            full_refresh_threshold=self._full_refresh_threshold,
+        )
+        self._views[query] = view
+        return view
+
+    def unregister(self, view: MaterializedCertainView) -> None:
+        """Stop maintaining *view* (no-op if not registered)."""
+        current = self._views.get(view.query)
+        if current is view:
+            del self._views[view.query]
+
+    def refresh_all(self) -> None:
+        """Force a full refresh of every view (e.g. after out-of-band doubt)."""
+        self._check_open()
+        for view in self._views.values():
+            view.refresh()
+
+    # -- observer protocol -------------------------------------------------------
+
+    def fact_added(self, fact: Fact) -> None:
+        self._enqueue(ChangeSet(added=(fact,)))
+
+    def fact_discarded(self, fact: Fact) -> None:
+        self._enqueue(ChangeSet(discarded=(fact,)))
+
+    def batch_applied(self, changes: ChangeSet) -> None:
+        self._enqueue(changes)
+
+    def _enqueue(self, changes: ChangeSet) -> None:
+        """Deliver *changes* to every view, serialising re-entrant mutations.
+
+        A subscriber callback may trigger further database mutations; those
+        arrive here re-entrantly and are queued, then drained after the
+        current delivery completes — every view refresh runs against the
+        *current* database, so late deliveries only confirm verdicts.
+        """
+        if self._closed:
+            return
+        self._pending.append(changes)
+        if self._delivering:
+            return
+        self._delivering = True
+        try:
+            while self._pending:
+                batch = self._pending.pop(0)
+                for view in list(self._views.values()):
+                    view.apply(batch)
+        finally:
+            self._delivering = False
+
+    # -- decision routing --------------------------------------------------------
+
+    def _decide(
+        self,
+        query: ConjunctiveQuery,
+        candidates: List[Candidate],
+        support: Optional[Dict[Candidate, ReadSet]],
+        allow_exponential: Optional[bool],
+    ) -> List[Candidate]:
+        """Decide candidates sequentially, or fan out when the set is large."""
+        if (
+            self._parallel is not None
+            and len(candidates) >= self._parallel_min_dirty
+        ):
+            return self._parallel.decide_candidates(
+                query,
+                candidates,
+                allow_exponential=allow_exponential,
+                support=support,
+            )
+        return self._session.decide_candidates(
+            query,
+            candidates,
+            allow_exponential=allow_exponential,
+            support=support,
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this ViewManager is closed; its views no longer track")

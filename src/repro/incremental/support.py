@@ -1,0 +1,184 @@
+"""The support index: which candidates does a mutated block dirty?
+
+A :class:`~repro.incremental.view.MaterializedCertainView` decides each
+candidate answer once and remembers the :class:`~repro.fo.compile.ReadSet`
+of the decision — every block the compiled certain rewriting probed, every
+relation it scanned, and whether it consulted the active domain.  The
+:class:`SupportIndex` inverts those read sets: given the
+:class:`~repro.model.database.ChangeSet` of a mutation batch, it returns
+exactly the candidates whose verdict may have changed.
+
+Soundness rests on the determinism argument documented on ``ReadSet``: a
+decision whose read set is disjoint from the touched blocks/relations
+re-executes identically, so its verdict is unchanged and need not be
+re-decided.  Candidates with *global* read sets (domain reads, opaque
+fallbacks) are dirtied by every mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..fo.compile import ReadSet
+from ..model.database import BlockKey, ChangeSet
+from ..model.symbols import Constant
+
+#: A candidate answer: one constant per free variable (``()`` for Boolean).
+Candidate = Tuple[Constant, ...]
+
+_EMPTY: Set[Candidate] = set()
+
+
+class SupportIndex:
+    """Inverted dependency index from blocks/relations to candidate answers.
+
+    Maintains, for every tracked candidate, the read set of its most recent
+    decision, plus the inverted maps used by :meth:`dirty_for`.  The two
+    directions are kept consistent by construction; :meth:`check_invariants`
+    verifies this exhaustively (used by the test suite).
+    """
+
+    def __init__(self) -> None:
+        self._reads: Dict[Candidate, ReadSet] = {}
+        self._by_block: Dict[BlockKey, Set[Candidate]] = {}
+        self._by_relation: Dict[str, Set[Candidate]] = {}
+        self._global: Set[Candidate] = set()
+
+    # -- maintenance -------------------------------------------------------------
+
+    def set(self, candidate: Candidate, read_set: ReadSet) -> None:
+        """Record (or replace) the read set supporting *candidate*."""
+        self.remove(candidate)
+        self._reads[candidate] = read_set
+        if read_set.is_global:
+            self._global.add(candidate)
+            return
+        for block in read_set.blocks:
+            self._by_block.setdefault(block, set()).add(candidate)
+        for name in read_set.relations:
+            self._by_relation.setdefault(name, set()).add(candidate)
+
+    def remove(self, candidate: Candidate) -> None:
+        """Forget *candidate* (no-op if untracked)."""
+        read_set = self._reads.pop(candidate, None)
+        if read_set is None:
+            return
+        if read_set.is_global:
+            self._global.discard(candidate)
+            return
+        for block in read_set.blocks:
+            members = self._by_block.get(block)
+            if members is not None:
+                members.discard(candidate)
+                if not members:
+                    del self._by_block[block]
+        for name in read_set.relations:
+            members = self._by_relation.get(name)
+            if members is not None:
+                members.discard(candidate)
+                if not members:
+                    del self._by_relation[name]
+
+    def clear(self) -> None:
+        """Forget every candidate."""
+        self._reads.clear()
+        self._by_block.clear()
+        self._by_relation.clear()
+        self._global.clear()
+
+    # -- queries -----------------------------------------------------------------
+
+    def read_set(self, candidate: Candidate) -> Optional[ReadSet]:
+        """The recorded read set of *candidate* (``None`` if untracked)."""
+        return self._reads.get(candidate)
+
+    def candidates(self) -> Iterable[Candidate]:
+        """Every tracked candidate."""
+        return self._reads.keys()
+
+    def candidates_for_block(self, block: BlockKey) -> Set[Candidate]:
+        """Candidates whose decision probed *block* (global ones excluded)."""
+        return set(self._by_block.get(block, _EMPTY))
+
+    def candidates_for_relation(self, name: str) -> Set[Candidate]:
+        """Candidates whose decision scanned relation *name* in full."""
+        return set(self._by_relation.get(name, _EMPTY))
+
+    @property
+    def global_candidates(self) -> Set[Candidate]:
+        """Candidates dirtied by *every* mutation (domain/opaque read sets)."""
+        return set(self._global)
+
+    @property
+    def has_global(self) -> bool:
+        """``True`` when some candidate must be re-decided on any change."""
+        return bool(self._global)
+
+    def dirty_for(self, changes: ChangeSet) -> Set[Candidate]:
+        """The candidates whose verdict may be changed by *changes*.
+
+        The union of the global candidates, the candidates that probed a
+        touched block, and the candidates that scanned a touched relation.
+        """
+        dirty: Set[Candidate] = set(self._global)
+        for block in changes.touched_blocks():
+            dirty |= self._by_block.get(block, _EMPTY)
+        for name in changes.touched_relations():
+            dirty |= self._by_relation.get(name, _EMPTY)
+        return dirty
+
+    def dependencies_of(self, candidate: Candidate) -> int:
+        """How many block/relation entries support *candidate* (0 if global)."""
+        read_set = self._reads.get(candidate)
+        if read_set is None or read_set.is_global:
+            return 0
+        return len(read_set.blocks) + len(read_set.relations)
+
+    def __len__(self) -> int:
+        return len(self._reads)
+
+    def __contains__(self, candidate: object) -> bool:
+        return candidate in self._reads
+
+    def __repr__(self) -> str:
+        return (
+            f"SupportIndex({len(self._reads)} candidates, "
+            f"{len(self._by_block)} blocks, {len(self._by_relation)} relations, "
+            f"{len(self._global)} global)"
+        )
+
+    # -- invariants (exercised by the test suite) --------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the forward and inverted maps agree; raise on corruption."""
+        for candidate, read_set in self._reads.items():
+            if read_set.is_global:
+                assert candidate in self._global, f"{candidate} missing from global set"
+                continue
+            for block in read_set.blocks:
+                assert candidate in self._by_block.get(block, _EMPTY), (
+                    f"{candidate} missing from block entry {block}"
+                )
+            for name in read_set.relations:
+                assert candidate in self._by_relation.get(name, _EMPTY), (
+                    f"{candidate} missing from relation entry {name}"
+                )
+        for block, members in self._by_block.items():
+            assert members, f"empty block entry {block} not pruned"
+            for candidate in members:
+                read_set = self._reads.get(candidate)
+                assert read_set is not None and block in read_set.blocks, (
+                    f"stale block entry {block} -> {candidate}"
+                )
+        for name, members in self._by_relation.items():
+            assert members, f"empty relation entry {name} not pruned"
+            for candidate in members:
+                read_set = self._reads.get(candidate)
+                assert read_set is not None and name in read_set.relations, (
+                    f"stale relation entry {name} -> {candidate}"
+                )
+        for candidate in self._global:
+            read_set = self._reads.get(candidate)
+            assert read_set is not None and read_set.is_global, (
+                f"stale global entry {candidate}"
+            )

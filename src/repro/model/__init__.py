@@ -1,7 +1,7 @@
 """Relational model substrate: terms, atoms, facts, schemas, databases, repairs."""
 
 from .atoms import Atom, Fact, RelationSchema, atoms_use_distinct_relations
-from .database import BlockKey, DatabaseObserver, UncertainDatabase
+from .database import BlockKey, ChangeSet, DatabaseObserver, UncertainDatabase
 from .repairs import (
     Repair,
     count_possible_worlds,
@@ -34,6 +34,7 @@ from .valuation import EMPTY_VALUATION, Valuation
 __all__ = [
     "Atom",
     "BlockKey",
+    "ChangeSet",
     "Constant",
     "DatabaseObserver",
     "DatabaseSchema",

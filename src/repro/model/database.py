@@ -8,6 +8,7 @@ maximal consistent subset, i.e. it picks exactly one fact from every block.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .atoms import Fact, RelationSchema
@@ -18,6 +19,76 @@ from .symbols import Constant
 BlockKey = Tuple[str, Tuple[Constant, ...]]
 
 
+class ChangeSet:
+    """The *net* record of a batch of database mutations.
+
+    Recording keeps net semantics relative to the start of the batch: a fact
+    added and then discarded inside the same batch cancels out entirely, and
+    a fact discarded and re-added likewise leaves no trace.  Observers
+    receiving a change set therefore see exactly the difference between the
+    database before and after the batch, never the intermediate churn.
+    """
+
+    __slots__ = ("_added", "_discarded")
+
+    def __init__(
+        self, added: Iterable[Fact] = (), discarded: Iterable[Fact] = ()
+    ) -> None:
+        # Insertion-ordered dict-sets keep replay deterministic.
+        self._added: Dict[Fact, None] = dict.fromkeys(added)
+        self._discarded: Dict[Fact, None] = dict.fromkeys(discarded)
+
+    # -- recording (used by UncertainDatabase inside a batch) --------------------
+
+    def record_added(self, fact: Fact) -> None:
+        """Record an insertion, cancelling a prior in-batch discard."""
+        if fact in self._discarded:
+            del self._discarded[fact]
+        else:
+            self._added[fact] = None
+
+    def record_discarded(self, fact: Fact) -> None:
+        """Record a removal, cancelling a prior in-batch insertion."""
+        if fact in self._added:
+            del self._added[fact]
+        else:
+            self._discarded[fact] = None
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def added(self) -> Tuple[Fact, ...]:
+        """The facts inserted (net) by the batch."""
+        return tuple(self._added)
+
+    @property
+    def discarded(self) -> Tuple[Fact, ...]:
+        """The facts removed (net) by the batch."""
+        return tuple(self._discarded)
+
+    def facts(self) -> Iterator[Fact]:
+        """Every fact touched by the batch (added, then discarded)."""
+        yield from self._added
+        yield from self._discarded
+
+    def touched_blocks(self) -> Set[BlockKey]:
+        """The block keys of every touched fact."""
+        return {fact.block_key for fact in self.facts()}
+
+    def touched_relations(self) -> Set[str]:
+        """The relation names of every touched fact."""
+        return {fact.relation.name for fact in self.facts()}
+
+    def __len__(self) -> int:
+        return len(self._added) + len(self._discarded)
+
+    def __bool__(self) -> bool:
+        return bool(self._added) or bool(self._discarded)
+
+    def __repr__(self) -> str:
+        return f"ChangeSet(+{len(self._added)}, -{len(self._discarded)})"
+
+
 class DatabaseObserver:
     """Protocol for objects notified of database mutations.
 
@@ -26,6 +97,13 @@ class DatabaseObserver:
     ``fact_discarded(fact)`` after a removal.  Derived structures (such as
     the engine's shared fact indexes) use the hooks to stay consistent
     incrementally instead of being rebuilt per call.
+
+    Mutations performed inside a :meth:`UncertainDatabase.batch` block are
+    delivered as **one** consolidated :meth:`batch_applied` call instead of
+    per-fact churn.  The default implementation replays the net changes
+    through the per-fact hooks, so plain observers stay correct without
+    opting in; batch-aware observers (such as the incremental view manager)
+    override it to coalesce their maintenance work.
     """
 
     def fact_added(self, fact: Fact) -> None:  # pragma: no cover - protocol
@@ -33,6 +111,17 @@ class DatabaseObserver:
 
     def fact_discarded(self, fact: Fact) -> None:  # pragma: no cover - protocol
         raise NotImplementedError
+
+    def batch_applied(self, changes: ChangeSet) -> None:
+        """One consolidated notification for a whole mutation batch.
+
+        Default: replay the net changes through ``fact_added`` /
+        ``fact_discarded`` in recording order.
+        """
+        for fact in changes.added:
+            self.fact_added(fact)
+        for fact in changes.discarded:
+            self.fact_discarded(fact)
 
 
 class UncertainDatabase:
@@ -56,6 +145,8 @@ class UncertainDatabase:
         self._by_relation: Dict[str, Set[Fact]] = {}
         self._relation_block_keys: Dict[str, Set[BlockKey]] = {}
         self._observers: List[DatabaseObserver] = []
+        self._batch_depth = 0
+        self._batch_changes: Optional[ChangeSet] = None
         for fact in facts:
             self.add(fact)
 
@@ -87,8 +178,11 @@ class UncertainDatabase:
         self._blocks.setdefault(fact.block_key, set()).add(fact)
         self._by_relation.setdefault(name, set()).add(fact)
         self._relation_block_keys.setdefault(name, set()).add(fact.block_key)
-        for observer in self._observers:
-            observer.fact_added(fact)
+        if self._batch_changes is not None:
+            self._batch_changes.record_added(fact)
+        else:
+            for observer in self._observers:
+                observer.fact_added(fact)
 
     def add_all(self, facts: Iterable[Fact]) -> None:
         """Insert every fact in *facts*."""
@@ -116,13 +210,88 @@ class UncertainDatabase:
             relation_facts.discard(fact)
             if not relation_facts:
                 del self._by_relation[name]
-        for observer in self._observers:
-            observer.fact_discarded(fact)
+        if self._batch_changes is not None:
+            self._batch_changes.record_discarded(fact)
+        else:
+            for observer in self._observers:
+                observer.fact_discarded(fact)
 
     def remove_block(self, block_key: BlockKey) -> None:
         """Remove an entire block of key-equal facts."""
         for fact in list(self._blocks.get(block_key, ())):
             self.discard(fact)
+
+    # -- batched mutation --------------------------------------------------------
+
+    @property
+    def in_batch(self) -> bool:
+        """``True`` while inside a :meth:`batch` block."""
+        return self._batch_depth > 0
+
+    @contextmanager
+    def batch(self) -> Iterator["UncertainDatabase"]:
+        """Coalesce mutations into one consolidated observer notification.
+
+        Inside the block, ``add``/``discard``/``remove_block`` update the
+        database (and its internal indexes) immediately, but observers are
+        *not* notified per fact.  When the outermost batch exits, every
+        observer receives a single :meth:`DatabaseObserver.batch_applied`
+        call carrying the net :class:`ChangeSet` — plain observers replay it
+        per fact through the default implementation, batch-aware observers
+        (incremental views, mutation counters) coalesce.
+
+        Batches nest: inner batches merge into the outermost change set.
+        If the block raises, mutations already applied are still reported
+        (the database *was* changed — observers must not go stale).
+
+        Note that derived observer structures (e.g. a session's fact index)
+        are stale *inside* the batch; queries should run outside it.
+
+        >>> with db.batch():                       # doctest: +SKIP
+        ...     db.add(f1)
+        ...     db.discard(f2)
+        ... # one batch_applied(ChangeSet(+1, -1)) fires here
+        """
+        if self._batch_depth == 0:
+            self._batch_changes = ChangeSet()
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                changes = self._batch_changes
+                self._batch_changes = None
+                if changes:
+                    for observer in list(self._observers):
+                        # Observers are duck-typed (e.g. FactIndex aliases
+                        # fact_added = add); fall back to per-fact replay
+                        # for those without a batch hook.
+                        handler = getattr(observer, "batch_applied", None)
+                        if handler is not None:
+                            handler(changes)
+                        else:
+                            for fact in changes.added:
+                                observer.fact_added(fact)
+                            for fact in changes.discarded:
+                                observer.fact_discarded(fact)
+
+    def bulk_add(self, facts: Iterable[Fact]) -> None:
+        """Insert many facts; observers receive one batched notification.
+
+        Internal indexes are updated per fact exactly as :meth:`add` does,
+        but the observer fan-out is deferred to a single consolidated
+        :meth:`DatabaseObserver.batch_applied` call.
+        """
+        with self.batch():
+            for fact in facts:
+                self.add(fact)
+
+    def bulk_discard(self, facts: Iterable[Fact]) -> None:
+        """Remove many facts; observers receive one batched notification."""
+        with self.batch():
+            for fact in facts:
+                self.discard(fact)
 
     # -- container protocol -------------------------------------------------------
 

@@ -1,4 +1,5 @@
-"""Synthetic workloads: database generators, paper instances, query corpora."""
+"""Synthetic workloads: database generators, paper instances, query corpora,
+and streaming mutation workloads for the incremental view subsystem."""
 
 from .corpora import mixed_corpus, named_corpus, random_acyclic_query, random_corpus
 from .generators import (
@@ -8,6 +9,7 @@ from .generators import (
     synthetic_instance,
     uniform_random_instance,
 )
+from .streaming import apply_batch, apply_mutation, mutation_stream
 from .instances import (
     figure1_database,
     figure1_query,
@@ -17,11 +19,14 @@ from .instances import (
 )
 
 __all__ = [
+    "apply_batch",
+    "apply_mutation",
     "figure1_database",
     "figure1_query",
     "figure6_database",
     "figure7_falsifying_repairs",
     "mixed_corpus",
+    "mutation_stream",
     "named_corpus",
     "planted_certain_instance",
     "random_acyclic_query",

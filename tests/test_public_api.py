@@ -79,3 +79,60 @@ class TestQuickstart:
         names = {value.value for (value,) in certain_answers(db, q)}
         # bob's department might be located in Paris, so only ada is certain.
         assert names == {"ada"}
+
+
+class TestIncrementalViewAPI:
+    """The incremental-view surface exported at top level (quickstart §7)."""
+
+    def _instance(self):
+        q = parse_query("Emp(name | dept), Dept(dept | city)", free=["name"])
+        schema = q.schema()
+        db = UncertainDatabase(
+            parse_facts(
+                [
+                    "Emp('ada' | 'db')",
+                    "Emp('bob' | 'os')",
+                    "Emp('bob' | 'net')",
+                    "Dept('db' | 'Mons')",
+                    "Dept('os' | 'Mons')",
+                    "Dept('net' | 'Paris')",
+                ],
+                schema=schema,
+            )
+        )
+        return q, schema, db
+
+    def test_top_level_exports(self):
+        from repro import ChangeSet, MaterializedCertainView, SupportIndex, ViewManager
+
+        assert ChangeSet and MaterializedCertainView and SupportIndex and ViewManager
+
+    def test_view_manager_workflow(self):
+        from repro import ViewManager
+
+        q, schema, db = self._instance()
+        inserts = []
+        with ViewManager(db) as manager:
+            view = manager.register(q)
+            assert {v.value for (v,) in view.answers} == {"ada", "bob"}
+            view.subscribe(on_insert=lambda t: inserts.append(t[0].value))
+            # db.batch(): one consolidated maintenance step for the batch.
+            with db.batch():
+                db.add(schema["Emp"].fact("eve", "db"))
+                db.add(schema["Dept"].fact("db", "Lille"))
+            assert {v.value for (v,) in view.answers} == {"ada", "bob", "eve"}
+            assert view.answers == frozenset(certain_answers(db, q))
+        assert inserts == ["eve"]
+
+    def test_bulk_mutations_are_batched(self):
+        from repro import ViewManager
+
+        q, schema, db = self._instance()
+        with ViewManager(db) as manager:
+            view = manager.register(q)
+            baseline = view.stats.refreshes
+            db.bulk_add(
+                parse_facts(["Emp('zed' | 'os')", "Emp('kim' | 'db')"], schema=schema)
+            )
+            assert view.stats.refreshes == baseline + 1  # one batch, one refresh
+            assert view.answers == frozenset(certain_answers(db, q))
