@@ -1,0 +1,92 @@
+"""Guard the columnar-store benchmark against performance regressions.
+
+Compares a freshly emitted ``columnar_store`` report against the committed
+baseline (``BENCH_columnar_store.json``) and fails when any size present in
+both regresses by more than ``--factor`` (default 2×).  The compared metric
+is the *speedup ratio* (object seconds / columnar seconds), not absolute
+wall-clock: ratios are stable across machines of different speed, so the
+guard works on shared CI boxes where raw timings are meaningless.
+
+The snapshot shrink factor (pickled fact graph / pickled columnar snapshot)
+is guarded the same way — it is timing-free and must never silently decay.
+
+Run with::
+
+    python benchmarks/emit_bench.py --suite columnar_store --smoke \
+        --output bench_columnar_store_smoke.json
+    python benchmarks/check_bench_regression.py \
+        BENCH_columnar_store.json bench_columnar_store_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Sequence
+
+
+def _rows_by_size(report: Dict) -> Dict[int, Dict]:
+    return {row["planted_chains"]: row for row in report.get("results", ())}
+
+
+def check_regression(baseline: Dict, current: Dict, factor: float) -> int:
+    """Return 0 when *current* holds up against *baseline*, 1 otherwise."""
+    if current.get("benchmark") != "columnar_store" or baseline.get(
+        "benchmark"
+    ) != "columnar_store":
+        print("ERROR: both reports must come from the columnar_store suite", file=sys.stderr)
+        return 1
+    if not current.get("all_agree", False):
+        print("ERROR: current report records a backend disagreement", file=sys.stderr)
+        return 1
+    baseline_rows = _rows_by_size(baseline)
+    current_rows = _rows_by_size(current)
+    shared = sorted(set(baseline_rows) & set(current_rows))
+    if not shared:
+        print("ERROR: the reports share no benchmark sizes", file=sys.stderr)
+        return 1
+    status = 0
+    for size in shared:
+        base, cur = baseline_rows[size], current_rows[size]
+        base_speedup = base.get("speedup_vs_object") or 0.0
+        cur_speedup = cur.get("speedup_vs_object") or 0.0
+        floor = base_speedup / factor
+        verdict = "ok" if cur_speedup >= floor else "REGRESSED"
+        print(
+            f"chains={size:5d} baseline={base_speedup:6.2f}x "
+            f"current={cur_speedup:6.2f}x floor={floor:6.2f}x {verdict}"
+        )
+        if cur_speedup < floor:
+            status = 1
+        base_shrink = base.get("snapshot_shrink_factor") or 0.0
+        cur_shrink = cur.get("snapshot_shrink_factor") or 0.0
+        if cur_shrink < base_shrink / factor:
+            print(
+                f"chains={size:5d} snapshot shrink REGRESSED: "
+                f"baseline={base_shrink:.2f}x current={cur_shrink:.2f}x",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path, help="committed baseline JSON")
+    parser.add_argument("current", type=pathlib.Path, help="freshly emitted JSON")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="maximum tolerated regression factor on the speedup ratio",
+    )
+    args = parser.parse_args(list(argv) or None)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    return check_regression(baseline, current, args.factor)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

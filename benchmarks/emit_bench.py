@@ -33,6 +33,18 @@ Three suites:
     mutated block (plus delta-discovered new candidates) — the block-local
     maintenance the paper's FO rewritings make possible.
 
+``columnar_store`` → ``BENCH_columnar_store.json``
+    Times batched ``certain_answers`` on the interned columnar backend
+    (integer-row kernels, compiled candidate enumeration, set-at-a-time
+    batched deciding) against the object-level reference backend on the
+    same scaling workload, asserting in-run that the two backends return
+    identical answer sets at every size.  Also records the pickled size of
+    the columnar worker snapshot versus the fact object graph, the store's
+    per-component memory footprint, and the process-wide intern-table
+    statistics.  ``benchmarks/check_bench_regression.py`` guards CI against
+    the recorded speedups regressing more than 2× versus the committed
+    baseline.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full sizes
@@ -47,6 +59,7 @@ import argparse
 import json
 import os
 import pathlib
+import pickle
 import random
 import sys
 import time
@@ -62,6 +75,7 @@ from repro.model.symbols import Variable
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.evaluation import answer_tuples
 from repro.query.families import path_query
+from repro.store import global_intern_table
 
 #: Default scaling sizes (active-domain size n; facts grow linearly in n).
 FULL_SIZES = (8, 16, 32, 64, 96)
@@ -377,6 +391,114 @@ def run_incremental_benchmark(
     }
 
 
+#: Planted-chain counts for the columnar_store suite.  The small sizes are
+#: shared with the smoke run so the committed baseline always covers the
+#: sizes the CI regression guard compares against.
+COLUMNAR_FULL_SIZES = (16, 48, 64, 256, 1024)
+COLUMNAR_SMOKE_SIZES = (16, 48)
+
+
+def run_columnar_benchmark(
+    sizes: Sequence[int], repeats: int = 3, seed: int = 13
+) -> Dict:
+    """Columnar vs object backend on batched certain answers, cross-checked.
+
+    Every size runs both backends on the *same* database and asserts the
+    answer sets are identical before any timing is recorded, so a kernel
+    bug can never masquerade as a speedup.
+    """
+    query = parallel_bench_query()
+    results: List[Dict] = []
+    all_agree = True
+    for chains in sizes:
+        db = parallel_bench_instance(query, chains, seed=seed)
+        with CertaintySession(db, backend="object") as object_session:
+            with CertaintySession(db, backend="columnar") as columnar_session:
+                object_answers = object_session.certain_answers(query)
+                columnar_answers = columnar_session.certain_answers(query)
+                agree = object_answers == columnar_answers
+                all_agree = all_agree and agree
+                candidate_count = len(columnar_session.candidate_answers(query))
+                object_seconds = _best_of(
+                    repeats, lambda: object_session.certain_answers(query)
+                )
+                columnar_seconds = _best_of(
+                    repeats, lambda: columnar_session.certain_answers(query)
+                )
+                # Worker-snapshot wire sizes: integer columns + raw values
+                # versus the pickled fact object graph.
+                snapshot_bytes = len(
+                    pickle.dumps(columnar_session.store.snapshot())
+                )
+                fact_graph_bytes = len(pickle.dumps(db.facts))
+                store_stats = columnar_session.store.memory_stats()
+        results.append(
+            {
+                "planted_chains": chains,
+                "facts": len(db),
+                "candidate_answers": candidate_count,
+                "certain_answers": len(columnar_answers),
+                "agree": agree,
+                "object_seconds": object_seconds,
+                "columnar_seconds": columnar_seconds,
+                "speedup_vs_object": (
+                    object_seconds / columnar_seconds if columnar_seconds else None
+                ),
+                "snapshot_pickle_bytes": snapshot_bytes,
+                "fact_graph_pickle_bytes": fact_graph_bytes,
+                "snapshot_shrink_factor": (
+                    fact_graph_bytes / snapshot_bytes if snapshot_bytes else None
+                ),
+                "store_memory": store_stats,
+            }
+        )
+    return {
+        "benchmark": "columnar_store",
+        "query": str(query),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "results": results,
+        "all_agree": all_agree,
+        "largest_size_speedup": (
+            results[-1]["speedup_vs_object"] if results else None
+        ),
+        "intern_table": global_intern_table().memory_stats(),
+    }
+
+
+def _emit_columnar_store(args: argparse.Namespace, output: pathlib.Path) -> int:
+    if args.sizes:
+        sizes: Sequence[int] = args.sizes
+    else:
+        sizes = COLUMNAR_SMOKE_SIZES if args.smoke else COLUMNAR_FULL_SIZES
+    # Always best-of-3: the CI regression guard compares this run's speedup
+    # ratios against the committed baseline, and a single millisecond-scale
+    # sample on a shared runner is too noisy to guard on (the smoke sizes
+    # cost well under a second even with repeats).
+    report = run_columnar_benchmark(sizes, repeats=3)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["results"]:
+        print(
+            f"chains={row['planted_chains']:5d} facts={row['facts']:6d} "
+            f"candidates={row['candidate_answers']:5d} "
+            f"object={row['object_seconds']:.4f}s "
+            f"columnar={row['columnar_seconds']:.4f}s "
+            f"speedup={row['speedup_vs_object']:.1f}x "
+            f"snapshot={row['snapshot_pickle_bytes']}B "
+            f"({row['snapshot_shrink_factor']:.1f}x smaller)"
+        )
+    intern = report["intern_table"]
+    print(
+        f"intern table: {intern['constants']} constants, "
+        f"{intern['total_bytes']} bytes"
+    )
+    print(f"wrote {output}")
+    if not report["all_agree"]:
+        print("ERROR: columnar and object backends disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _emit_incremental_views(args: argparse.Namespace, output: pathlib.Path) -> int:
     if args.sizes:
         sizes: Sequence[int] = args.sizes
@@ -463,6 +585,7 @@ _DEFAULT_OUTPUTS = {
     "fo_rewriting": "BENCH_fo_rewriting.json",
     "parallel_answers": "BENCH_parallel_answers.json",
     "incremental_views": "BENCH_incremental_views.json",
+    "columnar_store": "BENCH_columnar_store.json",
 }
 
 
@@ -470,7 +593,12 @@ def main(argv: Sequence[str] = ()) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("fo_rewriting", "parallel_answers", "incremental_views"),
+        choices=(
+            "fo_rewriting",
+            "parallel_answers",
+            "incremental_views",
+            "columnar_store",
+        ),
         default="fo_rewriting",
         help="which benchmark suite to run",
     )
@@ -501,6 +629,8 @@ def main(argv: Sequence[str] = ()) -> int:
         return _emit_parallel_answers(args, output)
     if args.suite == "incremental_views":
         return _emit_incremental_views(args, output)
+    if args.suite == "columnar_store":
+        return _emit_columnar_store(args, output)
     return _emit_fo_rewriting(args, output)
 
 

@@ -114,6 +114,13 @@ from .model import (
     enumerate_repairs,
 )
 from .probability import BIDDatabase, is_safe, probability, probability_safe_plan
+from .store import (
+    ColumnarFactIndex,
+    ColumnarFactStore,
+    ColumnarSnapshot,
+    InternTable,
+    global_intern_table,
+)
 from .query import (
     ConjunctiveQuery,
     JoinTree,
@@ -141,11 +148,15 @@ __all__ = [
     "CertaintySession",
     "ChangeSet",
     "Classification",
+    "ColumnarFactIndex",
+    "ColumnarFactStore",
+    "ColumnarSnapshot",
     "ComplexityBand",
     "ConjunctiveQuery",
     "Constant",
     "DatabaseSchema",
     "Fact",
+    "InternTable",
     "IntractableQueryError",
     "JoinTree",
     "MaterializedCertainView",
@@ -182,6 +193,7 @@ __all__ = [
     "figure2_q1",
     "figure4_query",
     "frontier_table",
+    "global_intern_table",
     "is_certain",
     "is_safe",
     "kolaitis_pema_q0",

@@ -123,10 +123,13 @@ def peel_certain(
     # below (purify never mutates a caller-supplied index).  When purify took
     # its zero-copy fast path the context's shared index still covers it.
     # Built only on branching levels — base-case levels never purify again.
+    # The level index keeps the shared index's backend, so sessions on the
+    # columnar backend sweep block-id arrays throughout the recursion.
     if current is db and shared_index is not None:
         level_index = shared_index
     else:
-        level_index = FactIndex(current.facts)
+        index_cls = type(shared_index) if shared_index is not None else FactIndex
+        level_index = index_cls(current.facts)
 
     # Deterministically pick the unattacked atom with the fewest key variables
     # (cheapest branching), breaking ties by string representation.

@@ -24,12 +24,13 @@ made, so benchmarks and tests can assert the zero-copy fast path.
 from __future__ import annotations
 
 import threading
-from typing import FrozenSet, Optional, Set
+from typing import FrozenSet, Iterable, Optional, Set
 
 from ..model.atoms import Fact
 from ..model.database import UncertainDatabase
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import FactIndex, iterate_valuations
+from ..store.kernels import stale_block_keys
 
 #: Process-wide count of databases copied by :func:`purify` (diagnostics).
 _copy_count = 0
@@ -108,10 +109,17 @@ def purify(
     working: Optional[UncertainDatabase] = None
     try:
         while True:
-            used = relevant_facts(current, query, current_index)
-            stale_blocks = {
-                fact.block_key for fact in current.facts if fact not in used
-            }
+            store = getattr(current_index, "store", None)
+            if store is not None:
+                # Columnar index: sweep the per-block id arrays directly
+                # (integer backtracking + integer row sets) and decode only
+                # the stale block keys.
+                stale_blocks: Iterable = stale_block_keys(query, store)
+            else:
+                used = relevant_facts(current, query, current_index)
+                stale_blocks = {
+                    fact.block_key for fact in current.facts if fact not in used
+                }
             if not stale_blocks:
                 return current
             if working is None:
@@ -120,8 +128,9 @@ def purify(
                 if shared_index:
                     # The caller's index must stay untouched: build one
                     # private index over the copy (once — it is maintained
-                    # incrementally from here on).
-                    current_index = FactIndex(working.facts)
+                    # incrementally from here on).  The copy keeps the
+                    # caller's backend so later sweeps stay integer-encoded.
+                    current_index = type(current_index)(working.facts)
                 working.register_observer(current_index)
                 current = working
             for block_key in stale_blocks:

@@ -22,6 +22,12 @@ one-shot :func:`certain_answers_parallel`) shard the candidate-grounding
 loop across a process pool — each worker receives one immutable database
 snapshot and decides its chunk with the ordinary sequential machinery, so
 the answer set is identical to the sequential session's.
+
+Execution runs on the interned columnar backend by default
+(:mod:`repro.store`): integer-row kernels, compiled candidate enumeration,
+batched set-at-a-time deciding, block-id read sets, and compact columnar
+worker snapshots.  ``backend="object"`` keeps the fact-dictionary
+reference path.
 """
 
 from .cache import CacheStats, PlanCache, default_plan_cache

@@ -45,7 +45,7 @@ from ..model.database import DatabaseObserver, UncertainDatabase
 from ..model.schema import DatabaseSchema
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
-from ..query.evaluation import answer_tuples
+from ..store import ColumnarSnapshot
 from .cache import PlanCache
 from .session import CertaintySession
 
@@ -122,6 +122,22 @@ def _init_worker(
     _WORKER_SESSION = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
 
 
+def _init_worker_columnar(
+    snapshot: ColumnarSnapshot, relations: Tuple[RelationSchema, ...]
+) -> None:
+    """Rebuild the snapshot from shipped integer columns + intern values.
+
+    The columnar wire format pickles as flat ``array('q')`` columns plus
+    the raw constant values in use — no per-fact object graphs — and
+    decodes locally, so worker hash salts never matter.  The worker session
+    re-interns against its own process-local table; block/term ids are
+    process-local and portable data is decoded before it crosses back.
+    """
+    global _WORKER_SESSION
+    db = UncertainDatabase(snapshot.iter_facts(), schema=DatabaseSchema(relations))
+    _WORKER_SESSION = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
+
+
 def _decide_chunk(
     session: CertaintySession,
     query: ConjunctiveQuery,
@@ -147,7 +163,18 @@ def _solve_chunk(
     session = _WORKER_SESSION
     if session is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker process was not initialised with a snapshot")
-    return _decide_chunk(session, query, candidates, allow_exponential, with_support)
+    certain, support = _decide_chunk(
+        session, query, candidates, allow_exponential, with_support
+    )
+    if support is not None and session.store is not None:
+        # Worker block ids are local to this process's store; decode them
+        # into portable (name, key) block keys before they ship back.
+        store = session.store
+        support = {
+            candidate: read_set.to_portable(store)
+            for candidate, read_set in support.items()
+        }
+    return certain, support
 
 
 def _chunk(
@@ -332,10 +359,7 @@ class ParallelCertaintySession:
         allow = (
             self._allow_exponential if allow_exponential is None else allow_exponential
         )
-        candidates = sorted(
-            answer_tuples(query, self._inner.index),
-            key=lambda t: tuple(str(c) for c in t),
-        )
+        candidates = self._inner.candidate_answers(query)
         return set(self.decide_candidates(query, candidates, allow_exponential=allow))
 
     def decide_candidates(
@@ -355,15 +379,23 @@ class ParallelCertaintySession:
         plain picklable values), so the incremental view subsystem can fan
         large dirty-set re-decisions out without losing its support index.
         Small inputs (below ``min_parallel_candidates``) run inline.
+
+        Returned read sets are always *portable* (object-space block keys):
+        the sessions that decide here — worker snapshots, the thread-mode
+        snapshot, the inline fallback — each own a columnar store whose
+        block-id space differs from any caller-side store, so ids are
+        decoded before they leave this method.
         """
         self._check_open()
         allow = (
             self._allow_exponential if allow_exponential is None else allow_exponential
         )
         if self._mode == "serial" or len(candidates) < self._min_parallel:
-            return self._inner.decide_candidates(
+            certain = self._inner.decide_candidates(
                 query, candidates, allow_exponential=allow, support=support
             )
+            self._portabilize(support, self._inner.store)
+            return certain
         chunks = _chunk(candidates, self._effective_chunk_size(len(candidates)))
         try:
             return self._scatter(query, chunks, allow, support)
@@ -373,6 +405,16 @@ class ParallelCertaintySession:
             # pool instead of resubmitting to a permanently dead executor.
             self._teardown_pool()
             return self._scatter(query, chunks, allow, support)
+
+    @staticmethod
+    def _portabilize(
+        support: Optional[Dict[Tuple[Constant, ...], ReadSet]], store
+    ) -> None:
+        """Decode store-local block ids in *support* into portable keys."""
+        if support is None or store is None:
+            return
+        for candidate, read_set in support.items():
+            support[candidate] = read_set.to_portable(store)
 
     def _scatter(
         self,
@@ -405,6 +447,10 @@ class ParallelCertaintySession:
             certain.extend(chunk_certain)
             if support is not None and chunk_support is not None:
                 support.update(chunk_support)
+        if self._mode == "thread" and support is not None:
+            # Thread-mode decisions ran on the snapshot session's store.
+            session = self._snapshot_session
+            self._portabilize(support, session.store if session is not None else None)
         return certain
 
     def _effective_chunk_size(self, n_candidates: int) -> int:
@@ -430,13 +476,19 @@ class ParallelCertaintySession:
                 thread_name_prefix="repro-certainty",
             )
         else:
-            facts = self._db.facts
             relations = tuple(self._db.schema)
+            store = self._inner.store
+            if store is not None:
+                # Columnar backend: ship integer columns + intern values
+                # instead of pickling the fact object graph.
+                initializer, payload = _init_worker_columnar, store.snapshot()
+            else:
+                initializer, payload = _init_worker, self._db.facts
             self._executor = ProcessPoolExecutor(
                 max_workers=self._max_workers,
                 mp_context=_pool_mp_context(),
-                initializer=_init_worker,
-                initargs=(facts, relations),
+                initializer=initializer,
+                initargs=(payload, relations),
             )
         self._snapshot_version = version
 

@@ -20,6 +20,14 @@ set-at-a-time relational plan over the rewriting of Theorem 1) which is
 evaluated directly against the session's incrementally maintained index —
 see :meth:`evaluate_formula` for evaluating arbitrary formulas the same
 way.
+
+By default sessions run on the **interned columnar backend**
+(:mod:`repro.store`): the index mirrors every fact into integer columns,
+compiled plans join and anti-join tuples of dense term ids, candidate
+enumeration runs through a compiled set-at-a-time plan, and open FO-band
+plans decide a whole ``certain_answers`` batch with a single plan
+execution.  ``backend="object"`` selects the original fact-dictionary
+path, kept as the differentially-tested reference implementation.
 """
 
 from __future__ import annotations
@@ -28,13 +36,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..certainty.context import SolverContext
 from ..certainty.solver import CertaintyOutcome
-from ..fo.compile import ReadSet, ReadSetRecorder, compile_formula
+from ..fo.compile import EvalContext, ReadSet, ReadSetRecorder, Relation, compile_formula
 from ..fo.formulas import Formula
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import FactIndex, answer_tuples
 from ..query.substitution import ground_free_variables
+from ..store import ColumnarFactIndex, ColumnarFactStore
 from .cache import PlanCache, default_plan_cache
 from .plan import QueryPlan
 
@@ -54,6 +63,14 @@ class CertaintySession:
         by either layer benefit both.
     allow_exponential:
         Session-wide default for the brute-force escape hatch.
+    backend:
+        ``"columnar"`` (default) maintains a
+        :class:`~repro.store.index.ColumnarFactIndex`: compiled rewritings,
+        candidate enumeration and batched deciding run on interned integer
+        rows, and read sets are captured as dense block ids.  ``"object"``
+        keeps the pure fact-dictionary :class:`FactIndex` — the reference
+        implementation the columnar kernels are differentially tested
+        against.
 
     Example
     -------
@@ -68,9 +85,15 @@ class CertaintySession:
         db: UncertainDatabase,
         plan_cache: Optional[PlanCache] = None,
         allow_exponential: bool = False,
+        backend: str = "columnar",
     ) -> None:
+        if backend not in ("columnar", "object"):
+            raise ValueError(f"unknown backend {backend!r}: use 'columnar' or 'object'")
         self._db = db
-        self._index = FactIndex(db.facts)
+        self._backend = backend
+        self._index = (
+            ColumnarFactIndex(db.facts) if backend == "columnar" else FactIndex(db.facts)
+        )
         db.register_observer(self._index)
         self._cache = plan_cache if plan_cache is not None else default_plan_cache()
         self._allow_exponential = allow_exponential
@@ -102,6 +125,16 @@ class CertaintySession:
     def index(self) -> FactIndex:
         """The incrementally maintained fact index over the database."""
         return self._index
+
+    @property
+    def backend(self) -> str:
+        """The execution backend: ``"columnar"`` or ``"object"``."""
+        return self._backend
+
+    @property
+    def store(self) -> Optional[ColumnarFactStore]:
+        """The columnar store of the index (``None`` for the object backend)."""
+        return getattr(self._index, "store", None)
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -161,12 +194,32 @@ class CertaintySession:
         self._check_open()
         if query.is_boolean:
             raise ValueError("certain_answers expects a query with free variables")
-        candidates = sorted(
-            answer_tuples(query, self._index), key=lambda t: tuple(str(c) for c in t)
-        )
+        candidates = self.candidate_answers(query)
         return set(
             self.decide_candidates(query, candidates, allow_exponential=allow_exponential)
         )
+
+    def candidate_answers(
+        self, query: ConjunctiveQuery
+    ) -> List[Tuple[Constant, ...]]:
+        """The candidate tuples of *query* over the whole database, sorted.
+
+        Candidates are the answers of the (inconsistent) database itself;
+        certain answers are always among them.  On the columnar backend the
+        enumeration runs through the compiled set-at-a-time candidate plan
+        (integer hash joins over the store); the object backend keeps the
+        reference backtracking join.
+        """
+        self._check_open()
+        if self._backend == "columnar":
+            plan = self.plan_for(query)
+            sat = plan.candidate_plan().satisfying_assignments(index=self._index)
+            free = query.free_variables
+            positions = [sat.schema.index(v) for v in free]
+            candidates = {tuple(row[p] for p in positions) for row in sat.rows}
+        else:
+            candidates = answer_tuples(query, self._index)
+        return sorted(candidates, key=lambda t: tuple(str(c) for c in t))
 
     def decide_candidates(
         self,
@@ -187,6 +240,14 @@ class CertaintySession:
         capture the incremental view subsystem builds its support index
         from.  Decisions that leave the instrumented compiled-rewriting path
         yield opaque read sets (a sound "depends on everything").
+
+        On the columnar backend, plans carrying an *open* compiled
+        rewriting decide the whole batch with **one** set-at-a-time plan
+        execution (seed every candidate row, keep the satisfying subset)
+        when no per-candidate read sets were requested; per-candidate
+        evaluation remains for support capture, per-grounding plans, and
+        the object reference backend, and provably returns the same list
+        (each seeded row filters independently through the same plan).
         """
         self._check_open()
         allow = self._allow_exponential if allow_exponential is None else allow_exponential
@@ -194,10 +255,22 @@ class CertaintySession:
         # A Boolean query has exactly one candidate, the empty tuple; it
         # executes the plan's own (compiled) query rather than a grounding.
         boolean = query.is_boolean
+        batched = plan.batched_fo and not boolean
+        if (
+            batched
+            and support is None
+            and self._backend == "columnar"
+            and len(candidates) > 1
+        ):
+            return self._decide_batched(plan, candidates)
         certain: List[Tuple[Constant, ...]] = []
         for candidate in candidates:
+            # Open-FO plans never read the grounding (the candidate binds a
+            # valuation instead) — skip building one query per candidate.
             grounded = (
-                None if boolean else ground_free_variables(query, [c.value for c in candidate])
+                None
+                if boolean or batched
+                else ground_free_variables(query, [c.value for c in candidate])
             )
             recorder = ReadSetRecorder() if support is not None else None
             outcome = plan.execute(
@@ -213,6 +286,38 @@ class CertaintySession:
             if outcome.certain:
                 certain.append(candidate)
         return certain
+
+    def _decide_batched(
+        self,
+        plan: QueryPlan,
+        candidates: Sequence[Tuple[Constant, ...]],
+    ) -> List[Tuple[Constant, ...]]:
+        """Decide every candidate with one set-at-a-time rewriting execution.
+
+        Equivalent to evaluating the open rewriting once per candidate: the
+        plan's ``filter`` is row-local (each seeded assignment survives iff
+        its own evaluation would return true), so seeding all candidate
+        rows at once only amortises the joins, never mixes verdicts.
+        """
+        rewriting = plan.fo_rewriting
+        assert rewriting is not None and plan.fo_candidate_vars is not None
+        ctx = EvalContext(self._index)
+        root = rewriting.root
+        if not root.free:
+            # The rewriting ignores the candidate constants entirely: one
+            # Boolean evaluation decides every candidate the same way.
+            verdict = bool(root.produce(ctx, None).rows)
+            return list(candidates) if verdict else []
+        # The rewriting's free variables are a subset of the candidate
+        # variables (aligned with the query's free variables, in order).
+        positions = [plan.fo_candidate_vars.index(v) for v in root.schema]
+        encode = ctx.encode_constant
+        rows = [
+            tuple(encode(candidate[p]) for p in positions) for candidate in candidates
+        ]
+        seed = Relation(root.schema, set(rows))
+        satisfied = root.filter(ctx, seed).rows
+        return [c for c, row in zip(candidates, rows) if row in satisfied]
 
     def evaluate_formula(self, formula: "Formula") -> bool:
         """Evaluate a first-order sentence against the session's database.

@@ -87,6 +87,14 @@ class ReadSet:
         block keys probed through the per-block index (including *empty*
         probes — an insertion into a probed-but-empty block changes what
         the probe returns, so it must dirty the verdict);
+    ``block_ids``
+        the same dependency, recorded as dense integer block ids when the
+        execution ran on a columnar backend (see
+        :meth:`repro.store.columnar.ColumnarFactStore.block_id`) — one
+        small int per probe instead of a ``(name, constants)`` tuple, which
+        is what keeps support indexes compact under heavy candidate counts.
+        Ids are only meaningful against the store that issued them; use
+        :meth:`to_portable` before shipping a read set across processes;
     ``relations``
         relations read through full scans (any mutation of the relation may
         change the result);
@@ -99,7 +107,7 @@ class ReadSet:
         callers must treat the verdict as depending on everything.
     """
 
-    __slots__ = ("blocks", "relations", "domain_read", "opaque")
+    __slots__ = ("blocks", "block_ids", "relations", "domain_read", "opaque")
 
     def __init__(
         self,
@@ -107,8 +115,10 @@ class ReadSet:
         relations: FrozenSet[str] = frozenset(),
         domain_read: bool = False,
         opaque: bool = False,
+        block_ids: FrozenSet[int] = frozenset(),
     ) -> None:
         self.blocks = blocks
+        self.block_ids = block_ids
         self.relations = relations
         self.domain_read = domain_read
         self.opaque = opaque
@@ -118,19 +128,42 @@ class ReadSet:
         """``True`` when any mutation whatsoever must dirty the verdict."""
         return self.domain_read or self.opaque
 
+    def to_portable(self, store) -> "ReadSet":
+        """Decode store-local block ids into portable ``(name, key)`` keys.
+
+        Worker processes capture read sets against their own columnar
+        stores, whose block-id spaces do not match the parent's; this
+        rewrites ``block_ids`` through the worker *store* into object-space
+        block keys before the read set is shipped back.
+        """
+        if not self.block_ids:
+            return self
+        blocks = set(self.blocks)
+        for block_id in self.block_ids:
+            blocks.add(store.decode_block_key(block_id))
+        return ReadSet(
+            blocks=frozenset(blocks),
+            relations=self.relations,
+            domain_read=self.domain_read,
+            opaque=self.opaque,
+        )
+
     def __repr__(self) -> str:
         if self.opaque:
             return "ReadSet(opaque)"
         if self.domain_read:
             return "ReadSet(domain)"
-        return f"ReadSet({len(self.blocks)} blocks, {len(self.relations)} relations)"
+        return (
+            f"ReadSet({len(self.blocks) + len(self.block_ids)} blocks, "
+            f"{len(self.relations)} relations)"
+        )
 
     # ReadSets cross process boundaries (parallel support capture).
     def __getstate__(self):
-        return (self.blocks, self.relations, self.domain_read, self.opaque)
+        return (self.blocks, self.relations, self.domain_read, self.opaque, self.block_ids)
 
     def __setstate__(self, state):
-        self.blocks, self.relations, self.domain_read, self.opaque = state
+        self.blocks, self.relations, self.domain_read, self.opaque, self.block_ids = state
 
 
 class ReadSetRecorder:
@@ -141,16 +174,21 @@ class ReadSetRecorder:
     immutable :class:`ReadSet` of that execution.
     """
 
-    __slots__ = ("blocks", "relations", "domain_read", "opaque")
+    __slots__ = ("blocks", "block_ids", "relations", "domain_read", "opaque")
 
     def __init__(self) -> None:
         self.blocks: Set[BlockKey] = set()
+        self.block_ids: Set[Tuple[str, int]] = set()
         self.relations: Set[str] = set()
         self.domain_read = False
         self.opaque = False
 
     def record_block(self, name: str, key: Tuple[Constant, ...]) -> None:
         self.blocks.add((name, key))
+
+    def record_block_id(self, name: str, block_id: int) -> None:
+        """Record a probe by dense block id (columnar backend)."""
+        self.block_ids.add((name, block_id))
 
     def record_relation(self, name: str) -> None:
         self.relations.add(name)
@@ -169,8 +207,14 @@ class ReadSetRecorder:
         blocks = frozenset(
             key for key in self.blocks if key[0] not in self.relations
         )
+        block_ids = frozenset(
+            block_id
+            for name, block_id in self.block_ids
+            if name not in self.relations
+        )
         return ReadSet(
             blocks=blocks,
+            block_ids=block_ids,
             relations=frozenset(self.relations),
             domain_read=self.domain_read,
             opaque=self.opaque,
@@ -283,10 +327,18 @@ class EvalContext:
     through the context — per-block probes, full relation scans, and active
     domain derivations — so callers can learn which parts of the database a
     verdict depended on.
+
+    When *index* is a :class:`~repro.store.index.ColumnarFactIndex` the
+    context is *encoded*: atom leaves scan id-rows from the columnar store,
+    the quantification domain is a tuple of term ids, plan constants are
+    interned on first use, and every relation row that flows through the
+    plan is a tuple of small ints.  The same plan nodes serve both
+    backends — only the leaves and the constant encoding differ.
     """
 
     __slots__ = (
         "index",
+        "store",
         "_domain",
         "_domain_set",
         "explicit_domain",
@@ -303,6 +355,8 @@ class EvalContext:
         recorder: Optional[ReadSetRecorder] = None,
     ) -> None:
         self.index = index
+        #: The columnar store when the index has one (the encoded backend).
+        self.store = getattr(index, "store", None)
         self.recorder = recorder
         # An explicitly supplied domain may be *smaller* than the set of
         # constants in the facts; quantifier nodes must then re-check that
@@ -312,29 +366,50 @@ class EvalContext:
         if domain is None:
             # Guarded plans never consult the domain, so deriving it from
             # the (possibly large) index is deferred until first use.
-            self._domain: Optional[Tuple[Constant, ...]] = None
+            self._domain: Optional[Tuple] = None
+        elif self.store is not None:
+            intern = self.store.table.intern
+            self._domain = tuple(sorted({intern(c) for c in domain}))
         else:
             self._domain = tuple(sorted(set(domain), key=str))
-        self._domain_set: Optional[FrozenSet[Constant]] = None
+        self._domain_set: Optional[FrozenSet] = None
         self.domain_expansions = 0
         self.atom_scans = 0
         self.block_lookups = 0
 
+    def encode_constant(self, constant: Constant):
+        """*constant* in the row value space of this context.
+
+        Identity for the object backend; the interned term id for the
+        encoded backend (interning is sound for constants absent from the
+        database: a fresh id equals no stored id, exactly as a fresh
+        constant equals no stored constant).
+        """
+        if self.store is not None:
+            return self.store.table.intern(constant)
+        return constant
+
     @property
-    def domain(self) -> Tuple[Constant, ...]:
-        """The quantification domain (computed from the index on first use)."""
+    def domain(self) -> Tuple:
+        """The quantification domain (computed from the index on first use).
+
+        Term ids for the encoded backend, constants for the object backend.
+        """
         if self.recorder is not None and not self.explicit_domain:
             # A domain derived from the index depends on *every* fact.
             self.recorder.record_domain()
         if self._domain is None:
-            values: Set[Constant] = set()
-            for fact in self.index:
-                values.update(fact.terms)
-            self._domain = tuple(sorted(values, key=str))
+            if self.store is not None:
+                self._domain = tuple(sorted(self.store.term_ids()))
+            else:
+                values: Set[Constant] = set()
+                for fact in self.index:
+                    values.update(fact.terms)
+                self._domain = tuple(sorted(values, key=str))
         return self._domain
 
     @property
-    def domain_set(self) -> FrozenSet[Constant]:
+    def domain_set(self) -> FrozenSet:
         if self._domain_set is None:
             self._domain_set = frozenset(self.domain)
         return self._domain_set
@@ -496,7 +571,134 @@ class AtomNode(PlanNode):
                 return None
         return tuple(fact_terms[self._first_position[v]] for v in self.schema)
 
+    def _produce_encoded(self, ctx: EvalContext, env: Optional[Relation]) -> Relation:
+        """The id-space scan: identical shape, integer rows end-to-end.
+
+        Mirrors the object path below term for term — per-block dict
+        probes when the key is bound, full row scans otherwise — but every
+        key, row and output tuple is made of interned term ids, and
+        read-set probes are recorded as dense block ids.
+        """
+        store = ctx.store
+        relation = self.atom.relation
+        name = relation.name
+        columns = store.relation_columns(name)
+        # Rows of a same-name relation with a different arity can never
+        # match this atom (the object path filters them per fact).
+        arity_ok = columns is not None and columns.schema.arity == relation.arity
+        intern = store.table.intern
+        const_checks = [(pos, intern(c)) for pos, c in self._const_checks]
+        repeat_checks = self._repeat_checks
+        first_position = self._first_position
+        # Guarded probe: the key is ground, or fully bound by the incoming rows.
+        if env is not None and env.rows:
+            env_positions = {v: p for p, v in enumerate(env.schema)}
+            key_getters = []
+            for term in self._key_terms:
+                if is_constant(term):
+                    key_getters.append((None, intern(term)))
+                elif term in env_positions:
+                    key_getters.append((env_positions[term], None))
+                else:
+                    key_getters.append(None)
+            if all(g is not None for g in key_getters):
+                ctx.block_lookups += 1
+                recorder = ctx.recorder
+                out_extra = [v for v in self.schema if v not in env_positions]
+                out_schema = env.schema + tuple(out_extra)
+                bound = [
+                    (env_positions[v], p)
+                    for v, p in first_position.items()
+                    if v in env_positions
+                ]
+                extra_pos = [first_position[v] for v in out_extra]
+                blocks = columns.blocks if arity_ok else None
+                # Hoist the per-row key construction out of the hot loop;
+                # single-position keys (the overwhelmingly common shape)
+                # build one 1-tuple per row with no generator machinery.
+                if len(key_getters) == 1:
+                    position0, const0 = key_getters[0]  # type: ignore[misc]
+                    if const0 is None:
+                        def make_key(row, _p=position0):
+                            return (row[_p],)
+                    else:
+                        def make_key(row, _k=(const0,)):
+                            return _k
+                else:
+                    def make_key(row, _plan=tuple(key_getters)):
+                        return tuple(
+                            row[pos] if const is None else const
+                            for pos, const in _plan  # type: ignore[misc]
+                        )
+                single_extra = extra_pos[0] if len(extra_pos) == 1 else None
+                rows: Set[Row] = set()
+                empty_block: Tuple = ()
+                for env_row in env.rows:
+                    key = make_key(env_row)
+                    if recorder is not None:
+                        # Empty probes are recorded too: a later insertion
+                        # into this block changes what the probe returns.
+                        recorder.record_block_id(name, store.block_id(name, key))
+                    if blocks is None:
+                        continue
+                    for terms in blocks.get(key, empty_block):
+                        matched = True
+                        for position, cid in const_checks:
+                            if terms[position] != cid:
+                                matched = False
+                                break
+                        if matched:
+                            for position, first in repeat_checks:
+                                if terms[position] != terms[first]:
+                                    matched = False
+                                    break
+                        if matched:
+                            for ep, fp in bound:
+                                if env_row[ep] != terms[fp]:
+                                    matched = False
+                                    break
+                        if not matched:
+                            continue
+                        if single_extra is not None:
+                            rows.add(env_row + (terms[single_extra],))
+                        else:
+                            rows.add(env_row + tuple(terms[p] for p in extra_pos))
+                return Relation(out_schema, rows)
+        ctx.atom_scans += 1
+        candidates: Iterable = ()
+        if self._key_terms and all(is_constant(t) for t in self._key_terms):
+            key = tuple(intern(t) for t in self._key_terms)
+            if ctx.recorder is not None:
+                ctx.recorder.record_block_id(name, store.block_id(name, key))
+            if arity_ok:
+                candidates = columns.blocks.get(key, ())
+        else:
+            if ctx.recorder is not None:
+                ctx.recorder.record_relation(name)
+            if arity_ok:
+                candidates = columns.row_index.keys()
+        rows = set()
+        for terms in candidates:
+            matched = True
+            for position, cid in const_checks:
+                if terms[position] != cid:
+                    matched = False
+                    break
+            if matched:
+                for position, first in repeat_checks:
+                    if terms[position] != terms[first]:
+                        matched = False
+                        break
+            if matched:
+                rows.add(tuple(terms[first_position[v]] for v in self.schema))
+        rel = Relation(self.schema, rows)
+        if env is not None:
+            rel = _join(env, rel)
+        return rel
+
     def produce(self, ctx: EvalContext, env: Optional[Relation] = None) -> Relation:
+        if ctx.store is not None:
+            return self._produce_encoded(ctx, env)
         relation = self.atom.relation
         name = relation.name
         # Guarded probe: the key is ground, or fully bound by the incoming rows.
@@ -578,7 +780,8 @@ class EqualsNode(PlanNode):
             if isinstance(term, Variable):
                 position = rel.schema.index(term)
                 return lambda row: row[position]
-            return lambda row: term
+            value = ctx.encode_constant(term)  # row values may be term ids
+            return lambda row: value
 
         get_left, get_right = getter(self.left), getter(self.right)
         rows = {row for row in rel.rows if get_left(row) == get_right(row)}
@@ -594,7 +797,8 @@ class EqualsNode(PlanNode):
         if self.guarded:
             variable = next(iter(self.free))
             constant = self.right if isinstance(self.left, Variable) else self.left
-            rows = {(constant,)} if constant in ctx.domain_set else set()
+            value = ctx.encode_constant(constant)
+            rows = {(value,)} if value in ctx.domain_set else set()
             base = Relation((variable,), rows)
             return _join(env, base) if env is not None else base
         # x = y (or x = x): enumerate the domain — the unguarded fallback.
@@ -846,7 +1050,9 @@ class CompiledFormula:
                 names = ", ".join(sorted(v.name for v in missing))
                 raise ValueError(f"free variables not bound by the valuation: {names}")
             schema = self.root.schema
-            seed = Relation(schema, {tuple(valuation[v] for v in schema)})
+            seed = Relation(
+                schema, {tuple(ctx.encode_constant(valuation[v]) for v in schema)}
+            )
             return bool(self.root.filter(ctx, seed).rows)
         return bool(self.root.produce(ctx, None).rows)
 
@@ -858,9 +1064,17 @@ class CompiledFormula:
         domain: Optional[Iterable[Constant]] = None,
         context: Optional[EvalContext] = None,
     ) -> Relation:
-        """The full satisfying set over the formula's free variables."""
+        """The full satisfying set over the formula's free variables.
+
+        Rows always contain :class:`Constant` values: encoded executions
+        decode their id-rows through the store before returning.
+        """
         ctx = self._context(db, index, domain, context)
-        return _project(self.root.produce(ctx, None), self.root.schema)
+        sat = _project(self.root.produce(ctx, None), self.root.schema)
+        if ctx.store is not None:
+            decode = ctx.store.table.decode
+            return Relation(sat.schema, {decode(row) for row in sat.rows})
+        return sat
 
     @staticmethod
     def _context(

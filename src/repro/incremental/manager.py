@@ -50,8 +50,11 @@ class ViewManager(DatabaseObserver):
         An existing :class:`CertaintySession` over *db* to decide through.
         When omitted the manager opens (and owns) one; a supplied session
         stays the caller's to close.
-    plan_cache / allow_exponential:
+    plan_cache / allow_exponential / backend:
         Forwarded to the owned session (ignored when *session* is given).
+        *backend* selects the execution layer — ``"columnar"`` (default)
+        for integer-encoded kernels with block-id read sets, ``"object"``
+        for the reference fact-dictionary path.
     full_refresh_threshold:
         Dirty fraction above which a view abandons incremental maintenance
         for a full refresh (default ``0.5``).
@@ -83,13 +86,17 @@ class ViewManager(DatabaseObserver):
         full_refresh_threshold: float = 0.5,
         parallel_workers: Optional[int] = None,
         parallel_min_dirty: int = 64,
+        backend: str = "columnar",
     ) -> None:
         if not 0.0 <= full_refresh_threshold <= 1.0:
             raise ValueError("full_refresh_threshold must lie in [0, 1]")
         self._db = db
         if session is None:
             session = CertaintySession(
-                db, plan_cache=plan_cache, allow_exponential=allow_exponential
+                db,
+                plan_cache=plan_cache,
+                allow_exponential=allow_exponential,
+                backend=backend,
             )
             self._owns_session = True
         else:

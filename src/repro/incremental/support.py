@@ -17,7 +17,7 @@ fallbacks) are dirtied by every mutation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple, Union
 
 from ..fo.compile import ReadSet
 from ..model.database import BlockKey, ChangeSet
@@ -25,6 +25,16 @@ from ..model.symbols import Constant
 
 #: A candidate answer: one constant per free variable (``()`` for Boolean).
 Candidate = Tuple[Constant, ...]
+
+#: Entries of the inverted block map: object-space ``(name, key)`` block
+#: keys from the reference backend, or dense ``int`` block ids from the
+#: columnar backend (the two spaces never collide as dict keys).
+SupportKey = Union[BlockKey, int]
+
+#: Maps ``(relation name, key constants)`` to the columnar block id that a
+#: read set would have recorded for the block, or ``None`` when no stored
+#: fact and no recorded probe ever touched it (so nothing can depend on it).
+BlockIdResolver = Callable[[str, Tuple[Constant, ...]], Optional[int]]
 
 _EMPTY: Set[Candidate] = set()
 
@@ -36,13 +46,20 @@ class SupportIndex:
     decision, plus the inverted maps used by :meth:`dirty_for`.  The two
     directions are kept consistent by construction; :meth:`check_invariants`
     verifies this exhaustively (used by the test suite).
+
+    Read sets captured on the columnar backend carry dense integer block
+    ids instead of ``(name, key)`` tuples; a *block_id_resolver* (typically
+    :meth:`~repro.store.columnar.ColumnarFactStore.known_block_id` of the
+    deciding session's store) translates the touched blocks of a mutation
+    batch into that id space so :meth:`dirty_for` covers both.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, block_id_resolver: Optional[BlockIdResolver] = None) -> None:
         self._reads: Dict[Candidate, ReadSet] = {}
-        self._by_block: Dict[BlockKey, Set[Candidate]] = {}
+        self._by_block: Dict[SupportKey, Set[Candidate]] = {}
         self._by_relation: Dict[str, Set[Candidate]] = {}
         self._global: Set[Candidate] = set()
+        self._block_id_resolver = block_id_resolver
 
     # -- maintenance -------------------------------------------------------------
 
@@ -55,6 +72,8 @@ class SupportIndex:
             return
         for block in read_set.blocks:
             self._by_block.setdefault(block, set()).add(candidate)
+        for block_id in read_set.block_ids:
+            self._by_block.setdefault(block_id, set()).add(candidate)
         for name in read_set.relations:
             self._by_relation.setdefault(name, set()).add(candidate)
 
@@ -66,7 +85,7 @@ class SupportIndex:
         if read_set.is_global:
             self._global.discard(candidate)
             return
-        for block in read_set.blocks:
+        for block in list(read_set.blocks) + list(read_set.block_ids):
             members = self._by_block.get(block)
             if members is not None:
                 members.discard(candidate)
@@ -96,8 +115,12 @@ class SupportIndex:
         """Every tracked candidate."""
         return self._reads.keys()
 
-    def candidates_for_block(self, block: BlockKey) -> Set[Candidate]:
-        """Candidates whose decision probed *block* (global ones excluded)."""
+    def candidates_for_block(self, block: SupportKey) -> Set[Candidate]:
+        """Candidates whose decision probed *block* (global ones excluded).
+
+        *block* is an object-space block key or a columnar block id,
+        matching whichever space the read sets were captured in.
+        """
         return set(self._by_block.get(block, _EMPTY))
 
     def candidates_for_relation(self, name: str) -> Set[Candidate]:
@@ -118,11 +141,18 @@ class SupportIndex:
         """The candidates whose verdict may be changed by *changes*.
 
         The union of the global candidates, the candidates that probed a
-        touched block, and the candidates that scanned a touched relation.
+        touched block (in either key space — the resolver maps each touched
+        block into the columnar id space too), and the candidates that
+        scanned a touched relation.
         """
         dirty: Set[Candidate] = set(self._global)
+        resolver = self._block_id_resolver
         for block in changes.touched_blocks():
             dirty |= self._by_block.get(block, _EMPTY)
+            if resolver is not None:
+                block_id = resolver(block[0], block[1])
+                if block_id is not None:
+                    dirty |= self._by_block.get(block_id, _EMPTY)
         for name in changes.touched_relations():
             dirty |= self._by_relation.get(name, _EMPTY)
         return dirty
@@ -132,7 +162,7 @@ class SupportIndex:
         read_set = self._reads.get(candidate)
         if read_set is None or read_set.is_global:
             return 0
-        return len(read_set.blocks) + len(read_set.relations)
+        return len(read_set.blocks) + len(read_set.block_ids) + len(read_set.relations)
 
     def __len__(self) -> int:
         return len(self._reads)
@@ -159,6 +189,10 @@ class SupportIndex:
                 assert candidate in self._by_block.get(block, _EMPTY), (
                     f"{candidate} missing from block entry {block}"
                 )
+            for block_id in read_set.block_ids:
+                assert candidate in self._by_block.get(block_id, _EMPTY), (
+                    f"{candidate} missing from block-id entry {block_id}"
+                )
             for name in read_set.relations:
                 assert candidate in self._by_relation.get(name, _EMPTY), (
                     f"{candidate} missing from relation entry {name}"
@@ -167,9 +201,9 @@ class SupportIndex:
             assert members, f"empty block entry {block} not pruned"
             for candidate in members:
                 read_set = self._reads.get(candidate)
-                assert read_set is not None and block in read_set.blocks, (
-                    f"stale block entry {block} -> {candidate}"
-                )
+                assert read_set is not None and (
+                    block in read_set.blocks or block in read_set.block_ids
+                ), f"stale block entry {block} -> {candidate}"
         for name, members in self._by_relation.items():
             assert members, f"empty relation entry {name} not pruned"
             for candidate in members:

@@ -39,7 +39,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..fo.compile import ReadSet
 from ..model.database import ChangeSet
 from ..query.conjunctive import ConjunctiveQuery
-from ..query.evaluation import answer_tuples
+from ..query.evaluation import find_valuation
+from ..query.substitution import ground_free_variables
 from .delta import delta_candidates
 from .support import Candidate, SupportIndex
 
@@ -62,7 +63,11 @@ class ViewStats:
     ``last_dirty`` / ``last_decided``
         dirty-set size and decisions of the most recent non-skipped batch;
     ``inserts_emitted`` / ``retracts_emitted``
-        answer-level delta callbacks fired.
+        answer-level delta callbacks fired;
+    ``gc_removed``
+        tracked candidates garbage-collected between full refreshes
+        because their supporting facts vanished (see
+        :meth:`MaterializedCertainView._collect_vanished`).
     """
 
     __slots__ = (
@@ -75,6 +80,7 @@ class ViewStats:
         "last_decided",
         "inserts_emitted",
         "retracts_emitted",
+        "gc_removed",
     )
 
     def __init__(self) -> None:
@@ -87,6 +93,7 @@ class ViewStats:
         self.last_decided = 0
         self.inserts_emitted = 0
         self.retracts_emitted = 0
+        self.gc_removed = 0
 
     def __repr__(self) -> str:
         return (
@@ -155,7 +162,12 @@ class MaterializedCertainView:
             and not plan.per_grounding
             and (self._boolean or plan.fo_candidate_vars is not None)
         )
-        self._support = SupportIndex()
+        # Columnar sessions capture read sets as dense block ids; give the
+        # support index the store's resolver so touched blocks translate.
+        store = getattr(manager.session, "store", None)
+        self._support = SupportIndex(
+            block_id_resolver=store.known_block_id if store is not None else None
+        )
         self._verdicts: Dict[Candidate, bool] = {}
         self._answers: Set[Candidate] = set()
         self._subscriptions: List[Subscription] = []
@@ -297,9 +309,10 @@ class MaterializedCertainView:
         if self._boolean:
             candidates: List[Candidate] = [()]
         else:
-            candidates = sorted(
-                answer_tuples(self._query, session.index), key=_sort_key
-            )
+            # Columnar sessions enumerate through the compiled candidate
+            # plan, the object backend through the reference backtracking
+            # join; both return the shared deterministic sorted order.
+            candidates = session.candidate_answers(self._query)
         support_out: Optional[Dict[Candidate, ReadSet]] = (
             {} if self._fine_grained else None
         )
@@ -353,5 +366,35 @@ class MaterializedCertainView:
             elif not verdict and candidate in self._answers:
                 self._answers.discard(candidate)
                 retracted.add(candidate)
+        if changes.discarded:
+            self._collect_vanished(candidates, certain)
         self.stats.incremental_refreshes += 1
         self._emit(inserted, retracted)
+
+    def _collect_vanished(
+        self, candidates: List[Candidate], certain: Set[Candidate]
+    ) -> None:
+        """Candidate-set GC: drop re-decided candidates that left the
+        enumerable candidate set.
+
+        A candidate whose supporting facts were all discarded can never be
+        an answer again until some insertion re-creates it (insertions are
+        delta-discovered), so keeping its verdict and support entries only
+        grows memory between full refreshes.  A candidate is enumerable iff
+        its grounding is satisfiable over the current database — one cheap
+        block-probe-backed satisfiability check each, run only for dirty
+        candidates that just re-decided to *not certain* after a discard.
+        """
+        if self._boolean:
+            return
+        index = self._manager.session.index
+        for candidate in candidates:
+            if candidate in certain:
+                continue
+            grounded = ground_free_variables(
+                self._query, [c.value for c in candidate]
+            )
+            if find_valuation(grounded, index) is None:
+                del self._verdicts[candidate]
+                self._support.remove(candidate)
+                self.stats.gc_removed += 1

@@ -14,7 +14,7 @@ from functools import lru_cache
 from typing import Collection, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..model.atoms import Atom, Fact
-from ..model.symbols import Constant, Variable, is_constant, is_variable
+from ..model.symbols import Constant, Variable, is_constant
 from ..model.valuation import Valuation
 from .conjunctive import ConjunctiveQuery
 
@@ -152,9 +152,63 @@ def order_atoms(query: ConjunctiveQuery) -> Tuple[Atom, ...]:
     return tuple(ordered)
 
 
-def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
-    """Back-compat wrapper around the memoised :func:`order_atoms`."""
-    return list(order_atoms(query))
+#: Per-position match operations of a compiled backtracking step.
+CHECK_CONST, CHECK_SLOT, BIND_SLOT = 0, 1, 2
+
+
+@lru_cache(maxsize=2048)
+def backtrack_plan(query: ConjunctiveQuery):
+    """Compile *query* into slot-based backtracking steps (memoised).
+
+    Variables are assigned dense *slots* (ints) in first-occurrence order
+    over the greedy :func:`order_atoms` ordering, so the join loop can keep
+    its bindings in one mutable list instead of rebuilding a
+    :class:`~repro.model.valuation.Valuation` dict per matched fact.  Each
+    step describes one atom:
+
+    ``(atom, ops, key_plan)``
+        *ops* is a tuple of ``(op, position, arg)`` with *op* one of
+        :data:`CHECK_CONST` (arg: the constant), :data:`CHECK_SLOT` (arg:
+        the slot the position must equal) or :data:`BIND_SLOT` (arg: the
+        slot the position binds); a repeated variable's first occurrence
+        binds and later occurrences check, whether the repeat is within one
+        atom or across atoms.  *key_plan* covers the primary-key positions
+        with ``(slot, None)`` / ``(None, constant)`` entries when the whole
+        key is determined by earlier steps (enabling a block probe), and is
+        ``None`` otherwise.
+
+    The same structural plan drives both the object-level loop below and
+    the integer-encoded sweeps of :mod:`repro.store.kernels` (which encode
+    the constants through an intern table per call).
+    """
+    steps = []
+    slots: Dict[Variable, int] = {}
+    for atom in order_atoms(query):
+        before = dict(slots)
+        ops: List[Tuple[int, int, object]] = []
+        for position, term in enumerate(atom.terms):
+            if is_constant(term):
+                ops.append((CHECK_CONST, position, term))
+            elif term in slots:
+                ops.append((CHECK_SLOT, position, slots[term]))
+            else:
+                slot = len(slots)
+                slots[term] = slot  # type: ignore[index]
+                ops.append((BIND_SLOT, position, slot))
+        key_plan: Optional[List[Tuple[Optional[int], Optional[Constant]]]] = []
+        for position in range(atom.relation.key_size):
+            term = atom.terms[position]
+            if is_constant(term):
+                key_plan.append((None, term))
+            elif term in before:
+                key_plan.append((before[term], None))
+            else:
+                key_plan = None
+                break
+        steps.append(
+            (atom, tuple(ops), tuple(key_plan) if key_plan is not None else None)
+        )
+    return tuple(steps), tuple(slots.items())
 
 
 def iterate_valuations(
@@ -163,6 +217,10 @@ def iterate_valuations(
     restrict_to: Optional[FrozenSet[Fact]] = None,
 ) -> Iterator[Valuation]:
     """Yield every valuation ``θ`` over ``vars(q)`` with ``θ(q) ⊆`` the facts.
+
+    Runs the compiled :func:`backtrack_plan`: one mutable slot array holds
+    the bindings across the whole search, and a :class:`Valuation` object
+    is only materialised per *solution* (not per matched fact).
 
     Parameters
     ----------
@@ -174,37 +232,55 @@ def iterate_valuations(
         When given, only facts in this set are considered (used to evaluate
         the same index against many repairs without re-indexing).
     """
-    ordered = order_atoms(query)
+    steps, slot_variables = backtrack_plan(query)
+    bindings: List[Optional[Constant]] = [None] * len(slot_variables)
+    depth = len(steps)
 
-    def backtrack(position: int, valuation: Valuation) -> Iterator[Valuation]:
-        if position == len(ordered):
+    def backtrack(position: int) -> Iterator[Valuation]:
+        if position == depth:
+            valuation = Valuation.__new__(Valuation)
+            valuation._mapping = {v: bindings[s] for v, s in slot_variables}
             yield valuation
             return
-        atom = ordered[position]
-        key_terms = atom.key_terms
-        # If the whole key is already ground, use the block index.
-        ground_key: Optional[Tuple[Constant, ...]] = None
-        key_values: List[Constant] = []
-        for term in key_terms:
-            value = valuation.get(term) if is_variable(term) else term
-            if value is None or is_variable(value):
-                break
-            key_values.append(value)  # type: ignore[arg-type]
-        else:
-            ground_key = tuple(key_values)
+        atom, ops, key_plan = steps[position]
+        relation = atom.relation
         candidates: Sequence[Fact]
-        if ground_key is not None:
-            candidates = index.block(atom.relation.name, ground_key)
+        if key_plan is not None:
+            key = tuple(
+                bindings[slot] if constant is None else constant
+                for slot, constant in key_plan
+            )
+            candidates = index.block(relation.name, key)  # type: ignore[arg-type]
         else:
-            candidates = index.relation(atom.relation.name)
+            candidates = index.relation(relation.name)
+        arity = relation.arity
         for fact in candidates:
             if restrict_to is not None and fact not in restrict_to:
                 continue
-            extended = match_atom(atom, fact, valuation)
-            if extended is not None:
-                yield from backtrack(position + 1, extended)
+            if fact.relation.arity != arity:
+                continue
+            terms = fact.terms
+            matched = True
+            bound: List[int] = []
+            for op, pos, arg in ops:
+                value = terms[pos]
+                if op == CHECK_CONST:
+                    if value != arg:
+                        matched = False
+                        break
+                elif op == CHECK_SLOT:
+                    if bindings[arg] != value:  # type: ignore[index]
+                        matched = False
+                        break
+                else:
+                    bindings[arg] = value  # type: ignore[index]
+                    bound.append(arg)  # type: ignore[arg-type]
+            if matched:
+                yield from backtrack(position + 1)
+            for slot in bound:
+                bindings[slot] = None
 
-    yield from backtrack(0, Valuation())
+    yield from backtrack(0)
 
 
 def find_valuation(

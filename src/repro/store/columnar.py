@@ -1,0 +1,386 @@
+"""The interned columnar fact store: relations as integer columns.
+
+A :class:`ColumnarFactStore` holds each relation as a set of *rows of term
+ids* — per-position ``array('q')`` columns backed by an O(1) row index and
+per-block slices — over a shared :class:`~repro.store.intern.InternTable`.
+It is the integer-encoded twin of the fact dictionaries the engine
+historically ran on: every hot kernel (hash joins, anti-joins, block
+probes, purify sweeps, candidate enumeration) operates on small-int tuples
+instead of :class:`~repro.model.symbols.Constant` objects.
+
+Storage invariants
+------------------
+
+* one :class:`_RelationColumns` per relation name, with a single fixed
+  signature (the engine only ever builds a store over one database, whose
+  :class:`~repro.model.schema.DatabaseSchema` already enforces this);
+* ``columns[p][i]`` is the term id of position ``p`` of row ``i``; the
+  ``row_index`` dict maps each id-tuple to its row position, and deletion
+  swap-removes with the last row so the columns stay dense;
+* blocks are keyed by the id-tuple of the primary-key positions; each
+  *live* block also has a dense integer **block id**, interned in the
+  store-level block table.  Block ids are append-only: they survive the
+  block emptying out (and are also assigned to *probed but absent* blocks
+  when a read-set recorder asks), so a read set recorded against a block id
+  still matches a later insertion into that block.
+
+Snapshots
+---------
+
+:meth:`ColumnarFactStore.snapshot` copies the id arrays (a C-level
+``memcpy`` per column) and the raw values of the term ids in use — no fact
+objects, no per-fact pickling.  The resulting :class:`ColumnarSnapshot` is
+the wire format the parallel session ships to worker processes; it decodes
+back into facts (or a fresh store) in any process regardless of hash salt,
+because only raw values travel (see the interning invariants in
+:mod:`repro.store.intern`).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from array import array
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..model.atoms import Fact, RelationSchema
+from ..model.symbols import Constant
+from .intern import InternTable, global_intern_table
+
+#: A row of term ids — one per relation position.
+IntRow = Tuple[int, ...]
+
+#: The id-tuple of a row's primary-key positions.
+IntKey = Tuple[int, ...]
+
+#: The object-space identifier of a block (mirrors ``model.database.BlockKey``).
+BlockKey = Tuple[str, Tuple[Constant, ...]]
+
+_EMPTY_BLOCK: Tuple[IntRow, ...] = ()
+
+
+class _RelationColumns:
+    """One relation of the store: integer columns plus row and block indexes."""
+
+    __slots__ = ("schema", "columns", "row_index", "blocks")
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        #: Per-position arrays of term ids; row ``i`` spans ``columns[*][i]``.
+        self.columns: List[array] = [array("q") for _ in range(schema.arity)]
+        #: id-row -> position in the columns (O(1) membership).
+        self.row_index: Dict[IntRow, int] = {}
+        #: key-id-tuple -> the rows of that block (the per-block slice).
+        self.blocks: Dict[IntKey, List[IntRow]] = {}
+
+    def __len__(self) -> int:
+        return len(self.row_index)
+
+
+class ColumnarSnapshot:
+    """An immutable, compactly picklable copy of a store's contents.
+
+    ``relations`` holds ``(name, arity, key_size, columns)`` per relation —
+    the columns are private ``array('q')`` copies — and ``values`` maps the
+    term ids in use to their raw wrapped values.  Only raw values cross
+    process boundaries; the receiving side re-interns locally.
+    """
+
+    __slots__ = ("relations", "values", "fact_count")
+
+    def __init__(
+        self,
+        relations: Tuple[Tuple[str, int, int, Tuple[array, ...]], ...],
+        values: Tuple[Tuple[int, Any], ...],
+        fact_count: int,
+    ) -> None:
+        self.relations = relations
+        self.values = values
+        self.fact_count = fact_count
+
+    def __getstate__(self):
+        return (self.relations, self.values, self.fact_count)
+
+    def __setstate__(self, state) -> None:
+        self.relations, self.values, self.fact_count = state
+
+    def __len__(self) -> int:
+        return self.fact_count
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarSnapshot({self.fact_count} facts, "
+            f"{len(self.relations)} relations, {len(self.values)} constants)"
+        )
+
+    def iter_facts(self) -> Iterator[Fact]:
+        """Decode the snapshot back into fact objects (hash-salt safe)."""
+        constants = {term_id: Constant(value) for term_id, value in self.values}
+        for name, arity, key_size, columns in self.relations:
+            schema = RelationSchema(name, arity, key_size)
+            for i in range(len(columns[0]) if columns else 0):
+                yield Fact(schema, tuple(constants[col[i]] for col in columns))
+
+
+class ColumnarFactStore:
+    """Facts as integer rows: the execution-layer storage of the engine.
+
+    Parameters
+    ----------
+    table:
+        The intern table term ids are drawn from.  Defaults to the
+        process-wide :func:`~repro.store.intern.global_intern_table`, so
+        every store in a process shares one id space.
+    """
+
+    __slots__ = ("_table", "_relations", "_block_ids", "_block_keys", "_size", "_block_lock")
+
+    def __init__(self, facts: Sequence[Fact] = (), table: Optional[InternTable] = None) -> None:
+        self._table = table if table is not None else global_intern_table()
+        self._relations: Dict[str, _RelationColumns] = {}
+        #: (name, key ids) -> dense block id; append-only (ids outlive blocks).
+        self._block_ids: Dict[Tuple[str, IntKey], int] = {}
+        self._block_keys: List[Tuple[str, IntKey]] = []
+        self._block_lock = threading.Lock()
+        self._size = 0
+        for fact in facts:
+            self.add_fact(fact)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def table(self) -> InternTable:
+        """The intern table this store encodes through."""
+        return self._table
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"ColumnarFactStore({self._size} facts, {len(self._relations)} relations)"
+
+    def relation_columns(self, name: str) -> Optional[_RelationColumns]:
+        """The columns of relation *name* (``None`` when never populated)."""
+        return self._relations.get(name)
+
+    def relation_rows(self, name: str) -> Sequence[IntRow]:
+        """All id-rows of relation *name* (a live view; do not mutate)."""
+        rel = self._relations.get(name)
+        return rel.row_index.keys() if rel is not None else _EMPTY_BLOCK  # type: ignore[return-value]
+
+    def block_rows(self, name: str, key: IntKey) -> Sequence[IntRow]:
+        """The id-rows of one block (empty when the block is absent)."""
+        rel = self._relations.get(name)
+        if rel is None:
+            return _EMPTY_BLOCK
+        return rel.blocks.get(key, _EMPTY_BLOCK)
+
+    def term_ids(self) -> Set[int]:
+        """Every term id appearing in some row (the encoded active domain)."""
+        out: Set[int] = set()
+        for rel in self._relations.values():
+            for row in rel.row_index:
+                out.update(row)
+        return out
+
+    # -- block ids ---------------------------------------------------------------
+
+    def block_id(self, name: str, key: IntKey) -> int:
+        """The dense id of block ``(name, key)``, interning on first use.
+
+        Also used by read-set recorders for *probed but absent* blocks: the
+        id must exist so a later insertion into the block can be matched
+        against recorded read sets.
+        """
+        full = (name, key)
+        bid = self._block_ids.get(full)
+        if bid is not None:
+            return bid
+        with self._block_lock:
+            bid = self._block_ids.get(full)
+            if bid is None:
+                bid = len(self._block_keys)
+                self._block_keys.append(full)
+                self._block_ids[full] = bid
+            return bid
+
+    def known_block_id(self, name: str, key_constants: Tuple[Constant, ...]) -> Optional[int]:
+        """The block id for object-space ``(name, key constants)``, if any.
+
+        ``None`` means no fact of the block was ever stored *and* no
+        execution ever probed it — so no recorded read set can depend on it.
+        """
+        id_of = self._table.id_of
+        key: List[int] = []
+        for constant in key_constants:
+            term_id = id_of(constant)
+            if term_id is None:
+                return None
+            key.append(term_id)
+        return self._block_ids.get((name, tuple(key)))
+
+    def block_key_of(self, block_id: int) -> Tuple[str, IntKey]:
+        """The ``(name, key ids)`` pair of a block id."""
+        return self._block_keys[block_id]
+
+    def decode_block_key(self, block_id: int) -> BlockKey:
+        """The object-space :data:`BlockKey` of a block id."""
+        name, key = self._block_keys[block_id]
+        return (name, self._table.decode(key))
+
+    def live_block_ids(self, name: str) -> List[int]:
+        """The block ids of the *non-empty* blocks of relation *name*."""
+        rel = self._relations.get(name)
+        if rel is None:
+            return []
+        block_ids = self._block_ids
+        return [block_ids[(name, key)] for key in rel.blocks]
+
+    # -- mutation ----------------------------------------------------------------
+
+    def encode_fact(self, fact: Fact) -> Tuple[str, IntRow]:
+        """Encode *fact* into its relation name and id-row (interning terms)."""
+        intern = self._table.intern
+        return fact.relation.name, tuple(intern(t) for t in fact.terms)
+
+    def add_fact(self, fact: Fact) -> Optional[IntRow]:
+        """Insert a fact; returns its id-row, or ``None`` if already present."""
+        schema = fact.relation
+        name = schema.name
+        rel = self._relations.get(name)
+        if rel is None:
+            rel = _RelationColumns(schema)
+            self._relations[name] = rel
+        elif (rel.schema.arity, rel.schema.key_size) != (schema.arity, schema.key_size):
+            raise ValueError(
+                f"relation {name!r} already stored with signature "
+                f"[{rel.schema.arity},{rel.schema.key_size}], cannot add {fact}"
+            )
+        intern = self._table.intern
+        row = tuple(intern(t) for t in fact.terms)
+        if row in rel.row_index:
+            return None
+        rel.row_index[row] = len(rel.row_index)
+        for column, term_id in zip(rel.columns, row):
+            column.append(term_id)
+        key = row[: schema.key_size]
+        block = rel.blocks.get(key)
+        if block is None:
+            rel.blocks[key] = [row]
+            self.block_id(name, key)  # assign (or reuse) the dense block id
+        else:
+            block.append(row)
+        self._size += 1
+        return row
+
+    def discard_fact(self, fact: Fact) -> Optional[IntRow]:
+        """Remove a fact; returns its id-row, or ``None`` if absent."""
+        name = fact.relation.name
+        rel = self._relations.get(name)
+        if rel is None:
+            return None
+        id_of = self._table.id_of
+        ids: List[int] = []
+        for term in fact.terms:
+            term_id = id_of(term)
+            if term_id is None:
+                return None  # a never-interned constant cannot be stored
+            ids.append(term_id)
+        row = tuple(ids)
+        position = rel.row_index.pop(row, None)
+        if position is None:
+            return None
+        # Swap-remove keeps the columns dense: move the last row into the
+        # vacated position and re-point its row-index entry.
+        last = len(rel.row_index)  # index of the final row after the pop
+        if position != last:
+            moved = tuple(column[last] for column in rel.columns)
+            for column in rel.columns:
+                column[position] = column[last]
+            rel.row_index[moved] = position
+        for column in rel.columns:
+            column.pop()
+        key = row[: rel.schema.key_size]
+        block = rel.blocks.get(key)
+        if block is not None:
+            block.remove(row)
+            if not block:
+                del rel.blocks[key]  # the block id stays interned
+        self._size -= 1
+        return row
+
+    def contains_fact(self, fact: Fact) -> bool:
+        """O(1) membership through the row index."""
+        rel = self._relations.get(fact.relation.name)
+        if rel is None:
+            return False
+        id_of = self._table.id_of
+        ids: List[int] = []
+        for term in fact.terms:
+            term_id = id_of(term)
+            if term_id is None:
+                return False
+            ids.append(term_id)
+        return tuple(ids) in rel.row_index
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode_row(self, row: IntRow) -> Tuple[Constant, ...]:
+        """Decode an id-row back into constants."""
+        return self._table.decode(row)
+
+    def decode_facts(self) -> Iterator[Fact]:
+        """Decode the whole store back into fact objects."""
+        decode = self._table.decode
+        for rel in self._relations.values():
+            schema = rel.schema
+            for row in rel.row_index:
+                yield Fact(schema, decode(row))
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> ColumnarSnapshot:
+        """An immutable copy: column arrays (memcpy) + raw values in use."""
+        relations = []
+        used: Set[int] = set()
+        constant = self._table.constant
+        for name, rel in self._relations.items():
+            relations.append(
+                (
+                    name,
+                    rel.schema.arity,
+                    rel.schema.key_size,
+                    tuple(array("q", column) for column in rel.columns),
+                )
+            )
+            for row in rel.row_index:
+                used.update(row)
+        values = tuple((term_id, constant(term_id).value) for term_id in sorted(used))
+        return ColumnarSnapshot(tuple(relations), values, self._size)
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: ColumnarSnapshot, table: Optional[InternTable] = None
+    ) -> "ColumnarFactStore":
+        """Rebuild a store (re-interned locally) from a snapshot."""
+        return cls(facts=tuple(snapshot.iter_facts()), table=table)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def memory_stats(self) -> Dict[str, int]:
+        """Approximate per-component byte counts of the store."""
+        column_bytes = 0
+        row_index_bytes = 0
+        block_bytes = 0
+        for rel in self._relations.values():
+            column_bytes += sum(column.itemsize * len(column) for column in rel.columns)
+            row_index_bytes += sys.getsizeof(rel.row_index)
+            block_bytes += sys.getsizeof(rel.blocks)
+        return {
+            "facts": self._size,
+            "relations": len(self._relations),
+            "blocks_interned": len(self._block_keys),
+            "column_bytes": column_bytes,
+            "row_index_bytes": row_index_bytes,
+            "block_index_bytes": block_bytes,
+        }

@@ -1,0 +1,137 @@
+"""Integer-encoded execution kernels over the columnar store.
+
+The kernels here are the id-space twins of the object-level sweeps in
+:mod:`repro.certainty.purify`: they reuse the compiled slot-based
+:func:`~repro.query.evaluation.backtrack_plan` of a query, encode its
+constants through the store's intern table once per call, and then run the
+backtracking join entirely on integer rows — block probes are dict lookups
+on id-tuples, bindings live in one mutable int array, and witness marking
+collects id-rows instead of fact objects.
+
+:func:`stale_block_keys` is the purification sweep (Lemma 1): it returns
+the blocks containing at least one fact that participates in no witness
+``θ(q) ⊆ db``, sweeping the store's per-block id arrays and decoding only
+the (usually few) stale block keys back to object space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.evaluation import CHECK_CONST, CHECK_SLOT, backtrack_plan
+from .columnar import BlockKey, ColumnarFactStore, IntRow
+
+#: One encoded step: (relation columns or None, ops, key_plan).
+_EncodedStep = Tuple[object, Tuple[Tuple[int, int, int], ...], Optional[Tuple]]
+
+
+def _encode_plan(
+    query: ConjunctiveQuery, store: ColumnarFactStore
+) -> Tuple[Optional[List[_EncodedStep]], int]:
+    """Encode the structural backtracking plan of *query* against *store*.
+
+    Returns ``(steps, slot_count)``; *steps* is ``None`` when some atom can
+    never match (its relation is absent or has a different arity), in which
+    case the query has no witnesses at all.
+    """
+    steps, slot_variables = backtrack_plan(query)
+    intern = store.table.intern
+    encoded: List[_EncodedStep] = []
+    for atom, ops, key_plan in steps:
+        relation = store.relation_columns(atom.relation.name)
+        if relation is None or relation.schema.arity != atom.relation.arity:
+            return None, len(slot_variables)
+        enc_ops = tuple(
+            (op, pos, intern(arg) if op == CHECK_CONST else arg)  # type: ignore[arg-type]
+            for op, pos, arg in ops
+        )
+        enc_key = None
+        if key_plan is not None and relation.schema.key_size == atom.relation.key_size:
+            enc_key = tuple(
+                (slot, intern(constant) if constant is not None else None)
+                for slot, constant in key_plan
+            )
+        encoded.append((relation, enc_ops, enc_key))
+    return encoded, len(slot_variables)
+
+
+def used_rows(
+    query: ConjunctiveQuery, store: ColumnarFactStore
+) -> Dict[str, Set[IntRow]]:
+    """Per relation, the id-rows used by at least one witness of *query*.
+
+    The id-space counterpart of
+    :func:`repro.certainty.purify.relevant_facts`.
+    """
+    encoded, slot_count = _encode_plan(query, store)
+    used: Dict[str, Set[IntRow]] = {}
+    if encoded is None or not encoded:
+        return used
+    bindings: List[Optional[int]] = [None] * slot_count
+    depth = len(encoded)
+    stack: List[Tuple[str, IntRow]] = []
+
+    def backtrack(level: int) -> None:
+        if level == depth:
+            for name, row in stack:
+                used.setdefault(name, set()).add(row)
+            return
+        relation, ops, key_plan = encoded[level]
+        if key_plan is not None:
+            key = tuple(
+                bindings[slot] if constant is None else constant
+                for slot, constant in key_plan
+            )
+            candidates = relation.blocks.get(key, ())  # type: ignore[union-attr]
+        else:
+            candidates = relation.row_index.keys()  # type: ignore[union-attr]
+        name = relation.schema.name  # type: ignore[union-attr]
+        for row in candidates:
+            matched = True
+            bound: List[int] = []
+            for op, pos, arg in ops:
+                value = row[pos]
+                if op == CHECK_CONST:
+                    if value != arg:
+                        matched = False
+                        break
+                elif op == CHECK_SLOT:
+                    if bindings[arg] != value:
+                        matched = False
+                        break
+                else:
+                    bindings[arg] = value
+                    bound.append(arg)
+            if matched:
+                stack.append((name, row))
+                backtrack(level + 1)
+                stack.pop()
+            for slot in bound:
+                bindings[slot] = None
+
+    backtrack(0)
+    return used
+
+
+def stale_block_keys(
+    query: ConjunctiveQuery, store: ColumnarFactStore
+) -> List[BlockKey]:
+    """Blocks containing some fact outside every witness of *query*.
+
+    Sweeps the store's per-block id arrays against :func:`used_rows` and
+    decodes only the stale keys; an empty result means the database is
+    already purified relative to *query*.
+    """
+    used = used_rows(query, store)
+    stale: List[BlockKey] = []
+    empty: Set[IntRow] = set()
+    decode = store.table.decode
+    for name, relation in store._relations.items():
+        rows_in_use = used.get(name, empty)
+        for key, rows in relation.blocks.items():
+            for row in rows:
+                if row not in rows_in_use:
+                    stale.append((name, decode(key)))
+                    break
+    return stale

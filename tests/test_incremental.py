@@ -186,8 +186,30 @@ class TestBatchAPI:
 
 class TestReadSets:
     def test_session_captures_block_level_support(self):
+        """Columnar sessions record dense block ids; same block precision."""
         query, schema, db = emp_dept()
         with CertaintySession(db) as session:
+            support = {}
+            certain = session.decide_candidates(
+                query,
+                sorted({(Constant("ada"),), (Constant("bob"),)}),
+                support=support,
+            )
+            ada_block = session.store.known_block_id("Emp", (Constant("ada"),))
+            bob_block = session.store.known_block_id("Emp", (Constant("bob"),))
+        assert set(certain) == {(Constant("ada"),), (Constant("bob"),)}
+        ada = support[(Constant("ada"),)]
+        assert not ada.is_global
+        assert ada_block is not None and bob_block is not None
+        # ada's decision must depend on her own Emp block…
+        assert ada_block in ada.block_ids or "Emp" in ada.relations
+        # …and not on bob's (block-level precision is the whole point).
+        assert bob_block not in ada.block_ids
+
+    def test_object_backend_captures_object_block_keys(self):
+        """The reference backend keeps recording (name, key) block keys."""
+        query, schema, db = emp_dept()
+        with CertaintySession(db, backend="object") as session:
             support = {}
             certain = session.decide_candidates(
                 query,
@@ -197,9 +219,7 @@ class TestReadSets:
         assert set(certain) == {(Constant("ada"),), (Constant("bob"),)}
         ada = support[(Constant("ada"),)]
         assert not ada.is_global
-        # ada's decision must depend on her own Emp block…
         assert ("Emp", (Constant("ada"),)) in ada.blocks or "Emp" in ada.relations
-        # …and not on bob's (block-level precision is the whole point).
         assert ("Emp", (Constant("bob"),)) not in ada.blocks
 
     def test_opaque_for_brute_force(self, q1):
@@ -326,10 +346,11 @@ def band_workloads():
 class TestDifferentialMaintenance:
     @pytest.mark.parametrize("query,allow,kwargs", band_workloads())
     @pytest.mark.parametrize("batched", [False, True], ids=["per-fact", "batched"])
-    def test_randomized_mutation_streams(self, query, allow, kwargs, batched):
+    @pytest.mark.parametrize("backend", ["columnar", "object"])
+    def test_randomized_mutation_streams(self, query, allow, kwargs, batched, backend):
         for seed in range(2):
             db = synthetic_instance(query, seed=seed, **kwargs)
-            with ViewManager(db, allow_exponential=allow) as manager:
+            with ViewManager(db, allow_exponential=allow, backend=backend) as manager:
                 view = manager.register(query)
                 assert view.answers == cold_answers(db, query, allow)
                 stream = mutation_stream(
@@ -431,6 +452,50 @@ class TestSupportPrecision:
                 apply_batch(db, batch)
                 assert view.answers == cold_answers(db, query, False)
                 view.support.check_invariants()
+
+
+# --------------------------------------------------------------------------------
+# Candidate-set GC (vanished candidates leave without a full refresh)
+# --------------------------------------------------------------------------------
+
+
+class TestCandidateGC:
+    def test_vanished_candidates_are_collected_without_full_refresh(self):
+        query, schema, db = emp_dept()
+        with ViewManager(db) as manager:
+            view = manager.register(query)
+            assert (Constant("bob"),) in view.tracked_candidates
+            full = view.stats.full_refreshes
+            db.remove_block(("Emp", (Constant("bob"),)))
+            # Maintenance stayed incremental, yet bob — whose supporting
+            # facts all vanished — was dropped from verdicts and support.
+            assert view.stats.full_refreshes == full
+            assert (Constant("bob"),) not in view.tracked_candidates
+            assert (Constant("bob"),) not in set(view.support.candidates())
+            assert view.stats.gc_removed >= 1
+            assert (Constant("ada"),) in view.tracked_candidates
+            view.support.check_invariants()
+            assert view.answers == cold_answers(db, query, False)
+
+    def test_reinserted_candidate_is_rediscovered_after_gc(self):
+        query, schema, db = emp_dept()
+        with ViewManager(db) as manager:
+            view = manager.register(query)
+            db.remove_block(("Emp", (Constant("bob"),)))
+            assert (Constant("bob"),) not in view.tracked_candidates
+            db.add(schema["Emp"].fact("bob", "os"))
+            assert (Constant("bob"),) in view.tracked_candidates
+            assert view.answers == cold_answers(db, query, False)
+
+    def test_gc_keeps_still_enumerable_candidates(self):
+        query, schema, db = emp_dept()
+        with ViewManager(db) as manager:
+            view = manager.register(query)
+            # Dropping one of bob's two Emp facts leaves him enumerable.
+            db.discard(schema["Emp"].fact("bob", "os"))
+            assert (Constant("bob"),) in view.tracked_candidates
+            assert view.stats.gc_removed == 0
+            assert view.answers == cold_answers(db, query, False)
 
 
 # --------------------------------------------------------------------------------

@@ -1,0 +1,438 @@
+"""Tests for the interned columnar fact store (``repro.store``).
+
+The central contract is *differential*: the columnar backend — interned
+term ids, integer-row kernels, block-id read sets, batched set-at-a-time
+deciding, columnar snapshots — must return byte-identical answers to the
+object-level reference implementation, across complexity bands, random
+workloads, mutation streams, and process boundaries.  On top of that:
+intern-table invariants (dense ids, append-only stability, hash-salt-safe
+serialization), store integrity under swap-remove deletion, and snapshot
+round-trips.
+"""
+
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro import CertaintySession, UncertainDatabase, parse_facts, parse_query
+from repro.engine import ParallelCertaintySession
+from repro.model.atoms import RelationSchema
+from repro.model.symbols import Constant, Variable
+from repro.query import ConjunctiveQuery, figure2_q1, figure4_query
+from repro.query.evaluation import FactIndex
+from repro.query.families import path_query
+from repro.store import (
+    ColumnarFactIndex,
+    ColumnarFactStore,
+    ColumnarSnapshot,
+    InternTable,
+    global_intern_table,
+    stale_block_keys,
+)
+from repro.workloads import mutation_stream, apply_mutation, synthetic_instance
+
+
+def open_variant(query, variable_name):
+    variable = Variable(variable_name)
+    assert variable in query.variables
+    return ConjunctiveQuery(query.atoms, free_variables=[variable])
+
+
+# --------------------------------------------------------------------------------
+# Intern table
+# --------------------------------------------------------------------------------
+
+
+class TestInternTable:
+    def test_dense_ids_in_first_intern_order(self):
+        table = InternTable()
+        a, b, c = Constant("a"), Constant("b"), Constant(3)
+        assert [table.intern(x) for x in (a, b, c)] == [0, 1, 2]
+        assert table.intern(b) == 1  # idempotent, never reassigned
+        assert len(table) == 3
+
+    def test_decode_round_trip(self):
+        table = InternTable()
+        constants = (Constant("x"), Constant(7), Constant(("p", 2)))
+        ids = table.intern_many(constants)
+        assert table.decode(ids) == constants
+        assert table.constant(ids[1]) == Constant(7)
+
+    def test_id_of_does_not_intern(self):
+        table = InternTable()
+        assert table.id_of(Constant("nope")) is None
+        assert len(table) == 0
+
+    def test_snapshot_and_pickle_preserve_ids(self):
+        table = InternTable()
+        ids = table.intern_many((Constant("a"), Constant(5), Constant(("t", 1))))
+        rebuilt = InternTable.from_snapshot(table.snapshot())
+        assert rebuilt.decode(ids) == table.decode(ids)
+        pickled = pickle.loads(pickle.dumps(table))
+        assert pickled.decode(ids) == table.decode(ids)
+        assert pickled.intern(Constant("a")) == table.intern(Constant("a"))
+
+    def test_global_table_is_shared(self):
+        assert global_intern_table() is global_intern_table()
+        cid = global_intern_table().intern(Constant("shared-sentinel"))
+        assert global_intern_table().id_of(Constant("shared-sentinel")) == cid
+
+    def test_memory_stats_shape(self):
+        table = InternTable()
+        table.intern(Constant("a"))
+        stats = table.memory_stats()
+        assert stats["constants"] == 1
+        assert stats["total_bytes"] > 0
+
+    def test_unpickled_tables_intern_identically_under_other_hash_seeds(self):
+        """Mirrors the Atom hash-salt test: shipped tables must agree with
+        locally interned constants in a worker whose PYTHONHASHSEED differs."""
+        table = InternTable()
+        ids = table.intern_many((Constant("a"), Constant("b"), Constant(17)))
+        blob = pickle.dumps(table)
+        probe = (
+            "import pickle, sys\n"
+            f"sys.path.insert(0, {os.path.abspath('src')!r})\n"
+            "from repro.model.symbols import Constant\n"
+            f"table = pickle.loads({blob!r})\n"
+            f"assert table.intern(Constant('a')) == {ids[0]}\n"
+            f"assert table.intern(Constant('b')) == {ids[1]}\n"
+            f"assert table.intern(Constant(17)) == {ids[2]}\n"
+            "assert table.decode((0, 1, 2)) == "
+            "(Constant('a'), Constant('b'), Constant(17))\n"
+            "assert table.intern(Constant('fresh')) == 3\n"
+        )
+        for hash_seed in ("1", "2"):
+            result = subprocess.run(
+                [sys.executable, "-c", probe],
+                env={**os.environ, "PYTHONHASHSEED": hash_seed},
+                capture_output=True,
+                text=True,
+            )
+            assert result.returncode == 0, result.stderr
+
+
+# --------------------------------------------------------------------------------
+# Columnar store
+# --------------------------------------------------------------------------------
+
+
+def _schema_r():
+    return RelationSchema("R", 3, 1)
+
+
+class TestColumnarFactStore:
+    def test_add_discard_membership(self):
+        R = _schema_r()
+        store = ColumnarFactStore(table=InternTable())
+        f1, f2 = R.fact("a", "b", "c"), R.fact("a", "x", "y")
+        assert store.add_fact(f1) is not None
+        assert store.add_fact(f1) is None  # idempotent
+        store.add_fact(f2)
+        assert len(store) == 2
+        assert store.contains_fact(f1) and store.contains_fact(f2)
+        assert not store.contains_fact(R.fact("z", "z", "z"))
+        store.discard_fact(f1)
+        assert not store.contains_fact(f1) and store.contains_fact(f2)
+        assert len(store) == 1
+
+    def test_columns_stay_dense_under_swap_remove(self):
+        R = _schema_r()
+        store = ColumnarFactStore(table=InternTable())
+        facts = [R.fact(f"k{i}", f"v{i}", f"w{i}") for i in range(8)]
+        for fact in facts:
+            store.add_fact(fact)
+        rng = random.Random(3)
+        rng.shuffle(facts)
+        for fact in facts[:5]:
+            store.discard_fact(fact)
+        columns = store.relation_columns("R")
+        # Column arrays, row index, and block slices must agree exactly.
+        n = len(columns.row_index)
+        assert all(len(column) == n for column in columns.columns)
+        for row, position in columns.row_index.items():
+            assert tuple(column[position] for column in columns.columns) == row
+        remaining = {tuple(store.decode_row(r)) for r in store.relation_rows("R")}
+        assert remaining == {f.terms for f in facts[5:]}
+
+    def test_block_slices(self):
+        R = _schema_r()
+        store = ColumnarFactStore(table=InternTable())
+        a1, a2, b1 = R.fact("a", "1", "x"), R.fact("a", "2", "y"), R.fact("b", "1", "x")
+        for fact in (a1, a2, b1):
+            store.add_fact(fact)
+        key_a = (store.table.id_of(Constant("a")),)
+        assert {store.decode_row(r) for r in store.block_rows("R", key_a)} == {
+            a1.terms,
+            a2.terms,
+        }
+        assert store.block_rows("R", (10**6,)) == ()
+        assert store.block_rows("S", key_a) == ()
+
+    def test_block_ids_are_stable_across_empty_and_refill(self):
+        R = _schema_r()
+        store = ColumnarFactStore(table=InternTable())
+        fact = R.fact("a", "1", "x")
+        store.add_fact(fact)
+        bid = store.known_block_id("R", (Constant("a"),))
+        assert bid is not None
+        assert store.decode_block_key(bid) == ("R", (Constant("a"),))
+        store.discard_fact(fact)
+        # The id survives the block emptying out and is reused on refill.
+        assert store.known_block_id("R", (Constant("a"),)) == bid
+        store.add_fact(R.fact("a", "2", "z"))
+        assert store.known_block_id("R", (Constant("a"),)) == bid
+        assert store.known_block_id("R", (Constant("never-seen"),)) is None
+
+    def test_signature_conflict_rejected(self):
+        store = ColumnarFactStore(table=InternTable())
+        store.add_fact(RelationSchema("R", 2, 1).fact("a", "b"))
+        with pytest.raises(ValueError):
+            store.add_fact(RelationSchema("R", 2, 2).fact("a", "b"))
+
+    def test_snapshot_round_trip(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=1, domain_size=5, witnesses=6)
+        store = ColumnarFactStore(tuple(db.facts), table=InternTable())
+        snapshot = store.snapshot()
+        assert isinstance(snapshot, ColumnarSnapshot)
+        assert len(snapshot) == len(db)
+        assert set(snapshot.iter_facts()) == set(db.facts)
+        # The pickled wire format decodes identically.
+        shipped = pickle.loads(pickle.dumps(snapshot))
+        assert set(shipped.iter_facts()) == set(db.facts)
+        rebuilt = ColumnarFactStore.from_snapshot(shipped, table=InternTable())
+        assert {f for f in rebuilt.decode_facts()} == set(db.facts)
+
+    def test_snapshot_is_immutable_under_later_mutation(self):
+        R = _schema_r()
+        store = ColumnarFactStore(table=InternTable())
+        store.add_fact(R.fact("a", "1", "x"))
+        snapshot = store.snapshot()
+        store.add_fact(R.fact("b", "2", "y"))
+        store.discard_fact(R.fact("a", "1", "x"))
+        assert {f.terms for f in snapshot.iter_facts()} == {R.fact("a", "1", "x").terms}
+
+    def test_memory_stats(self):
+        R = _schema_r()
+        store = ColumnarFactStore(table=InternTable())
+        store.add_fact(R.fact("a", "1", "x"))
+        stats = store.memory_stats()
+        assert stats["facts"] == 1
+        assert stats["column_bytes"] == 3 * store.relation_columns("R").columns[0].itemsize
+
+
+# --------------------------------------------------------------------------------
+# Columnar index: FactIndex-compatible plus the store twin
+# --------------------------------------------------------------------------------
+
+
+class TestColumnarFactIndex:
+    def test_tracks_object_index_under_mutation_stream(self):
+        """Both representations stay consistent while observing mutations."""
+        query = open_variant(path_query(3), "x1")
+        for seed in range(3):
+            db = synthetic_instance(query, seed=seed, domain_size=5, witnesses=6)
+            reference = FactIndex(db.facts)
+            columnar = ColumnarFactIndex(db.facts)
+            db.register_observer(reference)
+            db.register_observer(columnar)
+            for batch in mutation_stream(
+                query, db, steps=25, seed=seed + 11, domain_size=5
+            ):
+                for op in batch:
+                    apply_mutation(db, op)
+            assert len(columnar) == len(reference) == len(db)
+            assert set(columnar) == set(reference)
+            for name in reference.relations():
+                assert set(columnar.relation(name)) == set(reference.relation(name))
+            store = columnar.store
+            assert len(store) == len(db)
+            assert set(store.decode_facts()) == set(db.facts)
+
+    def test_observer_aliases_hit_the_store(self):
+        """The observer protocol must rebind to the overridden add/discard."""
+        query, schema, db = _emp_dept()
+        index = ColumnarFactIndex(db.facts)
+        db.register_observer(index)
+        fact = schema["Emp"].fact("eve", "db")
+        db.add(fact)
+        assert fact in index and index.store.contains_fact(fact)
+        db.discard(fact)
+        assert fact not in index and not index.store.contains_fact(fact)
+
+
+def _emp_dept():
+    query = parse_query("Emp(name | dept), Dept(dept | city)", free=["name"])
+    schema = query.schema()
+    db = UncertainDatabase(
+        parse_facts(
+            [
+                "Emp('ada' | 'db')",
+                "Emp('bob' | 'os')",
+                "Emp('bob' | 'net')",
+                "Dept('db' | 'Mons')",
+                "Dept('os' | 'Mons')",
+                "Dept('net' | 'Paris')",
+            ],
+            schema=schema,
+        )
+    )
+    return query, schema, db
+
+
+# --------------------------------------------------------------------------------
+# Differential: columnar backend == object backend
+# --------------------------------------------------------------------------------
+
+
+def band_cases():
+    selfjoin = parse_query("R(x | 'c'), R(y | 'c')", free=["x", "y"])
+    return [
+        pytest.param(open_variant(path_query(3), "x1"), False, id="fo-band"),
+        pytest.param(path_query(2), False, id="fo-band-boolean"),
+        pytest.param(open_variant(figure4_query(), "x"), False, id="ptime-not-fo"),
+        pytest.param(open_variant(figure2_q1(), "z"), True, id="conp-band"),
+        pytest.param(selfjoin, True, id="self-join-per-grounding"),
+    ]
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("query,allow", band_cases())
+    def test_certain_answers_agree(self, query, allow):
+        for seed in range(4):
+            db = synthetic_instance(
+                query, seed=seed, domain_size=4, witnesses=5, conflict_rate=0.5
+            )
+            with CertaintySession(db, backend="object", allow_exponential=allow) as ref:
+                with CertaintySession(
+                    db, backend="columnar", allow_exponential=allow
+                ) as col:
+                    if query.is_boolean:
+                        assert ref.is_certain(query) == col.is_certain(query)
+                    else:
+                        assert ref.certain_answers(query) == col.certain_answers(query)
+                        assert ref.candidate_answers(query) == col.candidate_answers(
+                            query
+                        )
+
+    def test_batched_decide_matches_per_candidate_loop(self):
+        query = open_variant(path_query(3), "x1")
+        for seed in range(4):
+            db = synthetic_instance(
+                query, seed=seed, domain_size=5, witnesses=8, conflict_rate=0.6
+            )
+            with CertaintySession(db) as session:
+                plan = session.plan_for(query)
+                assert plan.batched_fo
+                candidates = session.candidate_answers(query)
+                batched = session.decide_candidates(query, candidates)
+                support = {}  # forces the per-candidate instrumented loop
+                per_candidate = session.decide_candidates(
+                    query, candidates, support=support
+                )
+                assert batched == per_candidate
+                assert set(support) == set(candidates)
+
+    def test_batched_decide_preserves_input_order(self):
+        query, schema, db = _emp_dept()
+        with CertaintySession(db) as session:
+            candidates = list(reversed(session.candidate_answers(query)))
+            decided = session.decide_candidates(query, candidates)
+            assert decided  # ada and bob are certain in the quickstart db
+            positions = [candidates.index(c) for c in decided]
+            assert positions == sorted(positions)
+
+    def test_purify_sweeps_agree(self):
+        from repro.certainty import purify
+
+        query = path_query(3)
+        for seed in range(4):
+            db = synthetic_instance(
+                query, seed=seed, domain_size=4, witnesses=4, conflict_rate=0.5
+            )
+            obj = purify(db, query, index=FactIndex(db.facts))
+            col = purify(db, query, index=ColumnarFactIndex(db.facts))
+            assert set(obj.facts) == set(col.facts)
+
+    def test_stale_block_keys_matches_object_definition(self):
+        from repro.certainty.purify import relevant_facts
+
+        query = path_query(2)
+        for seed in range(4):
+            db = synthetic_instance(query, seed=seed, domain_size=4, witnesses=3)
+            index = ColumnarFactIndex(db.facts)
+            used = relevant_facts(db, query, FactIndex(db.facts))
+            expected = {f.block_key for f in db.facts if f not in used}
+            assert set(stale_block_keys(query, index.store)) == expected
+
+    def test_formula_evaluation_agrees_on_equality_and_negation(self):
+        from repro.fo.compile import compile_formula
+        from repro.fo.formulas import And, AtomFormula, Equals, Exists, Not
+
+        R = RelationSchema("R", 2, 1)
+        x, y = Variable("x"), Variable("y")
+        formula = Exists(
+            [x, y],
+            And(
+                [
+                    AtomFormula(R.atom(x, y)),
+                    Not(Equals(x, Constant("a"))),
+                ]
+            ),
+        )
+        plan = compile_formula(formula)
+        rng = random.Random(0)
+        for _ in range(20):
+            db = UncertainDatabase()
+            for _ in range(6):
+                db.add(R.fact(rng.choice("abc"), rng.choice("abc")))
+            obj = plan.evaluate(db, index=FactIndex(db.facts))
+            col = plan.evaluate(db, index=ColumnarFactIndex(db.facts))
+            assert obj == col
+
+
+# --------------------------------------------------------------------------------
+# Parallel: columnar snapshots across process boundaries
+# --------------------------------------------------------------------------------
+
+
+class TestColumnarParallel:
+    def test_process_pool_matches_sequential_with_columnar_snapshot(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=2, domain_size=6, witnesses=12)
+        with CertaintySession(db) as sequential:
+            expected = sequential.certain_answers(query)
+        with ParallelCertaintySession(
+            db, max_workers=2, mode="process", min_parallel_candidates=1
+        ) as parallel:
+            assert parallel._inner.store is not None  # snapshot path active
+            assert parallel.certain_answers(query) == expected
+
+    def test_worker_read_sets_come_back_portable(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=4, domain_size=6, witnesses=12)
+        with ParallelCertaintySession(
+            db, max_workers=2, mode="process", min_parallel_candidates=1
+        ) as parallel:
+            candidates = parallel._inner.candidate_answers(query)
+            support = {}
+            parallel.decide_candidates(query, candidates, support=support)
+        assert set(support) == set(candidates)
+        for read_set in support.values():
+            # Worker-local block ids must never leak across the boundary.
+            assert not read_set.block_ids
+            if not read_set.is_global:
+                assert read_set.blocks or read_set.relations
+
+    def test_snapshot_pickle_is_smaller_than_fact_graph(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=5, domain_size=6, witnesses=40)
+        store = ColumnarFactStore(tuple(db.facts), table=InternTable())
+        object_bytes = len(pickle.dumps(db.facts))
+        columnar_bytes = len(pickle.dumps(store.snapshot()))
+        assert columnar_bytes < object_bytes
