@@ -1,6 +1,6 @@
 """Emit benchmark JSON reports recording the engine's performance trajectory.
 
-Three suites:
+Five suites:
 
 ``fo_rewriting`` (default) → ``BENCH_fo_rewriting.json``
     Times the certain first-order rewriting of Theorem 1 under the two
@@ -45,6 +45,18 @@ Three suites:
     the recorded speedups regressing more than 2× versus the committed
     baseline.
 
+``all_bands`` → ``BENCH_all_bands.json``
+    Times the columnar id kernels against the object reference path on one
+    workload per complexity band of the trichotomy: the FO band (compiled
+    rewriting on an open path query), the PTIME-not-FO band (Theorem 3
+    terminal-cycle recursion on the Figure 4 query), the PTIME cycle-query
+    band (Theorem 4 on ``C(3)`` ring instances), and the coNP band (the
+    pruned brute-force repair search on Figure 2's ``q1`` over gadget
+    instances whose conflicts live only in ``T``, keeping the search tree
+    linear on both backends).  Every size asserts in-run that the two
+    backends return identical verdicts/answer sets before any timing is
+    recorded.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full sizes
@@ -74,8 +86,10 @@ from repro.model.database import UncertainDatabase
 from repro.model.symbols import Variable
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.evaluation import answer_tuples
-from repro.query.families import path_query
+from repro.query.families import figure2_q1, figure4_query, path_query
 from repro.store import global_intern_table
+from repro.workloads import synthetic_instance
+from repro.workloads.instances import ring_instance
 
 #: Default scaling sizes (active-domain size n; facts grow linearly in n).
 FULL_SIZES = (8, 16, 32, 64, 96)
@@ -466,6 +480,238 @@ def run_columnar_benchmark(
     }
 
 
+#: Scale parameter per band for the all_bands suite (chains / planted
+#: witnesses / ring copies / conflict gadgets, depending on the band).  The
+#: smoke sizes are a prefix of the full sizes so the committed baseline
+#: always covers the sizes the CI regression guard compares against.
+ALL_BANDS_FULL_SIZES = (8, 16, 64, 256)
+ALL_BANDS_SMOKE_SIZES = (8, 16)
+
+
+def figure4_band_instance(size: int, seed: int = 31) -> UncertainDatabase:
+    """A scaling instance for the Figure 4 query (PTIME-not-FO band)."""
+    return synthetic_instance(
+        figure4_query(),
+        seed=seed,
+        domain_size=2 * size,
+        witnesses=size,
+        noise_per_relation=size,
+        conflict_rate=0.4,
+    )
+
+
+def conp_band_instance(gadgets: int, falsifiable: bool = True) -> UncertainDatabase:
+    """A Figure 2 ``q1`` instance with all conflicts confined to ``T``.
+
+    Each gadget plants one witness whose ``R``/``S``/``P`` blocks are
+    singletons; only its ``T`` block carries a conflicting claim
+    ``T(x_i, w_i)`` with no matching ``S`` row, so choosing it breaks the
+    gadget's witness.  The repair search therefore walks forced singleton
+    choices followed by one binary choice per ``T`` block, and its pruning
+    (a branch with a completed witness can never falsify) makes the tree
+    *linear* in the gadget count on both backends — the falsifying repair
+    picks the bad claim in every ``T`` block.
+
+    With ``falsifiable=False`` an unbreakable witness over ``.``-prefixed
+    constants is inserted first: its names sort before every gadget name
+    (``.`` < digits) and its constants intern first, so both the object
+    path's string-ordered and the columnar path's id-ordered block sweeps
+    decide its singleton blocks first, complete the witness, and prune
+    every branch immediately — the certain verdict is also linear.
+    """
+    query = figure2_q1()
+    schema = {atom.relation.name: atom.relation for atom in query.atoms}
+    r, s, t, p = schema["R"], schema["S"], schema["T"], schema["P"]
+    db = UncertainDatabase()
+    if not falsifiable:
+        db.add(r.fact(".u", "a", ".x"))
+        db.add(s.fact(".y", ".x", ".z"))
+        db.add(t.fact(".x", ".y"))
+        db.add(p.fact(".x", ".z"))
+    for i in range(gadgets):
+        u, x, y, z = (f"{prefix}{i:06d}" for prefix in "uxyz")
+        db.add(r.fact(u, "a", x))
+        db.add(s.fact(y, x, z))
+        db.add(t.fact(x, y))
+        db.add(t.fact(x, f"w{i:06d}"))  # conflicting claim; no S row keys w
+        db.add(p.fact(x, z))
+    return db
+
+
+def _time_backends(
+    query: ConjunctiveQuery,
+    db: UncertainDatabase,
+    repeats: int,
+    allow_exponential: bool = False,
+) -> Dict:
+    """Decide *query* on both backends, assert identity, time best-of-*repeats*."""
+    row: Dict = {"facts": len(db)}
+    with CertaintySession(
+        db, backend="object", allow_exponential=allow_exponential
+    ) as object_session:
+        with CertaintySession(
+            db, backend="columnar", allow_exponential=allow_exponential
+        ) as columnar_session:
+            if query.is_boolean:
+                object_result = object_session.is_certain(query)
+                columnar_result = columnar_session.is_certain(query)
+                object_run = lambda: object_session.is_certain(query)  # noqa: E731
+                columnar_run = lambda: columnar_session.is_certain(query)  # noqa: E731
+                row["certain"] = columnar_result
+            else:
+                object_result = object_session.certain_answers(query)
+                columnar_result = columnar_session.certain_answers(query)
+                object_run = lambda: object_session.certain_answers(query)  # noqa: E731
+                columnar_run = lambda: columnar_session.certain_answers(query)  # noqa: E731
+                row["certain_answers"] = len(columnar_result)
+            agree = object_result == columnar_result
+            assert agree, f"backends disagree on {query}"
+            row["agree"] = agree
+            object_seconds = _best_of(repeats, object_run)
+            columnar_seconds = _best_of(repeats, columnar_run)
+    row["object_seconds"] = object_seconds
+    row["columnar_seconds"] = columnar_seconds
+    row["speedup_vs_object"] = (
+        object_seconds / columnar_seconds if columnar_seconds else None
+    )
+    return row
+
+
+def run_all_bands_benchmark(
+    sizes: Sequence[int], repeats: int = 3, seed: int = 13
+) -> Dict:
+    """Columnar vs object path, one workload per band, identity-checked.
+
+    Every (band, size) cell decides the same database on both backends and
+    asserts the verdicts/answer sets are identical before timing, so a
+    kernel bug in any band can never masquerade as a speedup.
+    """
+    # The coNP repair search recurses one frame per relevant block; the
+    # gadget instances keep the tree linear but still ~5 blocks deep per
+    # gadget, so 256 gadgets need more than CPython's default 1000 frames.
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 50_000))
+
+    bands: List[Dict] = []
+
+    fo_query = parallel_bench_query()
+    fo_rows = [
+        {"size": size, **_time_backends(
+            fo_query, parallel_bench_instance(fo_query, size, seed=seed), repeats
+        )}
+        for size in sizes
+    ]
+    bands.append(
+        {
+            "band": "fo",
+            "method": "fo-rewriting",
+            "query": str(fo_query),
+            "results": fo_rows,
+        }
+    )
+
+    fig4 = figure4_query()
+    fig4_rows = [
+        {"size": size, **_time_backends(fig4, figure4_band_instance(size), repeats)}
+        for size in sizes
+    ]
+    bands.append(
+        {
+            "band": "ptime_not_fo",
+            "method": "theorem3-terminal-cycles",
+            "query": str(fig4),
+            "results": fig4_rows,
+        }
+    )
+
+    cycle_rows = []
+    for size in sizes:
+        cycle_query, cycle_db = ring_instance(
+            3, copies=size, chords=max(2, size // 4), with_sk=False, seed=7
+        )
+        cycle_rows.append(
+            {"size": size, **_time_backends(cycle_query, cycle_db, repeats)}
+        )
+    bands.append(
+        {
+            "band": "ptime_cycle_query",
+            "method": "theorem4-cycle-query",
+            "query": str(cycle_query),
+            "results": cycle_rows,
+        }
+    )
+
+    q1 = figure2_q1()
+    conp_rows = []
+    for size in sizes:
+        row = {
+            "size": size,
+            **_time_backends(
+                q1, conp_band_instance(size), repeats, allow_exponential=True
+            ),
+        }
+        # Cross-check the certain variant too (untimed): the unbreakable
+        # witness must yield True on both backends via immediate pruning.
+        certain_db = conp_band_instance(size, falsifiable=False)
+        with CertaintySession(
+            certain_db, backend="object", allow_exponential=True
+        ) as object_session:
+            with CertaintySession(
+                certain_db, backend="columnar", allow_exponential=True
+            ) as columnar_session:
+                object_verdict = object_session.is_certain(q1)
+                columnar_verdict = columnar_session.is_certain(q1)
+        assert object_verdict and columnar_verdict, "certain variant must be certain"
+        row["certain_variant_agree"] = object_verdict == columnar_verdict
+        conp_rows.append(row)
+    bands.append(
+        {
+            "band": "conp",
+            "method": "brute-force",
+            "query": str(q1),
+            "results": conp_rows,
+        }
+    )
+
+    for band in bands:
+        band["all_agree"] = all(r["agree"] for r in band["results"])
+        band["largest_size_speedup"] = (
+            band["results"][-1]["speedup_vs_object"] if band["results"] else None
+        )
+    return {
+        "benchmark": "all_bands",
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "bands": bands,
+        "all_agree": all(band["all_agree"] for band in bands),
+    }
+
+
+def _emit_all_bands(args: argparse.Namespace, output: pathlib.Path) -> int:
+    if args.sizes:
+        sizes: Sequence[int] = args.sizes
+    else:
+        sizes = ALL_BANDS_SMOKE_SIZES if args.smoke else ALL_BANDS_FULL_SIZES
+    # Always best-of-3: the CI regression guard compares speedup ratios
+    # against the committed baseline, and single samples are too noisy.
+    report = run_all_bands_benchmark(sizes, repeats=3)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    for band in report["bands"]:
+        print(f"[{band['band']}] {band['method']}")
+        for row in band["results"]:
+            verdict = row.get("certain", row.get("certain_answers"))
+            print(
+                f"  size={row['size']:5d} facts={row['facts']:6d} "
+                f"result={verdict!s:5s} object={row['object_seconds']:.4f}s "
+                f"columnar={row['columnar_seconds']:.4f}s "
+                f"speedup={row['speedup_vs_object']:.1f}x"
+            )
+    print(f"wrote {output}")
+    if not report["all_agree"]:
+        print("ERROR: columnar and object backends disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _emit_columnar_store(args: argparse.Namespace, output: pathlib.Path) -> int:
     if args.sizes:
         sizes: Sequence[int] = args.sizes
@@ -586,6 +832,7 @@ _DEFAULT_OUTPUTS = {
     "parallel_answers": "BENCH_parallel_answers.json",
     "incremental_views": "BENCH_incremental_views.json",
     "columnar_store": "BENCH_columnar_store.json",
+    "all_bands": "BENCH_all_bands.json",
 }
 
 
@@ -598,6 +845,7 @@ def main(argv: Sequence[str] = ()) -> int:
             "parallel_answers",
             "incremental_views",
             "columnar_store",
+            "all_bands",
         ),
         default="fo_rewriting",
         help="which benchmark suite to run",
@@ -631,6 +879,8 @@ def main(argv: Sequence[str] = ()) -> int:
         return _emit_incremental_views(args, output)
     if args.suite == "columnar_store":
         return _emit_columnar_store(args, output)
+    if args.suite == "all_bands":
+        return _emit_all_bands(args, output)
     return _emit_fo_rewriting(args, output)
 
 

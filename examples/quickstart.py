@@ -149,6 +149,41 @@ def main() -> None:
                   session.certain_answers(open_query)
                   == reference.certain_answers(open_query))
 
+    # 9. Every band on the id kernels: the columnar backend is not limited
+    #    to the FO band.  The Theorem 3 terminal-cycle recursion, the
+    #    Theorem 4 cycle-query solver and the coNP brute-force repair
+    #    search all dispatch to id-space twins when the session index is
+    #    columnar — partitioning, pair-purification, fact-graph
+    #    construction and the pruned repair search run on integer rows,
+    #    and purification threads columnar indexes through arbitrarily
+    #    deep residual recursions.  Every solver also records *static*
+    #    per-atom support (blocks, key masks, or whole relations), so
+    #    materialized views stay fine-grained on every band: a mutation
+    #    outside a decision's support never forces a band-opaque full
+    #    refresh.  Sessions additionally memoise candidate enumeration,
+    #    keyed on the database's mutation_version — a counter that bumps
+    #    on every effective mutation (once per batch), giving a one-int
+    #    staleness check.  BENCH_all_bands.json records the per-band
+    #    speedups, with in-run identity checks against backend="object".
+    from repro.query import figure4_query
+    from repro.workloads import synthetic_instance
+
+    ptime_query = figure4_query()          # all attack cycles weak+terminal
+    ptime_db = synthetic_instance(ptime_query, seed=1, witnesses=4)
+    with CertaintySession(ptime_db) as session:        # columnar id kernels
+        outcome = session.solve(ptime_query)
+        print("\nPTIME band on ids:", outcome.method,  # theorem3-terminal-cycles
+              "->", outcome.certain)
+        version = ptime_db.mutation_version
+        session.candidate_answers(ptime_query)         # memoised at `version`
+        ptime_db.add(next(iter(ptime_db.facts)))       # no-op: version unchanged
+        print("mutation_version:", version, "->", ptime_db.mutation_version)
+    with ViewManager(ptime_db) as manager:
+        manager.register(ptime_query)
+        with ptime_db.batch():                         # version bumps once
+            ptime_db.add(ptime_query.atoms[0].relation.fact("w1", "w2"))
+        print("full-refresh causes:", manager.full_refresh_causes())
+
 
 if __name__ == "__main__":
     main()

@@ -15,8 +15,11 @@ from .purify import (
     is_purified,
     purify,
     purify_copy_count,
+    purify_index_build_counts,
+    purify_with_index,
     relevant_facts,
     reset_purify_copy_count,
+    reset_purify_index_build_counts,
 )
 from .reductions import Theorem2Reduction, theorem2_reduction
 from .rewriting import certain_fo, certain_fo_rewriting, is_fo_expressible
@@ -50,8 +53,11 @@ __all__ = [
     "peel_certain",
     "purify",
     "purify_copy_count",
+    "purify_index_build_counts",
+    "purify_with_index",
     "relevant_facts",
     "reset_purify_copy_count",
+    "reset_purify_index_build_counts",
     "solve",
     "theorem2_reduction",
 ]

@@ -33,6 +33,8 @@ from ..model.database import BlockKey, UncertainDatabase
 from ..model.repairs import enumerate_repairs
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import satisfies, witnesses
+from ..store.columnar import ColumnarFactStore, IntKey, IntRow
+from ..store.kernels import witness_row_sets
 from .context import SolverContext
 
 
@@ -76,11 +78,17 @@ def brute_force_with_certificate(
     """Decide certainty and, when the answer is "no", exhibit a falsifying repair.
 
     *context*, when given, supplies a shared fact index over *db* so the
-    witness computation avoids re-indexing the database.
+    witness computation avoids re-indexing the database.  When that index
+    is columnar, the witness computation and the entire repair search run
+    on id-rows (:func:`_brute_force_ids`); the falsifying certificate is
+    decoded back to fact objects only on a "no" answer.
     """
     if query.is_empty:
         return BruteForceResult(True, None)
     shared_index = context.index_for(db) if context is not None else None
+    store = getattr(shared_index, "store", None)
+    if store is not None:
+        return _brute_force_ids(db, query, store)
     witness_sets = witnesses(query, shared_index if shared_index is not None else db.facts)
     if not witness_sets:
         # No repair can satisfy the query; any repair falsifies it.
@@ -168,5 +176,119 @@ def brute_force_with_certificate(
     for block in db.blocks():
         key = next(iter(block)).block_key
         if key not in partial:
+            repair.add(sorted(block, key=str)[0])
+    return BruteForceResult(False, frozenset(repair))
+
+
+def _brute_force_ids(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    store: ColumnarFactStore,
+) -> BruteForceResult:
+    """The pruned repair search over the columnar store's id-rows.
+
+    Same search tree and pruning as the object path, but witnesses are
+    frozensets of ``(name, id-row)`` pairs, blocks are ``(name, key ids)``
+    and per-block choices iterate the store's block slices — no fact objects
+    are touched until a falsifying certificate must be decoded.
+    """
+    witness_sets = witness_row_sets(query, store)
+    if not witness_sets:
+        # No repair can satisfy the query; any repair falsifies it.
+        return BruteForceResult(False, next(enumerate_repairs(db)))
+
+    _BlockId = Tuple[str, IntKey]
+    key_sizes: Dict[str, int] = {}
+
+    def block_of(name: str, row: IntRow) -> _BlockId:
+        key_size = key_sizes.get(name)
+        if key_size is None:
+            key_size = store.relation_columns(name).schema.key_size  # type: ignore[union-attr]
+            key_sizes[name] = key_size
+        return (name, row[:key_size])
+
+    # Blocks that contain at least one row used by some witness.
+    relevant_blocks: List[_BlockId] = []
+    seen_blocks: Set[_BlockId] = set()
+    for witness in witness_sets:
+        for name, row in witness:
+            block = block_of(name, row)
+            if block not in seen_blocks:
+                seen_blocks.add(block)
+                relevant_blocks.append(block)
+    relevant_blocks.sort()
+
+    choice: Dict[_BlockId, IntRow] = {}
+
+    # Identical incremental bookkeeping to the object path, on int tuples.
+    block_witnesses: Dict[_BlockId, List[Tuple[int, List[IntRow]]]] = {}
+    undecided: List[int] = []
+    broken: List[int] = []
+    for w_index, witness in enumerate(witness_sets):
+        per_block: Dict[_BlockId, List[IntRow]] = {}
+        for name, row in witness:
+            per_block.setdefault(block_of(name, row), []).append(row)
+        undecided.append(len(per_block))
+        broken.append(0)
+        for key, rows in per_block.items():
+            block_witnesses.setdefault(key, []).append((w_index, rows))
+
+    total = len(witness_sets)
+    num_broken = 0  # witnesses with broken[w] > 0
+    num_complete = 0  # witnesses with broken[w] == 0 and undecided[w] == 0
+
+    def choose(block: _BlockId, chosen: IntRow) -> None:
+        nonlocal num_broken, num_complete
+        for w_index, rows in block_witnesses.get(block, ()):
+            undecided[w_index] -= 1
+            if any(row != chosen for row in rows):
+                broken[w_index] += 1
+                if broken[w_index] == 1:
+                    num_broken += 1
+            elif undecided[w_index] == 0 and broken[w_index] == 0:
+                num_complete += 1
+
+    def unchoose(block: _BlockId, chosen: IntRow) -> None:
+        nonlocal num_broken, num_complete
+        for w_index, rows in block_witnesses.get(block, ()):
+            if any(row != chosen for row in rows):
+                broken[w_index] -= 1
+                if broken[w_index] == 0:
+                    num_broken -= 1
+            elif undecided[w_index] == 0 and broken[w_index] == 0:
+                num_complete -= 1
+            undecided[w_index] += 1
+
+    def search(position: int) -> Optional[Dict[_BlockId, IntRow]]:
+        if num_complete:
+            return None  # some witness fully selected: this branch satisfies q
+        if num_broken == total:
+            return dict(choice)  # every witness destroyed: falsifying repair found
+        if position == len(relevant_blocks):
+            return dict(choice)
+        block = relevant_blocks[position]
+        for row in sorted(store.block_rows(*block)):
+            choice[block] = row
+            choose(block, row)
+            found = search(position + 1)
+            if found is not None:
+                return found
+            unchoose(block, row)
+            del choice[block]
+        return None
+
+    partial = search(0)
+    if partial is None:
+        return BruteForceResult(True, None)
+    # Decode the partial choice and extend it to a full repair.
+    repair: Set[Fact] = set()
+    decoded_keys: Set[BlockKey] = set()
+    for (name, key), row in partial.items():
+        schema = store.relation_columns(name).schema  # type: ignore[union-attr]
+        repair.add(Fact(schema, store.decode_row(row)))
+        decoded_keys.add((name, store.table.decode(key)))
+    for block in db.blocks():
+        block_key = next(iter(block)).block_key
+        if block_key not in decoded_keys:
             repair.add(sorted(block, key=str)[0])
     return BruteForceResult(False, frozenset(repair))

@@ -32,11 +32,14 @@ from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.families import CycleQueryShape, cycle_query_shape
+from ..store.columnar import ColumnarFactStore
 from .context import SolverContext
 from .exceptions import UnsupportedQueryError
-from .purify import purify
+from .purify import purify_with_index
 
-#: Graph vertex: (ring position starting at 0, constant).
+#: Graph vertex: (ring position starting at 0, constant).  The columnar
+#: path uses (position, term id) instead — every algorithm below is generic
+#: over hashable, str-sortable vertices.
 _Node = Tuple[int, Constant]
 
 
@@ -53,10 +56,14 @@ def certain_cycle_query(
     shape = context.cycle_shape(query) if context is not None else cycle_query_shape(query)
     if shape is None:
         raise UnsupportedQueryError(f"{query} is not of the C(k)/AC(k) shape of Definition 8")
-    purified = purify(db, query, index=context.index_for(db) if context is not None else None)
+    purified, purified_index = purify_with_index(
+        db, query, index=context.index_for(db) if context is not None else None
+    )
     if not purified:
         return False
-    graph = _FactGraph(purified, shape)
+    # On the columnar backend the purified index carries a store over the
+    # purified facts; the fact graph is then built straight from id-rows.
+    graph = _FactGraph(purified, shape, store=getattr(purified_index, "store", None))
     components = graph.strongly_connected_components()
     for component in components:
         if not graph.component_falsifiable(component):
@@ -67,10 +74,35 @@ def certain_cycle_query(
 class _FactGraph:
     """The k-partite fact graph of Theorem 4, with per-component decisions."""
 
-    def __init__(self, db: UncertainDatabase, shape: CycleQueryShape) -> None:
+    def __init__(
+        self,
+        db: UncertainDatabase,
+        shape: CycleQueryShape,
+        store: Optional[ColumnarFactStore] = None,
+    ) -> None:
         self.shape = shape
         self.k = shape.k
         self.adjacency: Dict[_Node, Set[_Node]] = defaultdict(set)
+        self.witness_cycles: Optional[Set[Tuple[_Node, ...]]] = None
+        if store is not None:
+            # Columnar path: vertices are (position, term id) and the whole
+            # graph is assembled from the store's id-rows without decoding.
+            for position, atom in enumerate(shape.ring_atoms):
+                for row in store.relation_rows(atom.relation.name):
+                    source = (position, row[0])
+                    target = ((position + 1) % self.k, row[1])
+                    self.adjacency[source].add(target)
+                    self.adjacency.setdefault(target, set())
+            if shape.sk_atom is not None:
+                self.witness_cycles = set()
+                for row in store.relation_rows(shape.sk_atom.relation.name):
+                    values = dict(zip(shape.sk_atom.terms, row))
+                    nodes = tuple(
+                        (position, values[variable])
+                        for position, variable in enumerate(shape.variables)
+                    )
+                    self.witness_cycles.add(nodes)
+            return
         for position, atom in enumerate(shape.ring_atoms):
             for fact in db.relation_facts(atom.relation.name):
                 source_value, target_value = fact.terms
@@ -78,7 +110,6 @@ class _FactGraph:
                 target: _Node = ((position + 1) % self.k, target_value)
                 self.adjacency[source].add(target)
                 self.adjacency.setdefault(target, set())
-        self.witness_cycles: Optional[Set[Tuple[_Node, ...]]] = None
         if shape.sk_atom is not None:
             self.witness_cycles = set()
             for fact in db.relation_facts(shape.sk_atom.relation.name):

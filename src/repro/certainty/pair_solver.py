@@ -43,11 +43,15 @@ from ..model.atoms import Atom, Fact
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant, is_constant
 from ..query.conjunctive import ConjunctiveQuery
+from ..store.columnar import ColumnarFactStore, IntKey, IntRow
+from ..store.kernels import AtomMatcher
 from .exceptions import IntractableQueryError, UnsupportedQueryError
 from .peeling import match_full_atom, peel_certain, empty_base_case
 from .purify import purify
 
-#: Vertex of the block digraph: (side, key constants) where side is "F" or "G".
+#: Vertex of the block digraph: (side, key constants) where side is "F" or
+#: "G"; the id-space path uses key id-tuples instead of constants (every
+#: algorithm below is generic over hashable, str-sortable vertices).
 _Node = Tuple[str, Tuple[Constant, ...]]
 
 
@@ -108,6 +112,99 @@ def certain_weak_cycle_pair(db: UncertainDatabase, query: ConjunctiveQuery) -> b
         if len(component) < 2:
             # An isolated vertex cannot appear: every edge lies on a 2-cycle
             # after purification.  Treat it defensively as non-falsifiable.
+            return True
+        if not _component_falsifiable(component, edges, adjacency):
+            return True
+    return False
+
+
+def certain_weak_cycle_pair_rows(
+    store: ColumnarFactStore,
+    query: ConjunctiveQuery,
+    first_rows: Sequence[IntRow],
+    second_rows: Sequence[IntRow],
+) -> bool:
+    """Id-space twin of :func:`certain_weak_cycle_pair` over columnar rows.
+
+    *first_rows* / *second_rows* are the id-rows (drawn from *store*) over
+    the relations of the query's two atoms; the Theorem 3 base case hands in
+    one partition at a time.  Pair purification, block-digraph construction
+    and the per-component decision all run on int tuples — nothing is
+    decoded back into fact objects.
+    """
+    if not is_two_atom_query(query):
+        raise UnsupportedQueryError("certain_weak_cycle_pair_rows expects exactly two atoms")
+    first, second = query.atoms
+    for one, other in ((first, second), (second, first)):
+        if not one.key_variables.issubset(other.variables):
+            raise UnsupportedQueryError(
+                f"key({one}) is not contained in vars({other}); "
+                "the query does not have a weak attack cycle"
+            )
+    shared = sorted(first.variables & second.variables, key=lambda v: v.name)
+    key_vars = first.key_variables | second.key_variables
+    extra = sorted(set(shared) - key_vars, key=lambda v: v.name)
+
+    atoms = (first, second)
+    matchers = (AtomMatcher(first, store), AtomMatcher(second, store))
+    blocks: Tuple[Dict[IntKey, List[IntRow]], ...] = ({}, {})
+    for side, rows in enumerate((first_rows, second_rows)):
+        key_size = atoms[side].relation.key_size
+        matcher = matchers[side]
+        side_blocks = blocks[side]
+        for row in rows:
+            if not matcher.match(row):
+                continue  # cannot happen on a purified database
+            side_blocks.setdefault(row[:key_size], []).append(row)
+
+    # Pair purification (Lemma 1) in id space: a row lies on a witness iff
+    # its shared-variable id vector occurs on the other side; a block with a
+    # stale row is dropped whole, and removals cascade to a fixpoint.
+    while True:
+        vectors = tuple(
+            {
+                matchers[side].values(row, shared)
+                for rows in blocks[side].values()
+                for row in rows
+            }
+            for side in (0, 1)
+        )
+        stale = False
+        for side in (0, 1):
+            partner_vectors = vectors[1 - side]
+            matcher = matchers[side]
+            dead = [
+                key
+                for key, rows in blocks[side].items()
+                if any(matcher.values(row, shared) not in partner_vectors for row in rows)
+            ]
+            for key in dead:
+                del blocks[side][key]
+                stale = True
+        if not stale:
+            break
+    if not blocks[0] or not blocks[1]:
+        return False
+
+    # Same block digraph as `_build_block_graph`, on id-tuple vertices.
+    edges: List[_Edge] = []
+    adjacency: Dict[_Node, Set[_Node]] = defaultdict(set)
+    tags = ("F", "G")
+    for side in (0, 1):
+        matcher = matchers[side]
+        partner = atoms[1 - side]
+        own_tag, partner_tag = tags[side], tags[1 - side]
+        for key, rows in blocks[side].items():
+            source: _Node = (own_tag, key)
+            for row in rows:
+                target: _Node = (partner_tag, matcher.project(row, partner.key_terms))
+                label = matcher.values(row, extra)
+                edges.append(_Edge(source, target, label, row))
+                adjacency[source].add(target)
+                adjacency.setdefault(target, set())
+
+    for component in _strongly_connected_components(adjacency):
+        if len(component) < 2:
             return True
         if not _component_falsifiable(component, edges, adjacency):
             return True

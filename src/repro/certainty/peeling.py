@@ -39,11 +39,16 @@ from ..query.evaluation import FactIndex
 from ..query.substitution import substitute_atom, substitute_query
 from .context import SolverContext
 from .exceptions import UnsupportedQueryError
-from .purify import purify
+from .purify import purify_with_index
 
 #: A base-case handler decides certainty for a (purified) database and a
-#: query whose attack graph has no unattacked atom.
-BaseCaseHandler = Callable[[UncertainDatabase, ConjunctiveQuery, AttackGraph], bool]
+#: query whose attack graph has no unattacked atom.  The final argument is
+#: an up-to-date fact index over the database (``None`` when the recursion
+#: had none to thread); columnar-aware handlers read its ``store`` to run
+#: on id-rows.
+BaseCaseHandler = Callable[
+    [UncertainDatabase, ConjunctiveQuery, AttackGraph, Optional[FactIndex]], bool
+]
 
 
 def match_key_pattern(atom: Atom, key_values: Sequence[Constant]) -> Optional[Dict[Variable, Constant]]:
@@ -93,43 +98,49 @@ def peel_certain(
     base_case: BaseCaseHandler,
     _purified: bool = False,
     context: Optional[SolverContext] = None,
+    index: Optional[FactIndex] = None,
 ) -> bool:
     """Decide ``db ∈ CERTAINTY(q)`` by the unattacked-atom recursion.
 
     *base_case* is invoked when the attack graph of the (residual) query has
     no unattacked atom; it receives the purified database, the residual
-    query, and its attack graph.  *context*, when given, supplies memoised
-    attack graphs (residual queries repeat across blocks) and a shared fact
-    index for the initial purification.
+    query, its attack graph, and a covering fact index.  *context*, when
+    given, supplies memoised attack graphs (residual queries repeat across
+    blocks) and a shared fact index for the initial purification.  *index*,
+    when given, must cover exactly the facts of *db*: the recursion threads
+    the indexes returned by :func:`purify_with_index` through its residual
+    calls, so deep recursions never rebuild an index over an unchanged
+    database — and sessions on the columnar backend keep id-space purify
+    sweeps at every level.
     """
     if query.has_self_join:
         raise UnsupportedQueryError("the peeling recursion requires a self-join-free query")
     if query.is_empty:
         return True
-    shared_index = context.index_for(db) if context is not None else None
-    if _purified:
-        current = db
+    if index is not None:
+        shared_index = index
     else:
-        current = purify(db, query, index=shared_index)
+        shared_index = context.index_for(db) if context is not None else None
+    if _purified:
+        current, current_index = db, shared_index
+    else:
+        current, current_index = purify_with_index(db, query, index=shared_index)
     if not current:
         return False
 
     graph = context.attack_graph(query) if context is not None else AttackGraph(query)
     unattacked = graph.unattacked_atoms()
     if not unattacked:
-        return base_case(current, query, graph)
+        return base_case(current, query, graph, current_index)
 
-    # One index per recursion level: reused by every per-block re-purification
-    # below (purify never mutates a caller-supplied index).  When purify took
-    # its zero-copy fast path the context's shared index still covers it.
-    # Built only on branching levels — base-case levels never purify again.
-    # The level index keeps the shared index's backend, so sessions on the
+    # One index per recursion level: `purify_with_index` returned (or was
+    # handed) an index covering `current`, and purify never mutates a
+    # caller-supplied index, so every per-block re-purification below can
+    # share it.  The index keeps the caller's backend, so sessions on the
     # columnar backend sweep block-id arrays throughout the recursion.
-    if current is db and shared_index is not None:
-        level_index = shared_index
-    else:
-        index_cls = type(shared_index) if shared_index is not None else FactIndex
-        level_index = index_cls(current.facts)
+    if current_index is None:
+        current_index = FactIndex(current.facts)
+    level_index = current_index
 
     # Deterministically pick the unattacked atom with the fewest key variables
     # (cheapest branching), breaking ties by string representation.
@@ -146,7 +157,9 @@ def peel_certain(
             continue
         grounded_query = substitute_query(query, key_binding)
         grounded_atom = substitute_atom(atom, key_binding)
-        candidate_db = purify(current, grounded_query, index=level_index)
+        candidate_db, candidate_index = purify_with_index(
+            current, grounded_query, index=level_index
+        )
         if not candidate_db:
             continue
         block_facts = candidate_db.relation_facts(atom.relation.name)
@@ -159,7 +172,13 @@ def peel_certain(
             residual_query = substitute_query(
                 substitute_query(residual, key_binding), full_binding
             )
-            if not peel_certain(candidate_db, residual_query, base_case, context=context):
+            if not peel_certain(
+                candidate_db,
+                residual_query,
+                base_case,
+                context=context,
+                index=candidate_index,
+            ):
                 success = False
                 break
         if success:
@@ -167,7 +186,12 @@ def peel_certain(
     return False
 
 
-def empty_base_case(db: UncertainDatabase, query: ConjunctiveQuery, graph: AttackGraph) -> bool:
+def empty_base_case(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    graph: AttackGraph,
+    index: Optional[FactIndex] = None,
+) -> bool:
     """Base case for the first-order solver: it must never be reached.
 
     If the attack graph of the original query is acyclic, Lemma 5 guarantees

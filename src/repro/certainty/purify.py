@@ -24,7 +24,7 @@ made, so benchmarks and tests can assert the zero-copy fast path.
 from __future__ import annotations
 
 import threading
-from typing import FrozenSet, Iterable, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..model.atoms import Fact
 from ..model.database import UncertainDatabase
@@ -35,6 +35,40 @@ from ..store.kernels import stale_block_keys
 #: Process-wide count of databases copied by :func:`purify` (diagnostics).
 _copy_count = 0
 _copy_count_lock = threading.Lock()
+
+#: Process-wide per-class counts of fact indexes *built* by purification
+#: (diagnostics: deep peeling recursions should thread indexes instead).
+_index_build_counts: Dict[str, int] = {}
+
+
+def purify_index_build_counts() -> Dict[str, int]:
+    """How many fact indexes :func:`purify_with_index` built, per class name.
+
+    An index is *built* when the caller supplied none, or when the first
+    block removal forces a private index over the copied database.  The
+    peeling recursion threads the returned indexes through its residual
+    calls, so deep recursions should show O(levels) builds — not one per
+    purify call; the differential tests assert exactly that, and that the
+    built class matches the session backend (columnar indexes all the way
+    down).
+    """
+    with _copy_count_lock:
+        return dict(_index_build_counts)
+
+
+def reset_purify_index_build_counts() -> Dict[str, int]:
+    """Reset the per-class index-build counters; returns the previous map."""
+    global _index_build_counts
+    with _copy_count_lock:
+        previous = _index_build_counts
+        _index_build_counts = {}
+    return previous
+
+
+def _note_index_build(index_cls: type) -> None:
+    name = index_cls.__name__
+    with _copy_count_lock:
+        _index_build_counts[name] = _index_build_counts.get(name, 0) + 1
 
 
 def purify_copy_count() -> int:
@@ -101,10 +135,37 @@ def purify(
     the copy incrementally — via the database observer hooks — instead of
     rebuilding an index per sweep.
     """
+    return purify_with_index(db, query, index=index)[0]
+
+
+def purify_with_index(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    index: Optional[FactIndex] = None,
+) -> Tuple[UncertainDatabase, Optional[FactIndex]]:
+    """:func:`purify`, also returning an index covering the result.
+
+    The returned index is the caller's *index* when the zero-copy fast path
+    applies, or the incrementally maintained private index over the purified
+    copy otherwise — same backend class as the input index, so columnar
+    callers keep columnar sweeps through arbitrarily deep residual
+    recursions.  The peeling recursion threads it into its inner purify
+    calls instead of rebuilding object indexes per level.  The index is
+    only ``None`` when the query is empty and no index was supplied.
+
+    The returned index is detached (not registered as an observer), so it
+    stays valid only while the returned database is left unmutated — which
+    holds for every solver caller (purified databases are read-only
+    intermediates).
+    """
     if query.is_empty:
-        return db
+        return db, index
     shared_index = index is not None
-    current_index = index if index is not None else FactIndex(db.facts)
+    if index is not None:
+        current_index = index
+    else:
+        current_index = FactIndex(db.facts)
+        _note_index_build(FactIndex)
     current = db
     working: Optional[UncertainDatabase] = None
     try:
@@ -121,7 +182,7 @@ def purify(
                     fact.block_key for fact in current.facts if fact not in used
                 }
             if not stale_blocks:
-                return current
+                return current, current_index
             if working is None:
                 working = db.copy()
                 _note_copy()
@@ -131,6 +192,7 @@ def purify(
                     # incrementally from here on).  The copy keeps the
                     # caller's backend so later sweeps stay integer-encoded.
                     current_index = type(current_index)(working.facts)
+                    _note_index_build(type(current_index))
                 working.register_observer(current_index)
                 current = working
             for block_key in stale_blocks:

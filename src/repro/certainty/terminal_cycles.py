@@ -32,11 +32,13 @@ from ..model.atoms import Atom, Fact
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant, Variable
 from ..query.conjunctive import ConjunctiveQuery
-from ..query.evaluation import satisfies
+from ..query.evaluation import FactIndex, satisfies
+from ..store.columnar import ColumnarFactStore, IntRow
+from ..store.kernels import AtomMatcher, has_witness
 from .context import SolverContext
-from .exceptions import UnsupportedQueryError
-from .pair_solver import certain_two_atom
-from .peeling import match_full_atom, peel_certain
+from .exceptions import IntractableQueryError, UnsupportedQueryError
+from .pair_solver import certain_two_atom, certain_weak_cycle_pair_rows
+from .peeling import empty_base_case, match_full_atom, peel_certain
 
 
 def applies_to(query: ConjunctiveQuery, context: Optional[SolverContext] = None) -> bool:
@@ -71,8 +73,19 @@ def _weak_terminal_base_case(
     db: UncertainDatabase,
     query: ConjunctiveQuery,
     graph: AttackGraph,
+    index: Optional[FactIndex] = None,
 ) -> bool:
-    """Base case of Theorem 3: disjoint weak terminal 2-cycles."""
+    """Base case of Theorem 3: disjoint weak terminal 2-cycles.
+
+    On the columnar backend (the peeling recursion threads an index whose
+    ``store`` holds the purified database as id-rows) the whole base case —
+    partitioning, pair purification, block-digraph marking and the final
+    Sublemma 5 check — runs on int tuples via
+    :func:`_weak_terminal_base_case_ids`.
+    """
+    store = getattr(index, "store", None)
+    if store is not None:
+        return _weak_terminal_base_case_ids(query, graph, store)
     cycles = _disjoint_two_cycles(graph)
     shared_variables = _cross_cycle_variables(query, cycles)
 
@@ -89,6 +102,75 @@ def _weak_terminal_base_case(
             if certain_two_atom(partition_db, pair_query):
                 certified.update(facts)
     return satisfies(certified, query)
+
+
+def _weak_terminal_base_case_ids(
+    query: ConjunctiveQuery,
+    graph: AttackGraph,
+    store: ColumnarFactStore,
+) -> bool:
+    """Id-space Theorem 3 base case over the columnar store of the database.
+
+    Mirrors the object path exactly, with two execution-level improvements:
+    rows are partitioned by shared-variable id vectors through
+    :class:`~repro.store.kernels.AtomMatcher` (no fact decoding), and the
+    attack graph of each cycle's pair query is classified once per cycle
+    instead of once per partition.
+    """
+    cycles = _disjoint_two_cycles(graph)
+    shared_variables = _cross_cycle_variables(query, cycles)
+
+    certified: Dict[str, Set[IntRow]] = {}
+    for first, second in cycles:
+        pair_query = query.restricted_to([first, second])
+        pair_shared = sorted(
+            (first.variables | second.variables) & shared_variables,
+            key=lambda v: v.name,
+        )
+        matchers = (AtomMatcher(first, store), AtomMatcher(second, store))
+        partitions: Dict[IntRow, Tuple[List[IntRow], List[IntRow]]] = {}
+        for side, matcher in enumerate(matchers):
+            for row in store.relation_rows(matcher.name):
+                if not matcher.match(row):
+                    # The base case is always entered with a purified
+                    # database, so non-matching rows do not occur; skip
+                    # defensively (mirrors the object path).
+                    continue
+                vector = matcher.values(row, pair_shared)
+                entry = partitions.get(vector)
+                if entry is None:
+                    entry = ([], [])
+                    partitions[vector] = entry
+                entry[side].append(row)
+
+        pair_graph = AttackGraph(pair_query)
+        acyclic = pair_graph.is_acyclic()
+        if not acyclic and has_strong_cycle(pair_graph):
+            raise IntractableQueryError(
+                f"CERTAINTY({pair_query}) is coNP-complete (strong attack cycle); "
+                "no polynomial algorithm applies"
+            )
+        for first_rows, second_rows in partitions.values():
+            if acyclic:
+                # Rare shape (a 2-cycle of the outer graph whose restricted
+                # pair query is acyclic): decode the partition and run the
+                # FO peeling recursion, as `certain_two_atom` would.
+                facts = [
+                    Fact(first.relation, store.decode_row(row)) for row in first_rows
+                ] + [Fact(second.relation, store.decode_row(row)) for row in second_rows]
+                certain = peel_certain(
+                    UncertainDatabase(facts), pair_query, empty_base_case
+                )
+            else:
+                certain = certain_weak_cycle_pair_rows(
+                    store, pair_query, first_rows, second_rows
+                )
+            if certain:
+                certified.setdefault(first.relation.name, set()).update(first_rows)
+                certified.setdefault(second.relation.name, set()).update(second_rows)
+    # Sublemma 5: certain iff the union of the certain partitions satisfies
+    # the query — evaluated without materialising the union as facts.
+    return has_witness(query, store, allowed=certified)
 
 
 def _disjoint_two_cycles(graph: AttackGraph) -> List[Tuple[Atom, Atom]]:

@@ -28,7 +28,7 @@ from typing import Optional, Tuple
 from ..core.classify import Classification, classify_cached
 from ..core.complexity import ComplexityBand
 from ..model.database import UncertainDatabase
-from ..model.symbols import Constant, Variable
+from ..model.symbols import Constant, Variable, is_constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import order_atoms
 from ..query.substitution import ground_free_variables
@@ -53,6 +53,54 @@ _BAND_METHODS = {
     ComplexityBand.PTIME_NOT_FO: "theorem3-terminal-cycles",
     ComplexityBand.PTIME_CYCLE_QUERY: "theorem4-cycle-query",
 }
+
+
+def _record_query_support(
+    recorder: ReadSetRecorder,
+    target: ConjunctiveQuery,
+    db: UncertainDatabase,
+    context: Optional[SolverContext],
+) -> None:
+    """Record the *static* support of a non-rewriting decision on *target*.
+
+    The Theorem 3/4 solvers, the peeling fallback and brute force read the
+    database through their own algorithms rather than the instrumented
+    compiled-formula evaluator, but their verdict is still a function of a
+    statically known sub-database: per atom of the (grounded, Boolean)
+    query, the blocks whose key constants agree with the atom's key terms.
+    A block matching no atom's key pattern contains no fact any witness can
+    use — the key pattern constrains *key* positions only, so the whole
+    block matches or misses — and purification (Lemma 1) removes it without
+    changing certainty; hence mutations confined to such blocks can never
+    flip the verdict.
+
+    Per atom this records: a single block when every key term is a constant
+    (as a dense block id on the columnar backend — interning the id even
+    when the block is currently absent, so later insertions still match); a
+    key mask when only some key terms are constants; the whole relation
+    when none are.
+    """
+    index = context.index_for(db) if context is not None else None
+    store = getattr(index, "store", None)
+    for atom in target.atoms:
+        name = atom.relation.name
+        key_terms = atom.key_terms
+        if all(is_constant(term) for term in key_terms):
+            if store is not None:
+                intern = store.table.intern
+                block_id = store.block_id(
+                    name, tuple(intern(term) for term in key_terms)
+                )
+                recorder.record_block_id(name, block_id)
+            else:
+                recorder.record_block(name, tuple(key_terms))
+        elif any(is_constant(term) for term in key_terms):
+            recorder.record_key_mask(
+                name,
+                tuple(term if is_constant(term) else None for term in key_terms),
+            )
+        else:
+            recorder.record_relation(name)
 
 
 def _representative_grounding(query: ConjunctiveQuery) -> ConjunctiveQuery:
@@ -272,10 +320,14 @@ class QueryPlan:
         valuation instead of constructing a rewriting per grounding.
 
         *recorder*, when supplied, collects the read set of the decision
-        (see :class:`~repro.fo.compile.ReadSet`).  Only compiled-rewriting
-        execution is instrumented; every other path — the peeling fallback,
-        the Theorem 3/4 solvers, brute force — marks the recorder *opaque*,
-        so callers always receive a sound over-approximation.
+        (see :class:`~repro.fo.compile.ReadSet`).  Compiled-rewriting
+        execution is instrumented probe-by-probe; every other path — the
+        peeling fallback, the Theorem 3/4 solvers, brute force — records
+        the *static* per-atom support of the grounded query instead (blocks
+        named by constant keys, key masks for partially constant keys, and
+        full relations otherwise; see :func:`_record_query_support`), so
+        callers always receive a sound over-approximation without any path
+        falling back to an opaque, dirty-on-every-mutation read set.
         """
         if grounding is not None and self.per_grounding:
             return compile_plan(grounding).execute(
@@ -289,8 +341,9 @@ class QueryPlan:
             certain = self._execute_fo(db, grounding, candidate, context, recorder)
             return CertaintyOutcome(certain, self.method, self.classification)
         if recorder is not None:
-            # The solvers below are not read-set instrumented.
-            recorder.record_opaque()
+            # The solvers below are not probe-instrumented; record their
+            # static per-atom support instead.
+            _record_query_support(recorder, target, db, context)
         if self.method == "theorem3-terminal-cycles":
             return CertaintyOutcome(
                 certain_terminal_cycles(db, target, context=context),
@@ -346,8 +399,9 @@ class QueryPlan:
             return rewriting.evaluate(db, index=index, recorder=recorder)
         target = grounding if grounding is not None else self.query
         if recorder is not None:
-            # The peeling fallback is not read-set instrumented.
-            recorder.record_opaque()
+            # The peeling fallback is not probe-instrumented; record its
+            # static per-atom support instead.
+            _record_query_support(recorder, target, db, context)
         return certain_fo(db, target, context=context)
 
 

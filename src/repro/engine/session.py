@@ -98,6 +98,10 @@ class CertaintySession:
         self._cache = plan_cache if plan_cache is not None else default_plan_cache()
         self._allow_exponential = allow_exponential
         self._context = SolverContext(db=db, index=self._index)
+        #: query -> (db.mutation_version at compute time, sorted candidates).
+        self._candidate_memo: Dict[
+            ConjunctiveQuery, Tuple[int, List[Tuple[Constant, ...]]]
+        ] = {}
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -209,8 +213,22 @@ class CertaintySession:
         enumeration runs through the compiled set-at-a-time candidate plan
         (integer hash joins over the store); the object backend keeps the
         reference backtracking join.
+
+        Results are memoised per query, keyed on
+        :attr:`~repro.model.database.UncertainDatabase.mutation_version`: a
+        repeated enumeration against an unchanged database (the common case
+        for incremental views re-deciding a few dirty candidates) is one
+        integer comparison plus a list copy.  Any effective ``add`` /
+        ``discard`` / ``remove_block`` — or any non-empty :meth:`batch` at
+        its exit — advances the version and invalidates the memo.  Inside a
+        batch the version (like the session index itself) is intentionally
+        stale; queries should run outside the batch.
         """
         self._check_open()
+        version = self._db.mutation_version
+        cached = self._candidate_memo.get(query)
+        if cached is not None and cached[0] == version:
+            return list(cached[1])
         if self._backend == "columnar":
             plan = self.plan_for(query)
             sat = plan.candidate_plan().satisfying_assignments(index=self._index)
@@ -219,7 +237,11 @@ class CertaintySession:
             candidates = {tuple(row[p] for p in positions) for row in sat.rows}
         else:
             candidates = answer_tuples(query, self._index)
-        return sorted(candidates, key=lambda t: tuple(str(c) for c in t))
+        result = sorted(candidates, key=lambda t: tuple(str(c) for c in t))
+        if len(self._candidate_memo) >= 64:
+            self._candidate_memo.clear()  # bound stale-version entries
+        self._candidate_memo[query] = (version, result)
+        return list(result)
 
     def decide_candidates(
         self,

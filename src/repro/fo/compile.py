@@ -71,6 +71,10 @@ from .formulas import (
 #: A row of a relation: one constant per schema column.
 Row = Tuple[Constant, ...]
 
+#: A key-position mask: one entry per primary-key position — a
+#: :class:`Constant` the position must equal, or ``None`` (wildcard).
+KeyMask = Tuple[Optional[Constant], ...]
+
 
 class ReadSet:
     """An immutable over-approximation of what one plan execution read.
@@ -98,16 +102,24 @@ class ReadSet:
     ``relations``
         relations read through full scans (any mutation of the relation may
         change the result);
+    ``key_masks``
+        static ``(relation name, key mask)`` dependencies recorded by the
+        non-FO solvers: the verdict of a grounded query can only change
+        when a mutated fact's key constants match the mask of some atom of
+        the query (``None`` positions are wildcards).  Soundness is the
+        block granularity of Lemma 1: a mask constrains *key* positions
+        only, so an entire block either matches or misses it, and blocks
+        matching no atom's mask contain no fact any witness can use —
+        purification removes them without changing certainty;
     ``domain_read``
         the execution consulted the active domain derived from the whole
         index — any mutation anywhere may change the verdict;
     ``opaque``
-        the execution left the instrumented compiled-plan path (peeling
-        fallback, non-FO solver, brute force): the read set is unknown and
-        callers must treat the verdict as depending on everything.
+        the execution left every instrumented path: the read set is unknown
+        and callers must treat the verdict as depending on everything.
     """
 
-    __slots__ = ("blocks", "block_ids", "relations", "domain_read", "opaque")
+    __slots__ = ("blocks", "block_ids", "relations", "key_masks", "domain_read", "opaque")
 
     def __init__(
         self,
@@ -116,10 +128,12 @@ class ReadSet:
         domain_read: bool = False,
         opaque: bool = False,
         block_ids: FrozenSet[int] = frozenset(),
+        key_masks: FrozenSet[Tuple[str, KeyMask]] = frozenset(),
     ) -> None:
         self.blocks = blocks
         self.block_ids = block_ids
         self.relations = relations
+        self.key_masks = key_masks
         self.domain_read = domain_read
         self.opaque = opaque
 
@@ -146,6 +160,7 @@ class ReadSet:
             relations=self.relations,
             domain_read=self.domain_read,
             opaque=self.opaque,
+            key_masks=self.key_masks,  # already object-space, hence portable
         )
 
     def __repr__(self) -> str:
@@ -155,15 +170,29 @@ class ReadSet:
             return "ReadSet(domain)"
         return (
             f"ReadSet({len(self.blocks) + len(self.block_ids)} blocks, "
-            f"{len(self.relations)} relations)"
+            f"{len(self.key_masks)} masks, {len(self.relations)} relations)"
         )
 
     # ReadSets cross process boundaries (parallel support capture).
     def __getstate__(self):
-        return (self.blocks, self.relations, self.domain_read, self.opaque, self.block_ids)
+        return (
+            self.blocks,
+            self.relations,
+            self.domain_read,
+            self.opaque,
+            self.block_ids,
+            self.key_masks,
+        )
 
     def __setstate__(self, state):
-        self.blocks, self.relations, self.domain_read, self.opaque, self.block_ids = state
+        (
+            self.blocks,
+            self.relations,
+            self.domain_read,
+            self.opaque,
+            self.block_ids,
+            self.key_masks,
+        ) = state
 
 
 class ReadSetRecorder:
@@ -174,12 +203,13 @@ class ReadSetRecorder:
     immutable :class:`ReadSet` of that execution.
     """
 
-    __slots__ = ("blocks", "block_ids", "relations", "domain_read", "opaque")
+    __slots__ = ("blocks", "block_ids", "relations", "key_masks", "domain_read", "opaque")
 
     def __init__(self) -> None:
         self.blocks: Set[BlockKey] = set()
         self.block_ids: Set[Tuple[str, int]] = set()
         self.relations: Set[str] = set()
+        self.key_masks: Set[Tuple[str, KeyMask]] = set()
         self.domain_read = False
         self.opaque = False
 
@@ -189,6 +219,10 @@ class ReadSetRecorder:
     def record_block_id(self, name: str, block_id: int) -> None:
         """Record a probe by dense block id (columnar backend)."""
         self.block_ids.add((name, block_id))
+
+    def record_key_mask(self, name: str, mask: KeyMask) -> None:
+        """Record a static key-mask dependency (non-FO solver support)."""
+        self.key_masks.add((name, mask))
 
     def record_relation(self, name: str) -> None:
         self.relations.add(name)
@@ -212,10 +246,14 @@ class ReadSetRecorder:
             for name, block_id in self.block_ids
             if name not in self.relations
         )
+        key_masks = frozenset(
+            entry for entry in self.key_masks if entry[0] not in self.relations
+        )
         return ReadSet(
             blocks=blocks,
             block_ids=block_ids,
             relations=frozenset(self.relations),
+            key_masks=key_masks,
             domain_read=self.domain_read,
             opaque=self.opaque,
         )

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional, Set, Tuple, Union
 
-from ..fo.compile import ReadSet
+from ..fo.compile import KeyMask, ReadSet
 from ..model.database import BlockKey, ChangeSet
 from ..model.symbols import Constant
 
@@ -58,6 +58,9 @@ class SupportIndex:
         self._reads: Dict[Candidate, ReadSet] = {}
         self._by_block: Dict[SupportKey, Set[Candidate]] = {}
         self._by_relation: Dict[str, Set[Candidate]] = {}
+        #: relation name -> key mask -> candidates whose (static) support
+        #: includes the mask; matched per touched fact in :meth:`dirty_for`.
+        self._by_key_mask: Dict[str, Dict[KeyMask, Set[Candidate]]] = {}
         self._global: Set[Candidate] = set()
         self._block_id_resolver = block_id_resolver
 
@@ -76,6 +79,10 @@ class SupportIndex:
             self._by_block.setdefault(block_id, set()).add(candidate)
         for name in read_set.relations:
             self._by_relation.setdefault(name, set()).add(candidate)
+        for name, mask in read_set.key_masks:
+            self._by_key_mask.setdefault(name, {}).setdefault(mask, set()).add(
+                candidate
+            )
 
     def remove(self, candidate: Candidate) -> None:
         """Forget *candidate* (no-op if untracked)."""
@@ -97,12 +104,24 @@ class SupportIndex:
                 members.discard(candidate)
                 if not members:
                     del self._by_relation[name]
+        for name, mask in read_set.key_masks:
+            masks = self._by_key_mask.get(name)
+            if masks is None:
+                continue
+            members = masks.get(mask)
+            if members is not None:
+                members.discard(candidate)
+                if not members:
+                    del masks[mask]
+                    if not masks:
+                        del self._by_key_mask[name]
 
     def clear(self) -> None:
         """Forget every candidate."""
         self._reads.clear()
         self._by_block.clear()
         self._by_relation.clear()
+        self._by_key_mask.clear()
         self._global.clear()
 
     # -- queries -----------------------------------------------------------------
@@ -142,8 +161,9 @@ class SupportIndex:
 
         The union of the global candidates, the candidates that probed a
         touched block (in either key space — the resolver maps each touched
-        block into the columnar id space too), and the candidates that
-        scanned a touched relation.
+        block into the columnar id space too), the candidates holding a key
+        mask that some touched fact's key constants match, and the
+        candidates that scanned a touched relation.
         """
         dirty: Set[Candidate] = set(self._global)
         resolver = self._block_id_resolver
@@ -153,6 +173,14 @@ class SupportIndex:
                 block_id = resolver(block[0], block[1])
                 if block_id is not None:
                     dirty |= self._by_block.get(block_id, _EMPTY)
+            masks = self._by_key_mask.get(block[0])
+            if masks:
+                key = block[1]
+                for mask, members in masks.items():
+                    if len(mask) == len(key) and all(
+                        m is None or m == k for m, k in zip(mask, key)
+                    ):
+                        dirty |= members
         for name in changes.touched_relations():
             dirty |= self._by_relation.get(name, _EMPTY)
         return dirty
@@ -162,7 +190,12 @@ class SupportIndex:
         read_set = self._reads.get(candidate)
         if read_set is None or read_set.is_global:
             return 0
-        return len(read_set.blocks) + len(read_set.block_ids) + len(read_set.relations)
+        return (
+            len(read_set.blocks)
+            + len(read_set.block_ids)
+            + len(read_set.key_masks)
+            + len(read_set.relations)
+        )
 
     def __len__(self) -> int:
         return len(self._reads)
@@ -171,10 +204,11 @@ class SupportIndex:
         return candidate in self._reads
 
     def __repr__(self) -> str:
+        masks = sum(len(m) for m in self._by_key_mask.values())
         return (
             f"SupportIndex({len(self._reads)} candidates, "
-            f"{len(self._by_block)} blocks, {len(self._by_relation)} relations, "
-            f"{len(self._global)} global)"
+            f"{len(self._by_block)} blocks, {masks} masks, "
+            f"{len(self._by_relation)} relations, {len(self._global)} global)"
         )
 
     # -- invariants (exercised by the test suite) --------------------------------
@@ -197,6 +231,10 @@ class SupportIndex:
                 assert candidate in self._by_relation.get(name, _EMPTY), (
                     f"{candidate} missing from relation entry {name}"
                 )
+            for name, mask in read_set.key_masks:
+                assert candidate in self._by_key_mask.get(name, {}).get(mask, _EMPTY), (
+                    f"{candidate} missing from key-mask entry {(name, mask)}"
+                )
         for block, members in self._by_block.items():
             assert members, f"empty block entry {block} not pruned"
             for candidate in members:
@@ -211,6 +249,15 @@ class SupportIndex:
                 assert read_set is not None and name in read_set.relations, (
                     f"stale relation entry {name} -> {candidate}"
                 )
+        for name, masks in self._by_key_mask.items():
+            assert masks, f"empty key-mask relation entry {name} not pruned"
+            for mask, members in masks.items():
+                assert members, f"empty key-mask entry {(name, mask)} not pruned"
+                for candidate in members:
+                    read_set = self._reads.get(candidate)
+                    assert read_set is not None and (name, mask) in read_set.key_masks, (
+                        f"stale key-mask entry {(name, mask)} -> {candidate}"
+                    )
         for candidate in self._global:
             read_set = self._reads.get(candidate)
             assert read_set is not None and read_set.is_global, (

@@ -11,11 +11,14 @@ Maintenance strategy per mutation batch (a
    are skipped outright (certainty of ``q`` is a function of the database
    restricted to ``q``'s relations; blocks of other relations repair
    independently and cannot change any verdict);
-2. **support-driven dirtying** — for fine-grained views (FO band with a
-   compiled open rewriting), the :class:`~repro.incremental.support.SupportIndex`
-   maps the touched blocks to exactly the candidates whose decision read
-   them; every other candidate's decision would replay identically and is
-   skipped;
+2. **support-driven dirtying** — the
+   :class:`~repro.incremental.support.SupportIndex` maps the touched blocks
+   to exactly the candidates whose decision depends on them; every other
+   candidate's decision would replay identically and is skipped.  FO-band
+   decisions record their probes through the instrumented compiled
+   rewriting; every other band (Theorem 3/4, peeling fallback, brute
+   force) records the static per-atom support of the grounded query —
+   blocks, key masks, relations — so *all* bands maintain fine-grained;
 3. **delta candidate discovery** — inserted facts can create brand-new
    candidate answers; a seeded delta-join
    (:func:`~repro.incremental.delta.delta_candidates`) finds them without
@@ -23,10 +26,11 @@ Maintenance strategy per mutation batch (a
 4. **re-decision** — the dirty candidates are re-decided through the shared
    ``decide_candidates`` loop (optionally fanned out over the parallel
    session for large dirty sets), refreshing their support entries;
-5. **fallbacks** — views over non-FO bands, self-join (per-grounding)
-   plans, or batches dirtying more than ``full_refresh_threshold`` of the
-   tracked candidates fall back to a full refresh (cold re-enumeration +
-   re-decision), which is always correct.
+5. **fallbacks** — views over self-join (per-grounding) plans, or batches
+   dirtying more than ``full_refresh_threshold`` of the tracked
+   candidates, fall back to a full refresh (cold re-enumeration +
+   re-decision), which is always correct; :class:`ViewStats` counts each
+   full refresh by cause.
 
 Answer-level deltas are pushed to subscribers: ``on_retract`` callbacks
 fire before ``on_insert`` callbacks, each in deterministic sorted order.
@@ -58,6 +62,15 @@ class ViewStats:
         batches discarded by the relation prefilter (no decision run);
     ``incremental_refreshes`` / ``full_refreshes``
         how the remaining batches were served;
+    ``full_refreshes_band_opaque`` / ``full_refreshes_per_grounding`` /
+    ``full_refreshes_oversized``
+        why mutation-driven full refreshes happened: the view is coarse for
+        an unknown (band-opaque) reason, the view is coarse because its
+        plan re-classifies per grounding (self-joins), or the dirty set
+        exceeded ``full_refresh_threshold``.  The initial materialization
+        and explicit :meth:`MaterializedCertainView.refresh` calls count in
+        ``full_refreshes`` only.  PTIME-band views on the id kernels should
+        show zero band-opaque refreshes — asserted by the test suite;
     ``decisions``
         total per-candidate certainty decisions run on behalf of the view;
     ``last_dirty`` / ``last_decided``
@@ -75,6 +88,9 @@ class ViewStats:
         "skipped_refreshes",
         "incremental_refreshes",
         "full_refreshes",
+        "full_refreshes_band_opaque",
+        "full_refreshes_per_grounding",
+        "full_refreshes_oversized",
         "decisions",
         "last_dirty",
         "last_decided",
@@ -88,6 +104,9 @@ class ViewStats:
         self.skipped_refreshes = 0
         self.incremental_refreshes = 0
         self.full_refreshes = 0
+        self.full_refreshes_band_opaque = 0
+        self.full_refreshes_per_grounding = 0
+        self.full_refreshes_oversized = 0
         self.decisions = 0
         self.last_dirty = 0
         self.last_decided = 0
@@ -156,12 +175,13 @@ class MaterializedCertainView:
         self._full_refresh_threshold = full_refresh_threshold
         self._relations = frozenset(atom.relation.name for atom in query.atoms)
         plan = manager.session.plan_for(query)
-        self._fine_grained = (
-            plan.method == "fo-rewriting"
-            and plan.fo_rewriting is not None
-            and not plan.per_grounding
-            and (self._boolean or plan.fo_candidate_vars is not None)
-        )
+        # Every band records support now — FO through the instrumented
+        # rewriting (or the peeling fallback's static per-atom support),
+        # PTIME/coNP through the static per-atom support of the grounded
+        # query — so only per-grounding (self-join) plans stay coarse: their
+        # groundings can collapse atoms, changing what the support covers.
+        self._fine_grained = not plan.per_grounding
+        self._coarse_cause = "per-grounding" if plan.per_grounding else None
         # Columnar sessions capture read sets as dense block ids; give the
         # support index the store's resolver so touched blocks translate.
         store = getattr(manager.session, "store", None)
@@ -195,9 +215,11 @@ class MaterializedCertainView:
     def fine_grained(self) -> bool:
         """``True`` when mutations dirty candidates through the support index.
 
-        ``False`` (coarse mode: every relevant mutation triggers a full
-        refresh) for non-FO bands, per-grounding self-join plans, and
-        queries whose Theorem 1 rewriting is unavailable.
+        Every complexity band is fine-grained on both backends — FO-band
+        decisions capture probe-level read sets, the Theorem 3/4 solvers,
+        the peeling fallback and brute force capture static per-atom
+        support.  Only per-grounding self-join plans are coarse (every
+        relevant mutation triggers a full refresh).
         """
         return self._fine_grained
 
@@ -272,7 +294,14 @@ class MaterializedCertainView:
         if changes is not None and not self._affected_by(changes):
             self.stats.skipped_refreshes += 1
             return
-        if changes is None or not self._fine_grained:
+        if changes is None:
+            self._full_refresh()
+            return
+        if not self._fine_grained:
+            if self._coarse_cause == "per-grounding":
+                self.stats.full_refreshes_per_grounding += 1
+            else:
+                self.stats.full_refreshes_band_opaque += 1
             self._full_refresh()
             return
         self._incremental_refresh(changes)
@@ -344,6 +373,7 @@ class MaterializedCertainView:
         if total and len(dirty) > self._full_refresh_threshold * total:
             # Most of the view is dirty: a cold refresh costs the same and
             # also prunes stale candidates.
+            self.stats.full_refreshes_oversized += 1
             self._full_refresh()
             return
         self.stats.last_dirty = len(dirty)

@@ -147,8 +147,31 @@ class UncertainDatabase:
         self._observers: List[DatabaseObserver] = []
         self._batch_depth = 0
         self._batch_changes: Optional[ChangeSet] = None
+        self._mutation_version = 0
         for fact in facts:
             self.add(fact)
+
+    @property
+    def mutation_version(self) -> int:
+        """A counter that advances exactly when the fact set changes.
+
+        Semantics: the version is bumped once per *effective* mutation — an
+        ``add`` of a new fact or a ``discard`` of a present fact — and once
+        per outermost :meth:`batch` whose net :class:`ChangeSet` is
+        non-empty (the bump happens before observers are notified, so a
+        ``batch_applied`` handler already sees the post-batch version).
+        Idempotent no-ops (re-adding a present fact, discarding an absent
+        one, a batch that nets out to nothing) leave it unchanged.
+
+        Two reads returning the same version therefore guarantee the fact
+        set is identical, which is what lets derived caches — e.g. the
+        candidate-enumeration memo of
+        :class:`~repro.engine.session.CertaintySession` — validate with one
+        integer comparison.  Inside a batch the version is *not* yet
+        advanced, matching the documented staleness of observer-derived
+        structures there.
+        """
+        return self._mutation_version
 
     # -- observers --------------------------------------------------------------
 
@@ -181,6 +204,7 @@ class UncertainDatabase:
         if self._batch_changes is not None:
             self._batch_changes.record_added(fact)
         else:
+            self._mutation_version += 1
             for observer in self._observers:
                 observer.fact_added(fact)
 
@@ -213,6 +237,7 @@ class UncertainDatabase:
         if self._batch_changes is not None:
             self._batch_changes.record_discarded(fact)
         else:
+            self._mutation_version += 1
             for observer in self._observers:
                 observer.fact_discarded(fact)
 
@@ -243,6 +268,8 @@ class UncertainDatabase:
         Batches nest: inner batches merge into the outermost change set.
         If the block raises, mutations already applied are still reported
         (the database *was* changed — observers must not go stale).
+        :attr:`mutation_version` advances once per non-empty outermost
+        batch, just before the observer fan-out.
 
         Note that derived observer structures (e.g. a session's fact index)
         are stale *inside* the batch; queries should run outside it.
@@ -263,6 +290,9 @@ class UncertainDatabase:
                 changes = self._batch_changes
                 self._batch_changes = None
                 if changes:
+                    # One version bump per non-empty batch, before the
+                    # fan-out: batch-aware observers see the new version.
+                    self._mutation_version += 1
                     for observer in list(self._observers):
                         # Observers are duck-typed (e.g. FactIndex aliases
                         # fact_added = add); fall back to per-fact replay

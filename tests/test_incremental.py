@@ -25,6 +25,14 @@ from repro import (
     parse_facts,
     parse_query,
 )
+from repro.certainty import (
+    peel_certain,
+    purify_copy_count,
+    purify_index_build_counts,
+    reset_purify_copy_count,
+    reset_purify_index_build_counts,
+)
+from repro.certainty.peeling import empty_base_case
 from repro.fo.compile import ReadSet, ReadSetRecorder
 from repro.incremental import SupportIndex, delta_candidates
 from repro.model.symbols import Constant, Variable
@@ -222,7 +230,8 @@ class TestReadSets:
         assert ("Emp", (Constant("ada"),)) in ada.blocks or "Emp" in ada.relations
         assert ("Emp", (Constant("bob"),)) not in ada.blocks
 
-    def test_opaque_for_brute_force(self, q1):
+    def test_static_support_for_brute_force(self, q1):
+        """coNP decisions record static per-atom support, never opaque."""
         open_q = open_variant(q1, "z")
         db = synthetic_instance(open_q, seed=3, domain_size=3, witnesses=4)
         with CertaintySession(db, allow_exponential=True) as session:
@@ -231,7 +240,14 @@ class TestReadSets:
             ) or [(Constant("c0"),)]
             support = {}
             session.decide_candidates(open_q, candidates, support=support)
-        assert all(read_set.opaque for read_set in support.values())
+        query_relations = {atom.relation.name for atom in open_q.atoms}
+        assert support
+        for read_set in support.values():
+            assert not read_set.opaque
+            assert not read_set.domain_read
+            # Every atom key of q1 is a plain variable, so the static
+            # support is exactly the query's relations.
+            assert read_set.relations == query_relations
 
     def test_recorder_freeze_subsumes_scanned_relations(self):
         recorder = ReadSetRecorder()
@@ -371,16 +387,28 @@ class TestDifferentialMaintenance:
                         f"diverged after {batch}"
                     )
                     view.support.check_invariants()
+                # Every band records static per-atom support now: a full
+                # refresh may be caused by a per-grounding plan or an
+                # oversized dirty set, never by a band opaque to support.
+                assert view.stats.full_refreshes_band_opaque == 0
+                assert manager.full_refresh_causes()["band_opaque"] == 0
 
     def test_fine_grained_flag_matches_band(self):
         fo = open_variant(path_query(3), "x1")
         db = synthetic_instance(fo, seed=0, domain_size=5, witnesses=6)
         with ViewManager(db) as manager:
             assert manager.register(fo).fine_grained
+        # PTIME-band views are fine-grained too now that the Theorem 3/4
+        # solvers record static per-atom support.
         ptime = open_variant(figure4_query(), "x")
         db = synthetic_instance(ptime, seed=0, domain_size=4, witnesses=4)
         with ViewManager(db) as manager:
-            assert not manager.register(ptime).fine_grained
+            assert manager.register(ptime).fine_grained
+        # Only per-grounding (self-join) plans stay coarse.
+        selfjoin = parse_query("R(x | 'c'), R(y | 'c')", free=["x", "y"])
+        db = synthetic_instance(selfjoin, seed=0, domain_size=4, witnesses=4)
+        with ViewManager(db, allow_exponential=True) as manager:
+            assert not manager.register(selfjoin).fine_grained
 
     def test_boolean_view_tracks_is_certain(self):
         query = path_query(2)
@@ -623,3 +651,154 @@ class TestManagerLifecycle:
             manager.refresh_all()
             assert (Constant("bob"),) not in set(view.support.candidates())
             assert view.answers == cold_answers(db, query, False)
+
+
+# --------------------------------------------------------------------------------
+# Deep residual peeling: threaded level indexes, columnar vs object
+# --------------------------------------------------------------------------------
+
+
+class TestDeepResidualPeeling:
+    """The peeling recursion threads purify's indexes through residuals.
+
+    ``path_query(4)`` peels one unattacked atom per level, so the recursion
+    is four levels deep — past the depth-3 floor where a rebuild-per-purify
+    implementation would multiply index constructions.  The differential
+    runs both backends on the same databases, checks the verdicts against
+    the independent FO-rewriting solver, and uses the purify build counters
+    to assert that (a) indexes are only built on copy events (O(levels),
+    not one per purify call) and (b) the built class matches the backend —
+    columnar sessions stay columnar through every residual level.
+    """
+
+    def _deep_instance(self, query, seed):
+        return synthetic_instance(
+            query,
+            seed=seed,
+            domain_size=5,
+            witnesses=6,
+            noise_per_relation=5,
+            conflict_rate=0.5,
+        )
+
+    def test_deep_peeling_differential_and_index_threading(self):
+        query = path_query(4)
+        for seed in range(4):
+            db = self._deep_instance(query, seed)
+            verdicts = {}
+            builds = {}
+            copies = {}
+            for backend in ("columnar", "object"):
+                with CertaintySession(db, backend=backend) as session:
+                    index = session.index
+                    reset_purify_index_build_counts()
+                    reset_purify_copy_count()
+                    verdicts[backend] = peel_certain(
+                        db, query, empty_base_case, index=index
+                    )
+                    builds[backend] = purify_index_build_counts()
+                    copies[backend] = purify_copy_count()
+            assert verdicts["columnar"] == verdicts["object"] == is_certain(db, query)
+            # Index class matches the backend at every recursion level.
+            assert set(builds["columnar"]) <= {"ColumnarFactIndex"}
+            assert set(builds["object"]) <= {"FactIndex"}
+            # With a session index supplied at the top, purify only builds
+            # an index when a block removal forces a private copy.
+            for backend in ("columnar", "object"):
+                assert sum(builds[backend].values()) <= copies[backend]
+
+    def test_deep_peeling_level_index_classes_at_depth_three(self):
+        # Depth 5: one level deeper than the floor, same invariants.
+        query = path_query(5)
+        db = self._deep_instance(query, seed=11)
+        with CertaintySession(db, backend="columnar") as session:
+            reset_purify_index_build_counts()
+            verdict = peel_certain(db, query, empty_base_case, index=session.index)
+            assert set(purify_index_build_counts()) <= {"ColumnarFactIndex"}
+        with CertaintySession(db, backend="object") as session:
+            reset_purify_index_build_counts()
+            assert peel_certain(
+                db, query, empty_base_case, index=session.index
+            ) == verdict
+            assert set(purify_index_build_counts()) <= {"FactIndex"}
+
+
+# --------------------------------------------------------------------------------
+# The mutation-versioned candidate memo
+# --------------------------------------------------------------------------------
+
+
+class TestCandidateMemo:
+    def test_memo_serves_cached_candidates_until_version_advances(self):
+        query, schema, db = emp_dept()
+        with CertaintySession(db) as session:
+            baseline = session.candidate_answers(query)
+            # Plant a sentinel at the current version: a memo hit returns it
+            # verbatim, proving candidate enumeration was skipped.
+            sentinel = [(Constant("sentinel"),)]
+            session._candidate_memo[query] = (db.mutation_version, list(sentinel))
+            assert session.candidate_answers(query) == sentinel
+            # Any effective mutation bumps the version and drops the entry.
+            db.add(schema["Emp"].fact("eve", "db"))
+            fresh = session.candidate_answers(query)
+            assert fresh != sentinel
+            assert set(fresh) == set(baseline) | {(Constant("eve"),)}
+
+    def test_each_mutation_kind_invalidates(self):
+        query, schema, db = emp_dept()
+        with CertaintySession(db) as session:
+            fact = schema["Emp"].fact("eve", "db")
+            version = db.mutation_version
+            db.add(fact)
+            assert db.mutation_version > version
+            assert (Constant("eve"),) in set(session.candidate_answers(query))
+            version = db.mutation_version
+            db.discard(fact)
+            assert db.mutation_version > version
+            assert (Constant("eve"),) not in set(session.candidate_answers(query))
+            version = db.mutation_version
+            db.remove_block(("Emp", (Constant("bob"),)))
+            assert db.mutation_version > version
+            assert (Constant("bob"),) not in set(session.candidate_answers(query))
+
+    def test_ineffective_mutations_keep_the_memo(self):
+        query, schema, db = emp_dept()
+        existing = schema["Emp"].fact("ada", "db")
+        with CertaintySession(db) as session:
+            session.candidate_answers(query)
+            version = db.mutation_version
+            db.add(existing)  # already present: no change, no bump
+            db.discard(schema["Emp"].fact("zoe", "db"))  # absent: no change
+            assert db.mutation_version == version
+            assert session._candidate_memo[query][0] == version
+
+    def test_memo_across_batch_boundaries(self):
+        query, schema, db = emp_dept()
+        with CertaintySession(db) as session:
+            before = set(session.candidate_answers(query))
+            version = db.mutation_version
+            fact = schema["Emp"].fact("eve", "db")
+            with db.batch():
+                db.add(fact)
+                # Inside the batch the version is intentionally stale —
+                # observers (the session index included) have not been
+                # notified yet, so cached candidates match what the index
+                # would produce anyway.
+                assert db.mutation_version == version
+                assert set(session.candidate_answers(query)) == before
+            # The version advances once at batch exit, before observer
+            # fan-out, so the first post-batch read recomputes.
+            assert db.mutation_version == version + 1
+            assert set(session.candidate_answers(query)) == before | {
+                (Constant("eve"),)
+            }
+
+    def test_empty_batch_does_not_advance_the_version(self):
+        query, schema, db = emp_dept()
+        with CertaintySession(db) as session:
+            session.candidate_answers(query)
+            version = db.mutation_version
+            with db.batch():
+                pass
+            assert db.mutation_version == version
+            assert session._candidate_memo[query][0] == version
