@@ -26,6 +26,14 @@ must match between baseline and current):
     under test.  The skip is recorded in the guard's output (and the
     agreement / purify-fast-path checks still run).
 
+``sharded_runtime``
+    Guards ``speedup_delta_vs_rebuild`` per worker count (worst case over
+    the suite's sizes), with the same recorded cpu-count skip as
+    ``parallel_answers``.  The in-run identity check (``all_agree``) and
+    the O(delta) shipping invariant (``all_deltas_below_snapshot``: no
+    single delta flush may outweigh a pickled full snapshot) are enforced
+    unconditionally — they are correctness properties, not timings.
+
 Run with::
 
     python benchmarks/emit_bench.py --suite columnar_store --smoke \
@@ -164,10 +172,66 @@ def check_parallel_answers(baseline: Dict, current: Dict, factor: float) -> int:
     return status
 
 
+def _worst_sharded_speedups(report: Dict) -> Dict[int, float]:
+    """Per worker count, the minimum delta-vs-rebuild speedup over sizes."""
+    worst: Dict[int, float] = {}
+    for row in report.get("results", ()):
+        for worker_row in row.get("workers", ()):
+            workers = worker_row["workers"]
+            speedup = worker_row.get("speedup_delta_vs_rebuild") or 0.0
+            worst[workers] = min(worst.get(workers, speedup), speedup)
+    return worst
+
+
+def check_sharded_runtime(baseline: Dict, current: Dict, factor: float) -> int:
+    """Guard delta-shipping vs snapshot-rebuild; skip ratios on small boxes."""
+    if not current.get("all_agree", False):
+        print(
+            "ERROR: current report records a sharded/sequential disagreement",
+            file=sys.stderr,
+        )
+        return 1
+    if not current.get("all_deltas_below_snapshot", False):
+        print(
+            "ERROR: a delta flush outweighed a full snapshot "
+            "(delta shipping is not O(delta))",
+            file=sys.stderr,
+        )
+        return 1
+    cpus = current.get("cpu_count") or 0
+    if cpus < MIN_CPUS_FOR_PARALLEL_CHECK:
+        # Recorded skip, mirroring parallel_answers: the delta-vs-rebuild
+        # ratio is dominated by pool respawn cost, which a contended 1–2
+        # core CI box measures too noisily to guard on.  Agreement and the
+        # O(delta) invariant were still enforced above.
+        print(
+            f"SKIPPED: delta-vs-rebuild ratio checks skipped "
+            f"(cpu_count={cpus} < {MIN_CPUS_FOR_PARALLEL_CHECK}); "
+            f"agreement and delta-below-snapshot checks passed"
+        )
+        return 0
+    baseline_worst = _worst_sharded_speedups(baseline)
+    current_worst = _worst_sharded_speedups(current)
+    shared = sorted(set(baseline_worst) & set(current_worst))
+    if not shared:
+        print("ERROR: the reports share no worker counts", file=sys.stderr)
+        return 1
+    status = 0
+    for workers in shared:
+        status |= _check_ratio(
+            f"workers={workers}",
+            baseline_worst[workers],
+            current_worst[workers],
+            factor,
+        )
+    return status
+
+
 _CHECKERS = {
     "columnar_store": check_columnar_store,
     "all_bands": check_all_bands,
     "parallel_answers": check_parallel_answers,
+    "sharded_runtime": check_sharded_runtime,
 }
 
 

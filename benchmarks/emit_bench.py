@@ -1,6 +1,6 @@
 """Emit benchmark JSON reports recording the engine's performance trajectory.
 
-Five suites:
+Six suites:
 
 ``fo_rewriting`` (default) → ``BENCH_fo_rewriting.json``
     Times the certain first-order rewriting of Theorem 1 under the two
@@ -45,6 +45,23 @@ Five suites:
     the recorded speedups regressing more than 2× versus the committed
     baseline.
 
+``sharded_runtime`` → ``BENCH_sharded_runtime.json``
+    Times the delta-shipped shard runtime
+    (:class:`repro.engine.ShardedCertaintySession`: long-lived block-hash
+    -sharded workers receiving O(delta) mutation payloads) against the
+    full-snapshot-rebuild baseline (:class:`ParallelCertaintySession`,
+    whose pool rebuilds and re-ships the whole columnar snapshot after any
+    mutation) at 1/2/4 workers on a mixed read/write stream — bursty,
+    Zipf-skewed mutation batches interleaved with ``certain_answers``
+    reads.  The identical pre-recorded stream replays under every
+    strategy; after every step the answers are checked against a
+    sequential replay, and the run asserts that the largest single delta
+    flush stays below one pickled snapshot (bytes shipped scale with the
+    delta, not the database).  The headline ratio compares the two
+    strategies at the *same* worker count, so it measures serialization
+    and pool-respawn cost, not parallelism, and is meaningful on any core
+    count (``cpu_count`` is recorded alongside).
+
 ``all_bands`` → ``BENCH_all_bands.json``
     Times the columnar id kernels against the object reference path on one
     workload per complexity band of the trichotomy: the FO band (compiled
@@ -80,15 +97,25 @@ from typing import Dict, List, Sequence
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.certainty import is_purified, purify, purify_copy_count, reset_purify_copy_count
-from repro.engine import CertaintySession, ParallelCertaintySession
+from repro.engine import (
+    CertaintySession,
+    ParallelCertaintySession,
+    ShardedCertaintySession,
+)
 from repro.fo import certain_rewriting_cached, compile_formula, evaluate_sentence
 from repro.model.database import UncertainDatabase
 from repro.model.symbols import Variable
+from repro.query import parse_query
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.evaluation import answer_tuples
 from repro.query.families import figure2_q1, figure4_query, path_query
 from repro.store import global_intern_table
-from repro.workloads import synthetic_instance
+from repro.workloads import (
+    apply_batch,
+    bursty_mutation_stream,
+    synthetic_instance,
+    zipfian_instance,
+)
 from repro.workloads.instances import ring_instance
 
 #: Default scaling sizes (active-domain size n; facts grow linearly in n).
@@ -296,6 +323,234 @@ def run_parallel_benchmark(
             "copies": zero_copy_purifies,
             "zero_copies": zero_copy_purifies == 0,
         },
+    }
+
+
+#: Planted same-key pairs for the sharded_runtime suite (candidate volume).
+SHARDED_FULL_SIZES = (64, 256)
+SHARDED_SMOKE_SIZES = (16, 48)
+
+#: Shard/worker counts; both strategies run at the *same* count, so the
+#: headline ratio isolates snapshot-vs-delta cost rather than parallelism.
+SHARDED_WORKER_COUNTS = (1, 2, 4)
+
+#: Mutation batches interleaved with reads in the replayed stream.
+SHARDED_FULL_STEPS = 12
+SHARDED_SMOKE_STEPS = 5
+
+
+def sharded_bench_query() -> ConjunctiveQuery:
+    """An open same-key join: both atoms key on ``x``.
+
+    Every candidate's support lives in the two blocks keyed by its own
+    ``x`` value, which hash to one shard, so decisions stay shard-local
+    (no cross-shard fallbacks) and the benchmark measures the runtime, not
+    the routing miss path.  The ``'ok'``-constant atom keeps the query
+    discriminating: a candidate is certain iff *every* fact in its
+    ``S``-block carries ``'ok'``, so the stream's key-conflicting bursts
+    flip answers in both directions.
+    """
+    return parse_query("R(x | y), S(x | 'ok')", free=["x"])
+
+
+def sharded_bench_instance(
+    query: ConjunctiveQuery, size: int, seed: int = 29
+) -> UncertainDatabase:
+    """*size* planted same-key pairs over a Zipf-skewed noise instance.
+
+    Each pair ``x = s{i}`` contributes one candidate; ~40% get a non-OK
+    ``S`` conflict (not certain) and ~30% an extra ``R`` conflict (certain,
+    but the rewriting must reason over a multi-fact block).  The Zipfian
+    background adds hot blocks the mutation stream keeps hammering.
+    """
+    rng = random.Random(seed)
+    db = zipfian_instance(
+        query,
+        seed=seed + 1,
+        domain_size=max(8, size // 2),
+        facts_per_relation=size // 2,
+    )
+    schema = query.schema()
+    relation_r, relation_s = schema["R"], schema["S"]
+    for i in range(size):
+        key = f"s{i}"
+        db.add(relation_r.fact(key, f"w{i}"))
+        db.add(relation_s.fact(key, "ok"))
+        if rng.random() < 0.4:
+            db.add(relation_s.fact(key, f"bad{i}"))
+        if rng.random() < 0.3:
+            db.add(relation_r.fact(key, f"alt{i}"))
+    return db
+
+
+def _record_stream(query, db0, steps: int, seed: int):
+    """Materialize a bursty mutation stream so every strategy replays the
+    exact same batches (the generator's live contract needs a scratch db)."""
+    scratch = db0.copy()
+    batches = []
+    for batch in bursty_mutation_stream(query, scratch, steps=steps, seed=seed):
+        batches.append(batch)
+        apply_batch(scratch, batch)
+    return batches
+
+
+def _replay_stream(db0, batches, query, make_session):
+    """Replay the recorded mixed read/write stream on a fresh database copy.
+
+    Returns ``(seconds, per_step_answers, session)`` — the session is
+    already closed; its stats survive for the caller to read.
+    """
+    db = db0.copy()
+    session = make_session(db)
+    try:
+        start = time.perf_counter()
+        per_step = [session.certain_answers(query)]
+        for batch in batches:
+            apply_batch(db, batch)
+            per_step.append(session.certain_answers(query))
+        seconds = time.perf_counter() - start
+    finally:
+        session.close()
+    return seconds, per_step, session
+
+
+def run_sharded_benchmark(
+    sizes: Sequence[int], steps: int, repeats: int = 3, seed: int = 29
+) -> Dict:
+    """Delta-shipped shards vs full-snapshot rebuild on a mutation stream.
+
+    Per size the same pre-recorded batches replay under three strategies:
+    a sequential :class:`CertaintySession` (the per-step ground truth), a
+    full-snapshot-rebuild :class:`ParallelCertaintySession`, and the
+    delta-shipped :class:`ShardedCertaintySession` — the latter two at each
+    worker count, answers checked step-by-step against the sequential run.
+    """
+    query = sharded_bench_query()
+    results: List[Dict] = []
+    all_agree = True
+    all_deltas_below_snapshot = True
+    for size in sizes:
+        db0 = sharded_bench_instance(query, size, seed=seed)
+        batches = _record_stream(query, db0, steps, seed=seed + 7)
+        mutated_facts = sum(len(batch) for batch in batches)
+
+        sequential_seconds = float("inf")
+        expected = None
+        for _ in range(repeats):
+            seconds, per_step, _session = _replay_stream(
+                db0, batches, query, lambda db: CertaintySession(db)
+            )
+            sequential_seconds = min(sequential_seconds, seconds)
+            expected = per_step
+
+        worker_rows: List[Dict] = []
+        for workers in SHARDED_WORKER_COUNTS:
+            rebuild_seconds = float("inf")
+            rebuild_session = None
+            rebuild_agree = True
+            for _ in range(repeats):
+                seconds, per_step, session = _replay_stream(
+                    db0,
+                    batches,
+                    query,
+                    lambda db: ParallelCertaintySession(
+                        db,
+                        max_workers=workers,
+                        mode="process",
+                        min_parallel_candidates=1,
+                        track_bytes=True,
+                    ),
+                )
+                rebuild_agree = rebuild_agree and per_step == expected
+                if seconds < rebuild_seconds:
+                    rebuild_seconds, rebuild_session = seconds, session
+
+            sharded_seconds = float("inf")
+            sharded_session = None
+            sharded_agree = True
+            snapshot_pickle_bytes = 0
+            for _ in range(repeats):
+                db = db0.copy()
+                session = ShardedCertaintySession(
+                    db, n_shards=workers, min_shard_candidates=1
+                )
+                try:
+                    start = time.perf_counter()
+                    per_step = [session.certain_answers(query)]
+                    for batch in batches:
+                        apply_batch(db, batch)
+                        per_step.append(session.certain_answers(query))
+                    seconds = time.perf_counter() - start
+                    # Size of one full snapshot of the *final* store: the
+                    # payload a rebuild strategy would ship per worker after
+                    # the last mutation.  Every delta flush must undercut it.
+                    snapshot_pickle_bytes = len(
+                        pickle.dumps(
+                            session.store.snapshot(), pickle.HIGHEST_PROTOCOL
+                        )
+                    )
+                finally:
+                    session.close()
+                sharded_agree = sharded_agree and per_step == expected
+                if seconds < sharded_seconds:
+                    sharded_seconds, sharded_session = seconds, session
+
+            stats = sharded_session.stats
+            delta_below_snapshot = (
+                stats.max_flush_bytes < snapshot_pickle_bytes
+            )
+            agree = rebuild_agree and sharded_agree
+            all_agree = all_agree and agree
+            all_deltas_below_snapshot = (
+                all_deltas_below_snapshot and delta_below_snapshot
+            )
+            worker_rows.append(
+                {
+                    "workers": workers,
+                    "rebuild_seconds": rebuild_seconds,
+                    "rebuilds": rebuild_session.stats.rebuilds,
+                    "snapshot_bytes_shipped": (
+                        rebuild_session.stats.snapshot_bytes_shipped
+                    ),
+                    "sharded_seconds": sharded_seconds,
+                    "speedup_delta_vs_rebuild": (
+                        rebuild_seconds / sharded_seconds
+                        if sharded_seconds
+                        else None
+                    ),
+                    "delta_flushes": stats.delta_flushes,
+                    "delta_bytes_shipped": stats.delta_bytes_shipped,
+                    "delta_facts_shipped": stats.delta_facts_shipped,
+                    "max_flush_bytes": stats.max_flush_bytes,
+                    "bootstrap_bytes_shipped": stats.bootstrap_bytes_shipped,
+                    "snapshot_pickle_bytes": snapshot_pickle_bytes,
+                    "delta_below_snapshot": delta_below_snapshot,
+                    "shard_decides": stats.shard_decides,
+                    "parent_decides": stats.parent_decides,
+                    "cross_shard_fallbacks": stats.cross_shard_fallbacks,
+                    "worker_restarts": stats.worker_restarts,
+                    "agree": agree,
+                }
+            )
+        results.append(
+            {
+                "size": size,
+                "facts": len(db0),
+                "steps": steps,
+                "mutated_facts": mutated_facts,
+                "certain_answers_final": len(expected[-1]),
+                "sequential_seconds": sequential_seconds,
+                "workers": worker_rows,
+            }
+        )
+    return {
+        "benchmark": "sharded_runtime",
+        "query": str(query),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "results": results,
+        "all_agree": all_agree,
+        "all_deltas_below_snapshot": all_deltas_below_snapshot,
     }
 
 
@@ -827,9 +1082,53 @@ def _emit_parallel_answers(args: argparse.Namespace, output: pathlib.Path) -> in
     return 0
 
 
+def _emit_sharded_runtime(args: argparse.Namespace, output: pathlib.Path) -> int:
+    if args.sizes:
+        sizes: Sequence[int] = args.sizes
+    else:
+        sizes = SHARDED_SMOKE_SIZES if args.smoke else SHARDED_FULL_SIZES
+    steps = SHARDED_SMOKE_STEPS if args.smoke else SHARDED_FULL_STEPS
+    report = run_sharded_benchmark(sizes, steps, repeats=1 if args.smoke else 3)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["results"]:
+        print(
+            f"size={row['size']:4d} facts={row['facts']:5d} steps={row['steps']} "
+            f"mutations={row['mutated_facts']:3d} "
+            f"sequential={row['sequential_seconds']:.4f}s "
+            f"({report['cpu_count']} cpus)"
+        )
+        for worker_row in row["workers"]:
+            print(
+                f"  workers={worker_row['workers']} "
+                f"rebuild={worker_row['rebuild_seconds']:.4f}s "
+                f"sharded={worker_row['sharded_seconds']:.4f}s "
+                f"speedup={worker_row['speedup_delta_vs_rebuild']:.2f}x "
+                f"snapshot_shipped={worker_row['snapshot_bytes_shipped']}B "
+                f"delta_shipped={worker_row['delta_bytes_shipped']}B "
+                f"max_flush={worker_row['max_flush_bytes']}B "
+                f"agree={worker_row['agree']}"
+            )
+    print(f"wrote {output}")
+    if not report["all_agree"]:
+        print(
+            "ERROR: sharded/rebuild answers disagree with sequential replay",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["all_deltas_below_snapshot"]:
+        print(
+            "ERROR: a delta flush outweighed a full snapshot "
+            "(delta shipping is not O(delta))",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _DEFAULT_OUTPUTS = {
     "fo_rewriting": "BENCH_fo_rewriting.json",
     "parallel_answers": "BENCH_parallel_answers.json",
+    "sharded_runtime": "BENCH_sharded_runtime.json",
     "incremental_views": "BENCH_incremental_views.json",
     "columnar_store": "BENCH_columnar_store.json",
     "all_bands": "BENCH_all_bands.json",
@@ -843,6 +1142,7 @@ def main(argv: Sequence[str] = ()) -> int:
         choices=(
             "fo_rewriting",
             "parallel_answers",
+            "sharded_runtime",
             "incremental_views",
             "columnar_store",
             "all_bands",
@@ -875,6 +1175,8 @@ def main(argv: Sequence[str] = ()) -> int:
         )
     if args.suite == "parallel_answers":
         return _emit_parallel_answers(args, output)
+    if args.suite == "sharded_runtime":
+        return _emit_sharded_runtime(args, output)
     if args.suite == "incremental_views":
         return _emit_incremental_views(args, output)
     if args.suite == "columnar_store":

@@ -11,6 +11,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 from repro import (
     CertaintySession,
     ParallelCertaintySession,
+    ShardedCertaintySession,
     UncertainDatabase,
     ViewManager,
     certain_answers,
@@ -183,6 +184,27 @@ def main() -> None:
         with ptime_db.batch():                         # version bumps once
             ptime_db.add(ptime_query.atoms[0].relation.fact("w1", "w2"))
         print("full-refresh causes:", manager.full_refresh_causes())
+
+    # 10. Sharding the engine.  A ShardedCertaintySession partitions the
+    #     database by hash of block key across long-lived worker processes,
+    #     each holding a persistent shard replica.  Mutations never respawn
+    #     the pool: observer hooks accumulate per-shard deltas (newly
+    #     interned constants plus integer row ids), flushed on the next
+    #     dispatch — O(changed facts), not O(database).  A candidate is
+    #     decided on the shard owning its blocks; workers re-validate by
+    #     checking the recorded read set stayed shard-local, and any
+    #     candidate whose support spans shards (here: Emp blocks key on
+    #     name, Dept blocks on dept, so they rarely co-locate) falls back
+    #     to a parent-side decide — visible in stats.cross_shard_fallbacks.
+    #     Answers are always identical to the sequential session's.
+    with ShardedCertaintySession(db, n_shards=2, min_shard_candidates=1) as sharded:
+        print("\nsharded answers:", sorted(t[0].value for t in sharded.certain_answers(open_query)))
+        db.add(schema["Emp"].fact("kay", "os"))        # delta, not a rebuild
+        print("after mutation:", sorted(t[0].value for t in sharded.certain_answers(open_query)))
+        stats = sharded.stats
+        print(f"delta flushes: {stats.delta_flushes}, "
+              f"delta bytes: {stats.delta_bytes_shipped}, "
+              f"cross-shard fallbacks: {stats.cross_shard_fallbacks}")
 
 
 if __name__ == "__main__":

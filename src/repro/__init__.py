@@ -94,9 +94,12 @@ from .engine import (
     ParallelCertaintySession,
     PlanCache,
     QueryPlan,
+    ShardedCertaintySession,
     certain_answers_parallel,
+    certain_answers_sharded,
     compile_plan,
     default_plan_cache,
+    shard_of_key,
 )
 from .fo import certain_rewriting, evaluate_sentence
 from .incremental import MaterializedCertainView, SupportIndex, ViewManager
@@ -164,6 +167,7 @@ __all__ = [
     "PlanCache",
     "QueryPlan",
     "RelationSchema",
+    "ShardedCertaintySession",
     "SupportIndex",
     "UncertainDatabase",
     "UnsupportedQueryError",
@@ -174,6 +178,7 @@ __all__ = [
     "build_join_tree",
     "certain_answers",
     "certain_answers_parallel",
+    "certain_answers_sharded",
     "certain_brute_force",
     "certain_cycle_query",
     "certain_fo",
@@ -203,6 +208,7 @@ __all__ = [
     "probability_safe_plan",
     "purify",
     "satisfies",
+    "shard_of_key",
     "solve",
     "theorem2_reduction",
 ]

@@ -23,6 +23,14 @@ loop across a process pool — each worker receives one immutable database
 snapshot and decides its chunk with the ordinary sequential machinery, so
 the answer set is identical to the sequential session's.
 
+Under write-bearing traffic, :class:`ShardedCertaintySession` (and the
+one-shot :func:`certain_answers_sharded`) replaces snapshot-per-rebuild
+with *long-lived* workers: the database partitions by a stable hash of
+block key (:func:`shard_of_key`), mutations ship as O(delta) integer rows
+plus newly-interned constant values, and candidates scatter to the shards
+owning their supporting blocks — cross-shard decisions fall back to the
+parent, keeping the answer set identical.
+
 Execution runs on the interned columnar backend by default
 (:mod:`repro.store`): integer-row kernels, compiled candidate enumeration,
 batched set-at-a-time deciding, block-id read sets, and compact columnar
@@ -34,6 +42,7 @@ from .cache import CacheStats, PlanCache, default_plan_cache
 from .parallel import ParallelCertaintySession, certain_answers_parallel
 from .plan import QueryPlan, compile_plan
 from .session import CertaintySession
+from .shards import ShardedCertaintySession, certain_answers_sharded, shard_of_key
 
 __all__ = [
     "CacheStats",
@@ -41,7 +50,10 @@ __all__ = [
     "ParallelCertaintySession",
     "PlanCache",
     "QueryPlan",
+    "ShardedCertaintySession",
     "certain_answers_parallel",
+    "certain_answers_sharded",
     "compile_plan",
     "default_plan_cache",
+    "shard_of_key",
 ]

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import sys
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -86,7 +87,13 @@ def _pool_mp_context() -> Optional[multiprocessing.context.BaseContext]:
 
 
 class _MutationCounter(DatabaseObserver):
-    """Counts database mutations so stale worker snapshots can be detected."""
+    """Counts database mutations so stale worker snapshots can be detected.
+
+    Notifications are *coalesced*: a batch of M mutations bumps the version
+    once (via :meth:`batch_applied`, which suppresses the default per-fact
+    replay), so M writes between two dispatches cost at most one snapshot
+    rebuild — the version is a staleness bit, not a mutation count.
+    """
 
     __slots__ = ("version",)
 
@@ -98,6 +105,41 @@ class _MutationCounter(DatabaseObserver):
 
     def fact_discarded(self, fact: Fact) -> None:
         self.version += 1
+
+    def batch_applied(self, changes) -> None:
+        if changes:
+            self.version += 1
+
+
+class ParallelSessionStats:
+    """Counters describing one :class:`ParallelCertaintySession`'s traffic.
+
+    ``rebuilds``
+        pool (re)builds — one per fresh pool and one per stale snapshot
+        detected at dispatch, never one per mutation;
+    ``dispatches`` / ``serial_decides``
+        decide rounds fanned out to the pool / candidates decided inline
+        (serial mode or below ``min_parallel_candidates``);
+    ``snapshot_bytes_shipped``
+        total pickled snapshot payload shipped to process pools (the full
+        O(database) wire cost the sharded runtime's deltas avoid); only
+        tracked when the session was built with ``track_bytes=True``.
+    """
+
+    __slots__ = ("rebuilds", "dispatches", "serial_decides", "snapshot_bytes_shipped")
+
+    def __init__(self) -> None:
+        self.rebuilds = 0
+        self.dispatches = 0
+        self.serial_decides = 0
+        self.snapshot_bytes_shipped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelSessionStats(rebuilds={self.rebuilds}, "
+            f"dispatches={self.dispatches}, serial={self.serial_decides}, "
+            f"snapshot_bytes={self.snapshot_bytes_shipped})"
+        )
 
 
 # -- worker-process state ---------------------------------------------------------
@@ -213,6 +255,10 @@ class ParallelCertaintySession:
         serial fallbacks, ``solve``/``is_certain``) and of thread-mode
         snapshot sessions.  Process workers always compile through a
         worker-local cache — plans cannot cross process boundaries.
+    track_bytes:
+        When set, :attr:`stats` additionally records the pickled snapshot
+        bytes shipped at every process-pool rebuild (pickling the payload
+        twice costs time, so byte accounting is opt-in for benchmarks).
 
     Guarantees
     ----------
@@ -220,7 +266,9 @@ class ParallelCertaintySession:
     :class:`CertaintySession` returns — same candidates, same per-candidate
     decision procedure, order-independent set union.  Mutating the database
     between calls is supported: snapshots are versioned via the observer
-    hooks and stale pools are rebuilt before the next parallel call.
+    hooks (coalesced — one version bump per batch, however many facts it
+    touches) and stale pools are rebuilt before the next parallel call; at
+    most one rebuild happens per dispatch, counted in ``stats.rebuilds``.
 
     Example
     -------
@@ -237,6 +285,7 @@ class ParallelCertaintySession:
         min_parallel_candidates: int = MIN_PARALLEL_CANDIDATES,
         allow_exponential: bool = False,
         plan_cache: Optional[PlanCache] = None,
+        track_bytes: bool = False,
     ) -> None:
         if mode not in ("auto", "process", "thread", "serial"):
             raise ValueError(
@@ -263,6 +312,8 @@ class ParallelCertaintySession:
         self._executor: Optional[Executor] = None
         self._snapshot_session: Optional[CertaintySession] = None  # thread mode
         self._snapshot_version = -1
+        self._track_bytes = track_bytes
+        self.stats = ParallelSessionStats()
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -395,6 +446,7 @@ class ParallelCertaintySession:
                 query, candidates, allow_exponential=allow, support=support
             )
             self._portabilize(support, self._inner.store)
+            self.stats.serial_decides += len(candidates)
             return certain
         chunks = _chunk(candidates, self._effective_chunk_size(len(candidates)))
         try:
@@ -426,6 +478,7 @@ class ParallelCertaintySession:
         """Dispatch chunks to the pool and concatenate the shard results."""
         self._ensure_pool()
         assert self._executor is not None
+        self.stats.dispatches += 1
         with_support = support is not None
         if self._mode == "thread":
             session = self._snapshot_session
@@ -463,6 +516,7 @@ class ParallelCertaintySession:
         if self._executor is not None and self._snapshot_version == self._version.version:
             return
         self._teardown_pool()
+        self.stats.rebuilds += 1
         version = self._version.version
         if self._mode == "thread":
             snapshot = self._db.copy()
@@ -484,6 +538,13 @@ class ParallelCertaintySession:
                 initializer, payload = _init_worker_columnar, store.snapshot()
             else:
                 initializer, payload = _init_worker, self._db.facts
+            if self._track_bytes:
+                # Every worker receives the full snapshot through the pool
+                # initializer: the per-rebuild wire cost is payload × workers.
+                self.stats.snapshot_bytes_shipped += (
+                    len(pickle.dumps((payload, relations), pickle.HIGHEST_PROTOCOL))
+                    * self._max_workers
+                )
             self._executor = ProcessPoolExecutor(
                 max_workers=self._max_workers,
                 mp_context=_pool_mp_context(),

@@ -1,0 +1,895 @@
+"""Delta-shipped shard runtime: long-lived block-hash-sharded workers.
+
+:class:`~repro.engine.parallel.ParallelCertaintySession` treats every
+mutation as fatal: a stale snapshot tears the whole pool down and re-ships
+the full columnar snapshot, so write-bearing workloads pay O(database)
+re-serialization per dispatch.  This module replaces the
+snapshot-per-rebuild model with a *partitioned, continuously maintained*
+one:
+
+* the database is partitioned by a **stable hash of the block key** into N
+  shards (:func:`shard_of_key`) — relation-name-agnostic, so same-key
+  blocks of *different* relations co-locate on one shard and same-key
+  joins stay shard-local;
+* each shard is one **long-lived worker process** holding a persistent
+  shard database, a shard-local :class:`~repro.engine.session.CertaintySession`
+  (own plan cache, own columnar store), and a mirror intern table for the
+  wire format;
+* parent-side observer hooks route every mutation to the owning shard's
+  pending delta; deltas are **flushed on the next dispatch** as integer
+  rows plus an intern-table suffix of only the newly-interned constant
+  values (:meth:`~repro.store.intern.InternTable.values_since`) — steady
+  state ships O(delta) bytes, never O(database);
+* candidates scatter to the shards that own their supporting blocks.
+  Workers decide **optimistically** and validate ownership afterwards: the
+  per-candidate read set captured during the decision is checked against
+  the shard's key space, and any candidate whose decision read a foreign
+  block, a wildcard key mask, a whole relation, or the active domain is
+  handed back undecided and re-decided parent-side (counted as a
+  ``cross_shard_fallback``).
+
+Soundness of the optimistic decide
+----------------------------------
+Plan execution is deterministic and every probe key is derived from facts
+found by earlier reads (the :class:`~repro.fo.compile.ReadSet` argument).
+If every block the shard-local execution read is *owned* by the shard,
+then each of those blocks has identical content in the shard database and
+the full database — so the full-database execution replays identically,
+read for read, and reaches the same verdict.  If the full-database
+execution would ever read a foreign block, the shard execution (identical
+up to that point) issues the same read, records it (probed-but-absent
+blocks are recorded too), and validation rejects the candidate.  The
+non-FO solvers record *static* per-atom support — fully pinned key masks
+are validated like blocks (mask ⇒ whole block, Lemma 1 granularity);
+wildcard masks, relation scans and domain reads always fall back.  A
+single-shard session is a full replica, so validation is vacuous there.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+import zlib
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..certainty.solver import CertaintyOutcome
+from ..fo.compile import ReadSet
+from ..model.atoms import Fact, RelationSchema
+from ..model.database import DatabaseObserver, UncertainDatabase
+from ..model.symbols import Constant, is_constant
+from ..query.conjunctive import ConjunctiveQuery
+from ..store import InternTable
+from .cache import PlanCache
+from .parallel import _pool_mp_context
+from .session import CertaintySession
+
+#: Candidate tuples below this count decide inline: one pipe round-trip
+#: costs more than a handful of sequential decisions.
+MIN_SHARD_CANDIDATES = 4
+
+#: Routing-table sentinel: the candidate's last decision was not
+#: shard-local, so route it straight to the parent next time.
+_PARENT = -1
+
+#: A relation signature on the wire: enough to rebuild the schema.
+_RelationSig = Tuple[str, int, int]  # (name, arity, key_size)
+
+#: One wire delta group: a relation signature plus its integer rows.
+_RowGroup = Tuple[str, int, int, Tuple[Tuple[int, ...], ...]]
+
+
+def shard_of_key(key_constants: Sequence[Constant], n_shards: int) -> int:
+    """The shard owning a block key — stable across processes and hash seeds.
+
+    Hashes the *values* of the key constants (CRC32 over their reprs), not
+    Python object hashes, which are salted per process.  The relation name
+    is deliberately **not** hashed: blocks of different relations sharing a
+    key land on the same shard (co-partitioning), so a join on the key —
+    the common shape of certain rewritings — reads only shard-local blocks.
+    """
+    if n_shards <= 1:
+        return 0
+    payload = "\x1f".join(repr(c.value) for c in key_constants)
+    return zlib.crc32(payload.encode("utf-8")) % n_shards
+
+
+def _read_set_is_local(read_set: ReadSet, shard_id: int, n_shards: int) -> bool:
+    """Was this (portable) read set satisfied entirely by shard-owned blocks?
+
+    The validation half of the optimistic decide: see the module docstring
+    for the soundness argument.  ``read_set`` must already be portable —
+    object-space block keys, no store-local ids.
+    """
+    if n_shards <= 1:
+        return True  # a single shard is a full replica
+    if read_set.opaque or read_set.domain_read or read_set.relations:
+        return False
+    for _name, key in read_set.blocks:
+        if shard_of_key(key, n_shards) != shard_id:
+            return False
+    for _name, mask in read_set.key_masks:
+        if any(m is None for m in mask):
+            return False  # wildcard: may match blocks on any shard
+        if shard_of_key(mask, n_shards) != shard_id:
+            return False
+    return True
+
+
+class ShardStats:
+    """Counters describing one :class:`ShardedCertaintySession`'s traffic.
+
+    ``dispatches``
+        decide rounds that consulted the worker pool;
+    ``shard_decides`` / ``parent_decides``
+        candidates whose verdict came from a worker (ownership-validated) /
+        from the parent's inline session;
+    ``cross_shard_fallbacks``
+        candidates a worker decided but whose read set crossed shard
+        boundaries, forcing a parent-side re-decision;
+    ``delta_flushes`` / ``delta_bytes_shipped`` / ``delta_facts_shipped``
+        incremental delta traffic to the pool (bytes are exact wire
+        payload sizes); ``max_flush_bytes`` is the largest single flush —
+        the number the bench compares against a full snapshot;
+    ``bootstraps`` / ``bootstrap_bytes_shipped``
+        full partitioned loads (pool start and post-crash restarts);
+    ``worker_restarts``
+        pool restarts forced by a dead or erroring worker.
+    """
+
+    __slots__ = (
+        "dispatches",
+        "shard_decides",
+        "parent_decides",
+        "cross_shard_fallbacks",
+        "delta_flushes",
+        "delta_bytes_shipped",
+        "delta_facts_shipped",
+        "max_flush_bytes",
+        "bootstraps",
+        "bootstrap_bytes_shipped",
+        "worker_restarts",
+    )
+
+    def __init__(self) -> None:
+        self.dispatches = 0
+        self.shard_decides = 0
+        self.parent_decides = 0
+        self.cross_shard_fallbacks = 0
+        self.delta_flushes = 0
+        self.delta_bytes_shipped = 0
+        self.delta_facts_shipped = 0
+        self.max_flush_bytes = 0
+        self.bootstraps = 0
+        self.bootstrap_bytes_shipped = 0
+        self.worker_restarts = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStats(dispatches={self.dispatches}, "
+            f"shard={self.shard_decides}, parent={self.parent_decides}, "
+            f"fallbacks={self.cross_shard_fallbacks}, "
+            f"delta_bytes={self.delta_bytes_shipped}, "
+            f"restarts={self.worker_restarts})"
+        )
+
+
+class _PendingDelta:
+    """Net per-shard accumulation of routed mutations between flushes.
+
+    Rows keep :class:`~repro.model.database.ChangeSet` net semantics at the
+    wire level: a fact added and discarded between two flushes cancels out
+    and ships nothing, so pending state is bounded by the net touched rows,
+    never by the mutation churn.
+    """
+
+    __slots__ = ("added", "discarded")
+
+    def __init__(self) -> None:
+        # signature -> insertion-ordered row set (dict keys).
+        self.added: Dict[_RelationSig, Dict[Tuple[int, ...], None]] = {}
+        self.discarded: Dict[_RelationSig, Dict[Tuple[int, ...], None]] = {}
+
+    def record(self, sig: _RelationSig, row: Tuple[int, ...], added: bool) -> None:
+        cancel = self.discarded if added else self.added
+        rows = cancel.get(sig)
+        if rows is not None and row in rows:
+            del rows[row]
+            if not rows:
+                del cancel[sig]
+            return
+        target = self.added if added else self.discarded
+        target.setdefault(sig, {})[row] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.added) or bool(self.discarded)
+
+    def take(self) -> Tuple[Tuple[_RowGroup, ...], Tuple[_RowGroup, ...]]:
+        """Drain into wire row groups (clears the pending state)."""
+        added = tuple(
+            (name, arity, key_size, tuple(rows))
+            for (name, arity, key_size), rows in self.added.items()
+        )
+        discarded = tuple(
+            (name, arity, key_size, tuple(rows))
+            for (name, arity, key_size), rows in self.discarded.items()
+        )
+        self.added = {}
+        self.discarded = {}
+        return added, discarded
+
+
+class _DeltaRouter(DatabaseObserver):
+    """Observer hook routing each mutated fact to its owning shard's delta."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "ShardedCertaintySession") -> None:
+        self._owner = owner
+
+    def fact_added(self, fact: Fact) -> None:
+        self._owner._record_mutation(fact, added=True)
+
+    def fact_discarded(self, fact: Fact) -> None:
+        self._owner._record_mutation(fact, added=False)
+
+    # batch_applied: the default replay delivers the *net* ChangeSet through
+    # the per-fact hooks, which is exactly the delta the shards need.
+
+
+class _WorkerHandle:
+    """Parent-side handle on one long-lived shard worker process."""
+
+    __slots__ = ("process", "conn", "watermark")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        #: Length of the wire intern table prefix already shipped.
+        self.watermark = 0
+
+
+class _WorkerFailure(RuntimeError):
+    """A worker replied with an error or died mid-conversation."""
+
+
+# -- the worker process -----------------------------------------------------------
+
+
+def _worker_relation(
+    cache: Dict[_RelationSig, RelationSchema], sig: _RelationSig
+) -> RelationSchema:
+    relation = cache.get(sig)
+    if relation is None:
+        relation = RelationSchema(*sig)
+        cache[sig] = relation
+    return relation
+
+
+def _worker_apply_delta(
+    db: UncertainDatabase,
+    mirror: InternTable,
+    relations: Dict[_RelationSig, RelationSchema],
+    base: int,
+    values: Tuple[Any, ...],
+    added: Tuple[_RowGroup, ...],
+    discarded: Tuple[_RowGroup, ...],
+) -> int:
+    """Apply one shipped delta to the shard database; return its fact count."""
+    mirror.extend_values(base, values)
+    with db.batch():
+        for name, arity, key_size, rows in discarded:
+            relation = _worker_relation(relations, (name, arity, key_size))
+            for row in rows:
+                db.discard(Fact(relation, mirror.decode(row)))
+        for name, arity, key_size, rows in added:
+            relation = _worker_relation(relations, (name, arity, key_size))
+            for row in rows:
+                db.add(Fact(relation, mirror.decode(row)))
+    return len(db)
+
+
+def _worker_decide(
+    session: CertaintySession,
+    shard_id: int,
+    n_shards: int,
+    query: ConjunctiveQuery,
+    candidates: Tuple[Tuple[Constant, ...], ...],
+    allow_exponential: bool,
+    want_support: bool,
+) -> List[Tuple[bool, bool, Optional[ReadSet]]]:
+    """Optimistically decide *candidates* on the shard; validate ownership.
+
+    Returns one ``(certain, valid, read_set)`` triple per candidate, in
+    input order.  ``valid`` is the ownership verdict of the captured read
+    set; invalid candidates' verdicts are meaningless and the parent
+    re-decides them.  Read sets are portable (decoded against the shard
+    store) and only shipped when *want_support* is set and the candidate
+    validated.
+    """
+    support: Dict[Tuple[Constant, ...], ReadSet] = {}
+    certain = set(
+        session.decide_candidates(
+            query, list(candidates), allow_exponential=allow_exponential, support=support
+        )
+    )
+    store = session.store
+    results: List[Tuple[bool, bool, Optional[ReadSet]]] = []
+    for candidate in candidates:
+        read_set = support[candidate]
+        if store is not None:
+            read_set = read_set.to_portable(store)
+        valid = _read_set_is_local(read_set, shard_id, n_shards)
+        results.append(
+            (candidate in certain, valid, read_set if want_support and valid else None)
+        )
+    return results
+
+
+def _shard_worker_main(conn, shard_id: int, n_shards: int) -> None:
+    """Command loop of one shard worker: apply deltas, decide candidates.
+
+    The worker owns a persistent shard database and session for its whole
+    lifetime — mutations arrive as integer-row deltas against the mirror
+    intern table, never as fresh snapshots.  Every command is answered
+    (``ok`` / ``decided`` / ``error``) so the parent can pair requests with
+    replies; unexpected exceptions ship the traceback back instead of
+    killing the process, and the parent treats them as a worker failure.
+    """
+    mirror = InternTable()
+    relations: Dict[_RelationSig, RelationSchema] = {}
+    db = UncertainDatabase()
+    # A worker-local plan cache: plans cannot cross process boundaries.
+    session = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
+    while True:
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError):  # parent went away
+            break
+        try:
+            command = pickle.loads(payload)
+            kind = command[0]
+            if kind == "stop":
+                conn.send(("bye",))
+                break
+            if kind == "delta":
+                _, base, values, added, discarded = command
+                facts = _worker_apply_delta(
+                    db, mirror, relations, base, values, added, discarded
+                )
+                conn.send(("ok", facts))
+            elif kind == "decide":
+                _, query, candidates, allow_exponential, want_support = command
+                conn.send(
+                    (
+                        "decided",
+                        _worker_decide(
+                            session,
+                            shard_id,
+                            n_shards,
+                            query,
+                            candidates,
+                            allow_exponential,
+                            want_support,
+                        ),
+                    )
+                )
+            elif kind == "stats":
+                conn.send(("ok", {"facts": len(db), "constants": len(mirror)}))
+            else:
+                conn.send(("error", f"unknown shard command {kind!r}"))
+        except Exception:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+# -- the parent session -----------------------------------------------------------
+
+
+class ShardedCertaintySession:
+    """Certain answers over one mutating database, sharded by block-key hash.
+
+    Parameters
+    ----------
+    db:
+        The uncertain database to serve queries against.
+    n_shards:
+        Long-lived worker count (default ``min(os.cpu_count(), 4)``); the
+        database partitions into exactly this many shard databases.
+    min_shard_candidates:
+        Below this candidate count decisions run inline on the parent.
+    allow_exponential:
+        Session-wide default for the brute-force escape hatch.
+    plan_cache:
+        Plan cache of the parent's inline session (workers always compile
+        through worker-local caches).
+
+    Guarantees
+    ----------
+    ``certain_answers`` / ``decide_candidates`` return exactly what the
+    sequential :class:`CertaintySession` returns — shard-local verdicts are
+    accepted only when the decision's captured read set was satisfied
+    entirely by shard-owned blocks, and everything else re-decides on the
+    parent (see the module docstring for the soundness argument).
+    Mutations between calls ship as O(delta) integer rows plus newly
+    interned constant values; the worker pool is **never** rebuilt for a
+    mutation.
+
+    Example
+    -------
+    >>> with ShardedCertaintySession(db, n_shards=4) as shards:  # doctest: +SKIP
+    ...     shards.certain_answers(open_query)
+    ...     db.add(fact)                  # routed; ships as a delta
+    ...     shards.certain_answers(open_query)
+    """
+
+    def __init__(
+        self,
+        db: UncertainDatabase,
+        n_shards: Optional[int] = None,
+        min_shard_candidates: int = MIN_SHARD_CANDIDATES,
+        allow_exponential: bool = False,
+        plan_cache: Optional[PlanCache] = None,
+    ) -> None:
+        if n_shards is not None and n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        import os
+
+        self._db = db
+        self._n_shards = n_shards if n_shards is not None else min(os.cpu_count() or 1, 4)
+        self._min_shard = min_shard_candidates
+        self._allow_exponential = allow_exponential
+        # Inline session first: its index observer registers before the
+        # router, so routing always sees an up-to-date parent index.
+        self._inner = CertaintySession(
+            db, plan_cache=plan_cache, allow_exponential=allow_exponential
+        )
+        #: Private wire intern table: ids on the wire are dense over the
+        #: constants this session actually ships, independent of the
+        #: process-global table, so delta byte counts reflect the workload.
+        self._wire_table = InternTable()
+        self._router = _DeltaRouter(self)
+        db.register_observer(self._router)
+        self._workers: Optional[List[_WorkerHandle]] = None
+        self._pending: List[_PendingDelta] = [
+            _PendingDelta() for _ in range(self._n_shards)
+        ]
+        #: query -> candidate -> owning shard (or _PARENT), learned from
+        #: validated decisions; a cheap guess seeds unknown candidates.
+        self._routing: Dict[ConjunctiveQuery, Dict[Tuple[Constant, ...], int]] = {}
+        self.stats = ShardStats()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and detach from the database (idempotent)."""
+        if self._closed:
+            return
+        self._teardown_workers()
+        self._db.unregister_observer(self._router)
+        self._inner.close()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedCertaintySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _teardown_workers(self) -> None:
+        if self._workers is None:
+            return
+        for worker in self._workers:
+            try:
+                worker.conn.send_bytes(pickle.dumps(("stop",)))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            worker.conn.close()
+        self._workers = None
+        self._pending = [_PendingDelta() for _ in range(self._n_shards)]
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def db(self) -> UncertainDatabase:
+        """The wrapped database."""
+        return self._db
+
+    @property
+    def n_shards(self) -> int:
+        """The configured shard / worker count."""
+        return self._n_shards
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def pool_started(self) -> bool:
+        """``True`` while the long-lived workers are alive."""
+        return self._workers is not None
+
+    @property
+    def store(self):
+        """The parent inline session's columnar store (portability helper)."""
+        return self._inner.store
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ShardedCertaintySession({self._db!r}, shards={self._n_shards}, {state})"
+        )
+
+    def owner_of(self, key_constants: Sequence[Constant]) -> int:
+        """The shard owning blocks keyed by *key_constants*."""
+        return shard_of_key(key_constants, self._n_shards)
+
+    def shard_fact_counts(self) -> List[int]:
+        """Current fact count per shard (flushes pending deltas first)."""
+        self._check_open()
+        self._ensure_workers()
+        self._flush_deltas()
+        assert self._workers is not None
+        counts: List[int] = []
+        for worker in self._workers:
+            worker.conn.send_bytes(pickle.dumps(("stats",)))
+        for worker in self._workers:
+            reply = worker.conn.recv()
+            if reply[0] != "ok":
+                raise _WorkerFailure(reply[1])
+            counts.append(reply[1]["facts"])
+        return counts
+
+    # -- sequential delegates ----------------------------------------------------
+
+    def solve(
+        self, query: ConjunctiveQuery, allow_exponential: Optional[bool] = None
+    ) -> CertaintyOutcome:
+        """Decide ``db ∈ CERTAINTY(q)`` (single instance — runs inline)."""
+        self._check_open()
+        return self._inner.solve(query, allow_exponential=allow_exponential)
+
+    def is_certain(
+        self, query: ConjunctiveQuery, allow_exponential: Optional[bool] = None
+    ) -> bool:
+        """``True`` iff every repair of the database satisfies *query*."""
+        return self.solve(query, allow_exponential=allow_exponential).certain
+
+    # -- mutation routing (observer callback target) -----------------------------
+
+    def _record_mutation(self, fact: Fact, added: bool) -> None:
+        if self._workers is None:
+            return  # bootstrap reads the live database directly
+        shard = shard_of_key(fact.key_terms, self._n_shards)
+        relation = fact.relation
+        sig = (relation.name, relation.arity, relation.key_size)
+        row = self._wire_table.intern_many(fact.terms)
+        self._pending[shard].record(sig, row, added)
+
+    # -- worker pool -------------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        """Start the long-lived pool and bootstrap it from the live database."""
+        if self._workers is not None:
+            return
+        ctx = _pool_mp_context() or multiprocessing.get_context()
+        workers: List[_WorkerHandle] = []
+        for shard_id in range(self._n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, shard_id, self._n_shards),
+                daemon=True,
+                name=f"repro-shard-{shard_id}",
+            )
+            process.start()
+            child_conn.close()
+            workers.append(_WorkerHandle(process, parent_conn))
+        # The bootstrap is one partitioned load expressed as ordinary
+        # deltas-from-empty: route every live fact, then flush.  Anything
+        # recorded before this point is already in the database, so the
+        # pending state starts clean.
+        self._pending = [_PendingDelta() for _ in range(self._n_shards)]
+        self._workers = workers
+        for fact in self._db.facts:
+            self._record_mutation(fact, added=True)
+        self.stats.bootstraps += 1
+        self._flush_deltas(bootstrap=True)
+
+    def _restart_workers(self) -> None:
+        """Tear the pool down after a failure; the next dispatch re-bootstraps."""
+        self.stats.worker_restarts += 1
+        if self._workers is not None:
+            for worker in self._workers:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+            for worker in self._workers:
+                worker.process.join(timeout=5)
+                worker.conn.close()
+            self._workers = None
+        self._pending = [_PendingDelta() for _ in range(self._n_shards)]
+
+    def _flush_deltas(self, bootstrap: bool = False) -> None:
+        """Ship pending deltas (and new intern values) to every stale shard."""
+        assert self._workers is not None
+        flushed: List[_WorkerHandle] = []
+        for shard, worker in enumerate(self._workers):
+            pending = self._pending[shard]
+            values = self._wire_table.values_since(worker.watermark)
+            if not pending and not values:
+                continue
+            added, discarded = pending.take()
+            payload = pickle.dumps(
+                ("delta", worker.watermark, values, added, discarded),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            worker.conn.send_bytes(payload)
+            worker.watermark += len(values)
+            flushed.append(worker)
+            facts = sum(len(group[3]) for group in added + discarded)
+            if bootstrap:
+                self.stats.bootstrap_bytes_shipped += len(payload)
+            else:
+                self.stats.delta_flushes += 1
+                self.stats.delta_bytes_shipped += len(payload)
+                self.stats.delta_facts_shipped += facts
+                self.stats.max_flush_bytes = max(
+                    self.stats.max_flush_bytes, len(payload)
+                )
+        for worker in flushed:
+            reply = worker.conn.recv()
+            if reply[0] != "ok":
+                raise _WorkerFailure(reply[1])
+
+    # -- the sharded loop --------------------------------------------------------
+
+    def certain_answers(
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+    ) -> Set[Tuple[Constant, ...]]:
+        """The certain answers of a non-Boolean query, sharded over workers.
+
+        Identical to the sequential session's answer set: candidates are
+        enumerated once on the live (parent) database, scattered to the
+        shards that own their supporting blocks, and every non-shard-local
+        decision re-runs on the parent.
+        """
+        self._check_open()
+        if query.is_boolean:
+            raise ValueError("certain_answers expects a query with free variables")
+        candidates = self._inner.candidate_answers(query)
+        return set(
+            self.decide_candidates(
+                query, candidates, allow_exponential=allow_exponential
+            )
+        )
+
+    def decide_candidates(
+        self,
+        query: ConjunctiveQuery,
+        candidates: Sequence[Tuple[Constant, ...]],
+        allow_exponential: Optional[bool] = None,
+        support: Optional[Dict[Tuple[Constant, ...], ReadSet]] = None,
+        support_index=None,
+    ) -> List[Tuple[Constant, ...]]:
+        """The certain candidates, in input order, scattered across shards.
+
+        The sharded counterpart of
+        :meth:`CertaintySession.decide_candidates` — same contract, same
+        order.  When *support* is given it is filled with **portable**
+        per-candidate read sets (shard-captured for shard-local decisions,
+        parent-captured otherwise), so the incremental view subsystem can
+        maintain its support index under sharded fan-out.  *support_index*
+        (a :class:`~repro.incremental.support.SupportIndex`, duck-typed)
+        provides routing hints: candidates route to the shard owning the
+        blocks of their *previous* decision, which post-mutation is almost
+        always still the owner — and ownership validation catches the rest.
+        """
+        self._check_open()
+        allow = (
+            self._allow_exponential if allow_exponential is None else allow_exponential
+        )
+        if len(candidates) < self._min_shard:
+            certain = self._inner.decide_candidates(
+                query, candidates, allow_exponential=allow, support=support
+            )
+            self._portabilize(support)
+            self.stats.parent_decides += len(candidates)
+            return certain
+        self._ensure_workers()
+        try:
+            self._flush_deltas()
+            return self._scatter(query, candidates, allow, support, support_index)
+        except (_WorkerFailure, BrokenPipeError, EOFError, OSError):
+            # A worker died or errored: restart lazily and serve this call
+            # from the always-correct parent session.
+            self._restart_workers()
+            certain = self._inner.decide_candidates(
+                query, candidates, allow_exponential=allow, support=support
+            )
+            self._portabilize(support)
+            self.stats.parent_decides += len(candidates)
+            return certain
+
+    def _scatter(
+        self,
+        query: ConjunctiveQuery,
+        candidates: Sequence[Tuple[Constant, ...]],
+        allow: bool,
+        support: Optional[Dict[Tuple[Constant, ...], ReadSet]],
+        support_index,
+    ) -> List[Tuple[Constant, ...]]:
+        assert self._workers is not None
+        routing = self._routing_for(query)
+        shard_key = self._shard_key_fn()
+        buckets: Dict[int, List[Tuple[Constant, ...]]] = {}
+        parent_side: List[Tuple[Constant, ...]] = []
+        for candidate in candidates:
+            shard = routing.get(candidate)
+            if shard is None and support_index is not None:
+                shard = support_index.route(candidate, shard_key)
+            if shard is None:
+                shard = self._guess_shard(query, candidate)
+            if shard is None or shard == _PARENT:
+                parent_side.append(candidate)
+            else:
+                buckets.setdefault(shard, []).append(candidate)
+        want_support = support is not None
+        replies = self._scatter_decide(buckets, query, allow, want_support)
+        verdicts: Dict[Tuple[Constant, ...], bool] = {}
+        for shard, bucket in buckets.items():
+            for candidate, (certain, valid, read_set) in zip(bucket, replies[shard]):
+                if valid:
+                    verdicts[candidate] = certain
+                    routing[candidate] = shard
+                    self.stats.shard_decides += 1
+                    if want_support and read_set is not None:
+                        support[candidate] = read_set
+                else:
+                    parent_side.append(candidate)
+                    routing[candidate] = _PARENT
+                    self.stats.cross_shard_fallbacks += 1
+        if parent_side:
+            parent_support: Optional[Dict[Tuple[Constant, ...], ReadSet]] = (
+                {} if want_support else None
+            )
+            parent_certain = set(
+                self._inner.decide_candidates(
+                    query, parent_side, allow_exponential=allow, support=parent_support
+                )
+            )
+            if parent_support is not None:
+                self._portabilize(parent_support)
+                support.update(parent_support)
+            for candidate in parent_side:
+                verdicts[candidate] = candidate in parent_certain
+            self.stats.parent_decides += len(parent_side)
+        self.stats.dispatches += 1
+        return [c for c in candidates if verdicts[c]]
+
+    def _scatter_decide(
+        self,
+        buckets: Dict[int, List[Tuple[Constant, ...]]],
+        query: ConjunctiveQuery,
+        allow: bool,
+        want_support: bool,
+    ) -> Dict[int, List[Tuple[bool, bool, Optional[ReadSet]]]]:
+        """Send one decide command per non-empty shard; gather all replies.
+
+        Sends complete before any receive, so the workers decide their
+        buckets concurrently.
+        """
+        assert self._workers is not None
+        for shard in sorted(buckets):
+            payload = pickle.dumps(
+                ("decide", query, tuple(buckets[shard]), allow, want_support),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._workers[shard].conn.send_bytes(payload)
+        replies: Dict[int, List[Tuple[bool, bool, Optional[ReadSet]]]] = {}
+        for shard in sorted(buckets):
+            reply = self._workers[shard].conn.recv()
+            if reply[0] != "decided":
+                raise _WorkerFailure(reply[1])
+            replies[shard] = reply[1]
+        return replies
+
+    # -- routing -----------------------------------------------------------------
+
+    def _shard_key_fn(self) -> Callable[[Tuple[Constant, ...]], int]:
+        n = self._n_shards
+        return lambda key: shard_of_key(key, n)
+
+    def _routing_for(
+        self, query: ConjunctiveQuery
+    ) -> Dict[Tuple[Constant, ...], int]:
+        if len(self._routing) > 32:
+            self._routing.clear()  # bound stale-query entries
+        table = self._routing.get(query)
+        if table is None:
+            table = {}
+            self._routing[query] = table
+        elif len(table) > 100_000:
+            table.clear()
+        return table
+
+    def _guess_shard(
+        self, query: ConjunctiveQuery, candidate: Tuple[Constant, ...]
+    ) -> Optional[int]:
+        """First-fix routing guess: the owner of the first fully-pinned atom key.
+
+        Candidate constants bind the query's free variables; any atom whose
+        key positions are thereby all pinned names a concrete block key,
+        and its owner is the shard most likely to hold the candidate's
+        whole support (co-partitioning makes same-key atoms land together).
+        A wrong guess costs one fallback, never correctness.
+        """
+        binding = dict(zip(query.free_variables, candidate))
+        for atom in query.atoms:
+            key: List[Constant] = []
+            for term in atom.key_terms:
+                if is_constant(term):
+                    key.append(term)
+                else:
+                    value = binding.get(term)
+                    if value is None:
+                        key = []
+                        break
+                    key.append(value)
+            else:
+                if key or not atom.key_terms:
+                    return shard_of_key(tuple(key), self._n_shards)
+        return None
+
+    def _portabilize(
+        self, support: Optional[Dict[Tuple[Constant, ...], ReadSet]]
+    ) -> None:
+        """Decode parent-store block ids in *support* into portable keys."""
+        store = self._inner.store
+        if support is None or store is None:
+            return
+        for candidate, read_set in support.items():
+            support[candidate] = read_set.to_portable(store)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this ShardedCertaintySession is closed")
+
+
+def certain_answers_sharded(
+    db: UncertainDatabase,
+    query: ConjunctiveQuery,
+    n_shards: Optional[int] = None,
+    allow_exponential: bool = False,
+) -> Set[Tuple[Constant, ...]]:
+    """One-shot sharded certain answers (see :class:`ShardedCertaintySession`).
+
+    For repeated queries against a mutating database prefer a long-lived
+    session — the whole point of the shard runtime is that workers and
+    their shard databases persist across calls and mutations.
+    """
+    with ShardedCertaintySession(
+        db, n_shards=n_shards, allow_exponential=allow_exponential
+    ) as session:
+        return session.certain_answers(query)

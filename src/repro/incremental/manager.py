@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from ..engine.cache import PlanCache
 from ..engine.parallel import ParallelCertaintySession
 from ..engine.session import CertaintySession
+from ..engine.shards import ShardedCertaintySession
 from ..fo.compile import ReadSet
 from ..model.atoms import Fact
 from ..model.database import ChangeSet, DatabaseObserver, UncertainDatabase
@@ -64,6 +65,16 @@ class ViewManager(DatabaseObserver):
         :class:`ParallelCertaintySession` with this worker count.  Note the
         pool re-snapshots the database after mutations, so fan-out pays off
         when per-batch decision work is large.
+    shard_workers:
+        When set, sharded maintenance mode: dirty sets of at least
+        *parallel_min_dirty* candidates are decided through a
+        :class:`~repro.engine.shards.ShardedCertaintySession` with this
+        many long-lived block-hash-sharded workers.  Mutations ship to the
+        workers as O(delta) integer rows — the pool is never rebuilt — and
+        each worker re-decides the dirty candidates whose supporting
+        blocks it owns, shipping back verdicts plus portable read sets, so
+        the support index stays exact.  Mutually exclusive with
+        *parallel_workers*.
     parallel_min_dirty:
         Candidate-count floor for fanning out (default ``64``).
 
@@ -87,9 +98,14 @@ class ViewManager(DatabaseObserver):
         parallel_workers: Optional[int] = None,
         parallel_min_dirty: int = 64,
         backend: str = "columnar",
+        shard_workers: Optional[int] = None,
     ) -> None:
         if not 0.0 <= full_refresh_threshold <= 1.0:
             raise ValueError("full_refresh_threshold must lie in [0, 1]")
+        if parallel_workers is not None and shard_workers is not None:
+            raise ValueError(
+                "parallel_workers and shard_workers are mutually exclusive"
+            )
         self._db = db
         if session is None:
             session = CertaintySession(
@@ -121,6 +137,18 @@ class ViewManager(DatabaseObserver):
                 min_parallel_candidates=parallel_min_dirty,
                 allow_exponential=allow_exponential,
             )
+        self._sharded: Optional[ShardedCertaintySession] = None
+        if shard_workers is not None:
+            # Same ordering rule as the parallel session: the sharded
+            # session's delta router (and its inline index) register before
+            # the manager, so every pending delta is already routed by the
+            # time a view refresh dispatches to the shard pool.
+            self._sharded = ShardedCertaintySession(
+                db,
+                n_shards=shard_workers,
+                min_shard_candidates=parallel_min_dirty,
+                allow_exponential=allow_exponential,
+            )
         self._views: Dict[ConjunctiveQuery, MaterializedCertainView] = {}
         self._pending: List[ChangeSet] = []
         self._delivering = False
@@ -136,6 +164,8 @@ class ViewManager(DatabaseObserver):
         self._db.unregister_observer(self)
         if self._parallel is not None:
             self._parallel.close()
+        if self._sharded is not None:
+            self._sharded.close()
         if self._owns_session:
             self._session.close()
         self._closed = True
@@ -162,6 +192,11 @@ class ViewManager(DatabaseObserver):
     def session(self) -> CertaintySession:
         """The certainty session views decide through."""
         return self._session
+
+    @property
+    def sharded_session(self) -> Optional[ShardedCertaintySession]:
+        """The sharded maintenance session (``None`` unless ``shard_workers``)."""
+        return self._sharded
 
     @property
     def views(self) -> Tuple[MaterializedCertainView, ...]:
@@ -264,8 +299,26 @@ class ViewManager(DatabaseObserver):
         candidates: List[Candidate],
         support: Optional[Dict[Candidate, ReadSet]],
         allow_exponential: Optional[bool],
+        support_index=None,
     ) -> List[Candidate]:
-        """Decide candidates sequentially, or fan out when the set is large."""
+        """Decide candidates sequentially, or fan out when the set is large.
+
+        *support_index* (the calling view's
+        :class:`~repro.incremental.support.SupportIndex`) is a routing hint
+        for sharded maintenance: each dirty candidate goes to the shard
+        that owned the blocks of its previous decision.
+        """
+        if (
+            self._sharded is not None
+            and len(candidates) >= self._parallel_min_dirty
+        ):
+            return self._sharded.decide_candidates(
+                query,
+                candidates,
+                allow_exponential=allow_exponential,
+                support=support,
+                support_index=support_index,
+            )
         if (
             self._parallel is not None
             and len(candidates) >= self._parallel_min_dirty

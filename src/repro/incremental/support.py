@@ -36,6 +36,11 @@ SupportKey = Union[BlockKey, int]
 #: fact and no recorded probe ever touched it (so nothing can depend on it).
 BlockIdResolver = Callable[[str, Tuple[Constant, ...]], Optional[int]]
 
+#: Maps a columnar block id back to its object-space ``(name, key)`` block
+#: key (:meth:`~repro.store.columnar.ColumnarFactStore.decode_block_key`);
+#: lets :meth:`SupportIndex.route` reason about id-space read sets.
+BlockKeyDecoder = Callable[[int], BlockKey]
+
 _EMPTY: Set[Candidate] = set()
 
 
@@ -54,7 +59,11 @@ class SupportIndex:
     batch into that id space so :meth:`dirty_for` covers both.
     """
 
-    def __init__(self, block_id_resolver: Optional[BlockIdResolver] = None) -> None:
+    def __init__(
+        self,
+        block_id_resolver: Optional[BlockIdResolver] = None,
+        block_key_decoder: Optional[BlockKeyDecoder] = None,
+    ) -> None:
         self._reads: Dict[Candidate, ReadSet] = {}
         self._by_block: Dict[SupportKey, Set[Candidate]] = {}
         self._by_relation: Dict[str, Set[Candidate]] = {}
@@ -63,6 +72,7 @@ class SupportIndex:
         self._by_key_mask: Dict[str, Dict[KeyMask, Set[Candidate]]] = {}
         self._global: Set[Candidate] = set()
         self._block_id_resolver = block_id_resolver
+        self._block_key_decoder = block_key_decoder
 
     # -- maintenance -------------------------------------------------------------
 
@@ -184,6 +194,43 @@ class SupportIndex:
         for name in changes.touched_relations():
             dirty |= self._by_relation.get(name, _EMPTY)
         return dirty
+
+    def route(
+        self,
+        candidate: Candidate,
+        shard_of_key: Callable[[Tuple[Constant, ...]], int],
+    ) -> Optional[int]:
+        """The single shard owning every block of *candidate*'s last decision.
+
+        Routing hint for the sharded runtime: *shard_of_key* maps a block's
+        key constants to its owning shard.  Returns that shard when the
+        recorded read set names concrete blocks only — no global reads, no
+        relation scans, no wildcard key masks (a ``None`` position matches
+        keys on any shard), and, for id-space blocks, a decoder to recover
+        their keys — and every one of them lands on the same shard.
+        Returns ``None`` otherwise (including for untracked candidates); a
+        ``None`` is never wrong, just unrouted.
+        """
+        read_set = self._reads.get(candidate)
+        if read_set is None or read_set.is_global or read_set.relations:
+            return None
+        if read_set.block_ids and self._block_key_decoder is None:
+            return None
+        shard: Optional[int] = None
+        keys = [key for _name, key in read_set.blocks]
+        for block_id in read_set.block_ids:
+            keys.append(self._block_key_decoder(block_id)[1])
+        for _name, mask in read_set.key_masks:
+            if any(m is None for m in mask):
+                return None
+            keys.append(mask)
+        for key in keys:
+            owner = shard_of_key(tuple(key))
+            if shard is None:
+                shard = owner
+            elif owner != shard:
+                return None
+        return shard
 
     def dependencies_of(self, candidate: Candidate) -> int:
         """How many block/relation entries support *candidate* (0 if global)."""

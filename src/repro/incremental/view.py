@@ -186,7 +186,8 @@ class MaterializedCertainView:
         # support index the store's resolver so touched blocks translate.
         store = getattr(manager.session, "store", None)
         self._support = SupportIndex(
-            block_id_resolver=store.known_block_id if store is not None else None
+            block_id_resolver=store.known_block_id if store is not None else None,
+            block_key_decoder=store.decode_block_key if store is not None else None,
         )
         self._verdicts: Dict[Candidate, bool] = {}
         self._answers: Set[Candidate] = set()
@@ -328,6 +329,7 @@ class MaterializedCertainView:
             candidates,
             support=support,
             allow_exponential=self._allow_exponential,
+            support_index=self._support,
         )
         self.stats.decisions += len(candidates)
         self.stats.last_decided = len(candidates)

@@ -133,6 +133,34 @@ class InternTable:
 
     # -- serialization -----------------------------------------------------------
 
+    def values_since(self, base: int) -> Tuple[Any, ...]:
+        """The raw values of the ids assigned since *base*, in id order.
+
+        The table is append-only, so ``values_since(base)`` is exactly the
+        suffix a mirror table holding ids ``0..base-1`` needs to catch up:
+        position ``i`` of the result is the value of id ``base + i``.  This
+        is the intern-table *delta* of the sharded runtime's wire format —
+        only newly-interned constant values ship to long-lived workers,
+        never the whole table.
+        """
+        with self._lock:
+            return tuple(c.value for c in self._constants[base:])
+
+    def extend_values(self, base: int, values: Iterable[Any]) -> None:
+        """Append *values* as ids ``base, base+1, ...`` (mirror-table catch-up).
+
+        Raises ``ValueError`` when *base* does not equal the current table
+        size — a mirror that misses a delta must never silently skew its id
+        space, because every id shipped afterwards would decode wrongly.
+        """
+        if base != len(self._constants):
+            raise ValueError(
+                f"intern delta starts at id {base} but the mirror holds "
+                f"{len(self._constants)} ids"
+            )
+        for value in values:
+            self.intern(Constant(value))
+
     def snapshot(self) -> Tuple[Any, ...]:
         """The raw wrapped values in id order (a stable, compact wire format).
 

@@ -3,11 +3,13 @@ and streaming mutation workloads for the incremental view subsystem."""
 
 from .corpora import mixed_corpus, named_corpus, random_acyclic_query, random_corpus
 from .generators import (
+    bursty_mutation_stream,
     planted_certain_instance,
     random_valuation,
     scaling_instances,
     synthetic_instance,
     uniform_random_instance,
+    zipfian_instance,
 )
 from .streaming import apply_batch, apply_mutation, mutation_stream
 from .instances import (
@@ -21,6 +23,7 @@ from .instances import (
 __all__ = [
     "apply_batch",
     "apply_mutation",
+    "bursty_mutation_stream",
     "figure1_database",
     "figure1_query",
     "figure6_database",
@@ -36,4 +39,5 @@ __all__ = [
     "scaling_instances",
     "synthetic_instance",
     "uniform_random_instance",
+    "zipfian_instance",
 ]

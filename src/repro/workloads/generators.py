@@ -20,12 +20,14 @@ All generators take an explicit seed and are fully deterministic.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..model.atoms import Fact
 from ..model.database import UncertainDatabase
 from ..model.symbols import Constant
 from ..model.valuation import Valuation
 from ..query.conjunctive import ConjunctiveQuery
+from .streaming import MutationOp
 
 
 def _domain(size: int, prefix: str = "c") -> List[str]:
@@ -121,6 +123,117 @@ def planted_certain_instance(
     for atom in query.atoms:
         db.add(reserved.ground(atom))
     return db
+
+
+def _zipf_weights(n: int, skew: float) -> List[float]:
+    """Unnormalised Zipf weights ``1/rank^skew`` for ranks ``1..n``."""
+    return [1.0 / (rank**skew) for rank in range(1, n + 1)]
+
+
+def zipfian_instance(
+    query: ConjunctiveQuery,
+    seed: int = 0,
+    domain_size: int = 32,
+    facts_per_relation: int = 64,
+    skew: float = 1.1,
+    conflict_rate: float = 0.4,
+) -> UncertainDatabase:
+    """A random instance whose *block keys* follow a Zipfian distribution.
+
+    Key positions draw from a rank-weighted domain (weight ``1/rank^skew``),
+    so a handful of hot keys own most blocks while the tail is sparse — the
+    adversarial shape for anything that partitions by block key: hash
+    shards inherit the imbalance, and hot blocks grow deep with conflicts.
+    Non-key positions stay uniform (skew there would only shrink the value
+    domain, not concentrate blocks).
+    """
+    rng = random.Random(seed)
+    domain = _domain(domain_size)
+    weights = _zipf_weights(domain_size, skew)
+    db = UncertainDatabase()
+    for atom in query.atoms:
+        relation = atom.relation
+        for _ in range(facts_per_relation):
+            key = rng.choices(domain, weights, k=relation.key_size)
+            rest = [
+                rng.choice(domain)
+                for _ in range(relation.arity - relation.key_size)
+            ]
+            db.add(relation.fact(*(key + rest)))
+            if not relation.is_all_key and rng.random() < conflict_rate:
+                conflicting = [
+                    rng.choice(domain)
+                    for _ in range(relation.arity - relation.key_size)
+                ]
+                db.add(relation.fact(*(key + conflicting)))
+    return db
+
+
+def bursty_mutation_stream(
+    query: ConjunctiveQuery,
+    db: UncertainDatabase,
+    steps: int,
+    seed: int = 0,
+    domain_size: Optional[int] = None,
+    skew: float = 1.1,
+    p_burst: float = 0.25,
+    burst_range: Tuple[int, int] = (8, 24),
+    quiet_range: Tuple[int, int] = (1, 2),
+    p_discard: float = 0.3,
+) -> Iterator[List[MutationOp]]:
+    """Yield *steps* batches alternating quiet trickle and hot-key bursts.
+
+    Complements :func:`~repro.workloads.streaming.mutation_stream` (same
+    **live contract**: apply each yielded batch before pulling the next)
+    with the write pattern that stresses delta shipping: most steps are a
+    small uniform trickle, but with probability *p_burst* a step hammers a
+    single Zipf-hot block key — a burst of key-conflicting insertions and
+    discards concentrated on one block, of size drawn from *burst_range*.
+    Under block-hash sharding an entire burst lands on one shard, so the
+    other shards' deltas stay near-empty while one grows deep.
+    """
+    rng = random.Random(seed)
+    relations = [atom.relation for atom in query.atoms]
+    size = domain_size if domain_size is not None else max(8, len(db) // 4)
+    domain = [f"c{i}" for i in range(size)]
+    weights = _zipf_weights(size, skew)
+
+    def uniform_fact() -> "Fact":
+        relation = rng.choice(relations)
+        return relation.fact(*[rng.choice(domain) for _ in range(relation.arity)])
+
+    def hot_block_fact(relation, hot_key: List[str]) -> "Fact":
+        rest = [rng.choice(domain) for _ in range(relation.arity - relation.key_size)]
+        return relation.fact(*(hot_key + rest))
+
+    def existing_fact() -> Optional["Fact"]:
+        facts = sorted(db.facts, key=str)
+        return rng.choice(facts) if facts else None
+
+    for _ in range(steps):
+        batch: List[MutationOp] = []
+        if rng.random() < p_burst:
+            relation = rng.choice(relations)
+            hot_key = rng.choices(domain, weights, k=relation.key_size)
+            block_key = (relation.name, tuple(Constant(v) for v in hot_key))
+            for _ in range(rng.randint(*burst_range)):
+                victims = sorted(db.block(block_key), key=str)
+                if victims and rng.random() < p_discard:
+                    batch.append(("discard", rng.choice(victims)))
+                else:
+                    batch.append(("add", hot_block_fact(relation, hot_key)))
+            # The burst's ops are staged against the pre-batch database, so
+            # a staged discard may name a fact a staged add re-creates —
+            # db.batch() nets that out, which is exactly the point.
+        else:
+            for _ in range(rng.randint(*quiet_range)):
+                if db and rng.random() < p_discard:
+                    victim = existing_fact()
+                    if victim is not None:
+                        batch.append(("discard", victim))
+                else:
+                    batch.append(("add", uniform_fact()))
+        yield batch
 
 
 def scaling_instances(
