@@ -47,3 +47,29 @@ def test_frontier_comparison(benchmark):
     queries = [SAFE_QUERY, fuxman_miller_cfree_example(), figure2_q1(), kolaitis_pema_q0()]
     comparisons = benchmark(compare_frontiers, queries)
     assert all(c.consistent_with_theorem6 for c in comparisons)
+
+
+def test_scoped_session_bridge(benchmark):
+    """Proposition 1 through the engine: band dispatch on a private id space.
+
+    The bridge runs a scoped :class:`CertaintySession` (compiled rewritings
+    for the FO band, brute force only when forced) over ``db'`` instead of
+    calling ``certain_brute_force`` directly; its verdict must match brute
+    force, and the process-global intern table must stay untouched.
+    """
+    from repro.certainty.brute_force import certain_brute_force
+    from repro.probability import certainty_session_for
+    from repro.store import global_intern_table
+
+    query = fuxman_miller_cfree_example()
+    db = uniform_random_instance(query, seed=4, domain_size=3, facts_per_relation=4)
+    bid = BIDDatabase.uniform_repairs(db)
+    global_size_before = len(global_intern_table())
+
+    def decide():
+        with certainty_session_for(bid) as session:
+            return session.is_certain(query)
+
+    verdict = benchmark(decide)
+    assert verdict == certain_brute_force(bid.restrict_to_certain_blocks(), query)
+    assert len(global_intern_table()) == global_size_before

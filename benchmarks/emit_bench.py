@@ -1,6 +1,6 @@
 """Emit benchmark JSON reports recording the engine's performance trajectory.
 
-Six suites:
+Seven suites:
 
 ``fo_rewriting`` (default) → ``BENCH_fo_rewriting.json``
     Times the certain first-order rewriting of Theorem 1 under the two
@@ -74,6 +74,17 @@ Six suites:
     backends return identical verdicts/answer sets before any timing is
     recorded.
 
+``service_load`` → ``BENCH_service_load.json``
+    Drives N concurrent tenants (deterministic mixed read/write traces,
+    Zipf-skewed keys, tenant-prefixed constants) through the multi-tenant
+    :class:`repro.service.CertaintyService` and compares against a
+    sequential per-tenant replay on throwaway engine sessions.  Band-aware
+    admission routes FO-band reads inline (p50/p95 latency reported
+    separately) and queues PTIME-band reads onto the bounded worker pool
+    (completion p50/p95).  Every answer is asserted identical in-run to the
+    sequential replay, and the tenants' private intern tables are asserted
+    pairwise disjoint — zero cross-tenant id collisions.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full sizes
@@ -91,6 +102,7 @@ import pathlib
 import pickle
 import random
 import sys
+import threading
 import time
 from typing import Dict, List, Sequence
 
@@ -109,10 +121,13 @@ from repro.query import parse_query
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.evaluation import answer_tuples
 from repro.query.families import figure2_q1, figure4_query, path_query
+from repro.service import INLINE, CertaintyService
 from repro.store import global_intern_table
 from repro.workloads import (
     apply_batch,
     bursty_mutation_stream,
+    multi_tenant_workload,
+    replay_trace,
     synthetic_instance,
     zipfian_instance,
 )
@@ -1125,6 +1140,244 @@ def _emit_sharded_runtime(args: argparse.Namespace, output: pathlib.Path) -> int
     return 0
 
 
+#: service_load suite: concurrent tenants and per-tenant trace lengths.
+SERVICE_TENANTS = 8
+SERVICE_FULL_STEPS = 48
+SERVICE_SMOKE_STEPS = 12
+SERVICE_MAX_WORKERS = 4
+SERVICE_QUEUE_DEPTH = 16
+
+
+def _percentile(samples: Sequence[float], q: float):
+    """The q-quantile (nearest-rank on the sorted samples); None when empty."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_service_load_benchmark(
+    num_tenants: int,
+    steps: int,
+    repeats: int = 1,
+    seed: int = 17,
+    max_workers: int = SERVICE_MAX_WORKERS,
+    queue_depth: int = SERVICE_QUEUE_DEPTH,
+) -> Dict:
+    """Concurrent multi-tenant serving vs sequential per-tenant replay.
+
+    One deterministic mixed read/write trace per tenant (Zipf-skewed keys,
+    tenant-prefixed constants).  The *sequential* leg replays every trace
+    one after another on throwaway engine sessions — that is both the
+    baseline wall-clock and the per-read ground truth.  The *concurrent*
+    leg provisions one tenant per trace in a :class:`CertaintyService` and
+    drives all traces from concurrent threads through band-aware admission:
+    every FO-band read runs inline (its latency recorded separately), every
+    PTIME-band read is queued onto the bounded worker pool (its completion
+    time recorded).  Every answer is asserted identical in-run to the
+    sequential replay, and after the run the tenants' private intern tables
+    are asserted pairwise disjoint (zero cross-tenant id collisions).
+    """
+    workload = multi_tenant_workload(
+        num_tenants=num_tenants, steps=steps, seed=seed
+    )
+
+    expected: Dict[str, Dict[int, frozenset]] = {}
+    sequential_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        replayed = {
+            trace.tenant_id: dict(replay_trace(trace))
+            for trace in workload.traces
+        }
+        sequential_seconds = min(
+            sequential_seconds, time.perf_counter() - start
+        )
+        expected = replayed
+
+    concurrent_seconds = float("inf")
+    fo_latencies: List[float] = []
+    queued_latencies: List[float] = []
+    mismatches = 0
+    zero_intern_collisions = True
+    service_totals: Dict = {}
+    per_tenant_rows: List[Dict] = []
+
+    for _ in range(repeats):
+        run_fo: List[float] = []
+        run_queued: List[float] = []
+        run_mismatches = [0]
+        lock = threading.Lock()
+
+        with CertaintyService(
+            max_workers=max_workers, queue_depth=queue_depth
+        ) as svc:
+            start = time.perf_counter()
+            for trace in workload.traces:
+                svc.create_tenant(trace.tenant_id, facts=trace.facts)
+
+            def drive(trace) -> None:
+                answers = expected[trace.tenant_id]
+                local_fo: List[float] = []
+                local_queued: List[float] = []
+                wrong = 0
+                for index, (kind, payload) in enumerate(trace.steps):
+                    if kind == "write":
+                        svc.apply(trace.tenant_id, payload)
+                        continue
+                    begin = time.perf_counter()
+                    ticket = svc.submit(trace.tenant_id, payload)
+                    got = ticket.result(timeout=120)
+                    elapsed = time.perf_counter() - begin
+                    if ticket.outcome == INLINE:
+                        local_fo.append(elapsed)
+                    else:
+                        local_queued.append(elapsed)
+                    if got != answers[index]:
+                        wrong += 1
+                with lock:
+                    run_fo.extend(local_fo)
+                    run_queued.extend(local_queued)
+                    run_mismatches[0] += wrong
+
+            threads = [
+                threading.Thread(target=drive, args=(trace,))
+                for trace in workload.traces
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - start
+
+            snapshots = {
+                trace.tenant_id: set(
+                    svc.tenant(trace.tenant_id).intern_table.snapshot()
+                )
+                for trace in workload.traces
+            }
+            for trace in workload.traces:
+                values = snapshots[trace.tenant_id]
+                if not all(str(v).startswith(trace.prefix) for v in values):
+                    zero_intern_collisions = False
+            ids = sorted(snapshots)
+            for i, left in enumerate(ids):
+                for right in ids[i + 1 :]:
+                    if snapshots[left] & snapshots[right]:
+                        zero_intern_collisions = False
+
+            stats = svc.stats()
+            service_totals = stats["totals"]
+            per_tenant_rows = [
+                {
+                    "tenant": trace.tenant_id,
+                    "facts": stats["tenants"][trace.tenant_id]["facts"],
+                    "reads": trace.reads,
+                    "writes": trace.writes,
+                    "intern_constants": stats["tenants"][trace.tenant_id][
+                        "intern_memory"
+                    ]["constants"],
+                    "intern_bytes": stats["tenants"][trace.tenant_id][
+                        "intern_memory"
+                    ]["total_bytes"],
+                    "inline_served": stats["tenants"][trace.tenant_id][
+                        "admission"
+                    ]["inline_served"],
+                    "queued": stats["tenants"][trace.tenant_id]["admission"][
+                        "queued"
+                    ],
+                    "rejected": stats["tenants"][trace.tenant_id]["admission"][
+                        "rejected"
+                    ],
+                    "stale_reads": stats["tenants"][trace.tenant_id][
+                        "staleness"
+                    ]["stale_reads"],
+                }
+                for trace in workload.traces
+            ]
+
+        mismatches += run_mismatches[0]
+        if seconds < concurrent_seconds:
+            concurrent_seconds = seconds
+            fo_latencies = run_fo
+            queued_latencies = run_queued
+
+    return {
+        "benchmark": "service_load",
+        "fo_query": str(workload.fo_query),
+        "queued_query": str(workload.queued_query),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "tenants": num_tenants,
+        "steps_per_tenant": steps,
+        "max_workers": max_workers,
+        "queue_depth_cap": queue_depth,
+        "fo_requests": len(fo_latencies),
+        "queued_requests": len(queued_latencies),
+        "fo_p50_seconds": _percentile(fo_latencies, 0.5),
+        "fo_p95_seconds": _percentile(fo_latencies, 0.95),
+        "queued_p50_seconds": _percentile(queued_latencies, 0.5),
+        "queued_p95_seconds": _percentile(queued_latencies, 0.95),
+        "sequential_seconds": sequential_seconds,
+        "concurrent_seconds": concurrent_seconds,
+        "throughput_ratio_vs_sequential": (
+            sequential_seconds / concurrent_seconds
+            if concurrent_seconds
+            else None
+        ),
+        "all_answers_match": mismatches == 0,
+        "answer_mismatches": mismatches,
+        "zero_intern_collisions": zero_intern_collisions,
+        "service_totals": service_totals,
+        "per_tenant": per_tenant_rows,
+    }
+
+
+def _emit_service_load(args: argparse.Namespace, output: pathlib.Path) -> int:
+    tenants = args.sizes[0] if args.sizes else SERVICE_TENANTS
+    steps = SERVICE_SMOKE_STEPS if args.smoke else SERVICE_FULL_STEPS
+    report = run_service_load_benchmark(
+        tenants, steps, repeats=1 if args.smoke else 3
+    )
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"tenants={report['tenants']} steps={report['steps_per_tenant']} "
+        f"workers={report['max_workers']} ({report['cpu_count']} cpus)"
+    )
+    print(
+        f"  fo: {report['fo_requests']} requests "
+        f"p50={report['fo_p50_seconds']:.6f}s p95={report['fo_p95_seconds']:.6f}s"
+    )
+    print(
+        f"  queued: {report['queued_requests']} requests "
+        f"p50={report['queued_p50_seconds']:.6f}s "
+        f"p95={report['queued_p95_seconds']:.6f}s"
+    )
+    print(
+        f"  sequential={report['sequential_seconds']:.4f}s "
+        f"concurrent={report['concurrent_seconds']:.4f}s "
+        f"ratio={report['throughput_ratio_vs_sequential']:.2f}x "
+        f"match={report['all_answers_match']} "
+        f"isolated={report['zero_intern_collisions']}"
+    )
+    print(f"wrote {output}")
+    if not report["all_answers_match"]:
+        print(
+            "ERROR: a service answer diverged from the sequential replay",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["zero_intern_collisions"]:
+        print(
+            "ERROR: two tenants share interned constants "
+            "(intern-table isolation broken)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _DEFAULT_OUTPUTS = {
     "fo_rewriting": "BENCH_fo_rewriting.json",
     "parallel_answers": "BENCH_parallel_answers.json",
@@ -1132,6 +1385,7 @@ _DEFAULT_OUTPUTS = {
     "incremental_views": "BENCH_incremental_views.json",
     "columnar_store": "BENCH_columnar_store.json",
     "all_bands": "BENCH_all_bands.json",
+    "service_load": "BENCH_service_load.json",
 }
 
 
@@ -1146,6 +1400,7 @@ def main(argv: Sequence[str] = ()) -> int:
             "incremental_views",
             "columnar_store",
             "all_bands",
+            "service_load",
         ),
         default="fo_rewriting",
         help="which benchmark suite to run",
@@ -1183,6 +1438,8 @@ def main(argv: Sequence[str] = ()) -> int:
         return _emit_columnar_store(args, output)
     if args.suite == "all_bands":
         return _emit_all_bands(args, output)
+    if args.suite == "service_load":
+        return _emit_service_load(args, output)
     return _emit_fo_rewriting(args, output)
 
 

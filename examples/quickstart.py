@@ -206,6 +206,50 @@ def main() -> None:
               f"delta bytes: {stats.delta_bytes_shipped}, "
               f"cross-shard fallbacks: {stats.cross_shard_fallbacks}")
 
+    # 11. Serving certain answers.  A CertaintyService hosts isolated
+    #     tenants — each gets a private InternTable (its own constant id
+    #     space; tenants can never observe each other's ids), database,
+    #     session, and bounded-staleness views — behind band-aware
+    #     admission: the classifier's trichotomy is the scheduling policy.
+    #     FO-band requests run inline on the submitting thread (the hot
+    #     compiled path); PTIME/coNP requests become futures on a bounded
+    #     worker pool with per-tenant queue-depth caps (AdmissionRejected
+    #     is the back-pressure signal).  Mutations defer view maintenance
+    #     under each tenant's StalenessPolicy: with a stale budget of
+    #     max_stale_mutations (and an optional refresh_deadline in
+    #     seconds), view reads are served stale-but-bounded, and a read
+    #     past either bound — or an explicit flush — is identical to a
+    #     cold recompute.  Per-tenant memory (the InternTable footprint),
+    #     staleness, and admission counters aggregate in svc.stats().
+    from repro import CertaintyService, StalenessPolicy
+
+    with CertaintyService(max_workers=2, queue_depth=8) as svc:
+        svc.create_tenant(
+            "acme",
+            facts=parse_facts(
+                ["Emp('ada' | 'db')", "Dept('db' | 'Mons')"], schema=schema
+            ),
+            staleness=StalenessPolicy(max_stale_mutations=4),
+        )
+        ticket = svc.submit("acme", open_query)        # FO band -> inline
+        print("\nadmission:", ticket.outcome,
+              "->", sorted(t[0].value for t in ticket.result()))
+        cycle = parse_query("R(x | y), S(y | x)")      # PTIME band -> queued
+        queued = svc.submit("acme", cycle)
+        print("queued band:", queued.band.name,
+              "certain:", queued.result(timeout=5.0) == frozenset({()}))
+        tenant = svc.tenant("acme")
+        view = tenant.register_view(open_query)
+        svc.apply("acme", [("add", schema["Emp"].fact("eve", "db"))])
+        print("stale read (within budget):",
+              sorted(t[0].value for t in view.answers),
+              f"({tenant.views.pending_mutations} pending)")
+        tenant.flush_views()                           # or read past the bound
+        print("after flush:", sorted(t[0].value for t in view.answers))
+        totals = svc.stats()["totals"]
+        print("service totals:", {k: totals[k] for k in
+              ("tenants", "facts", "intern_bytes", "inline_served", "queued")})
+
 
 if __name__ == "__main__":
     main()

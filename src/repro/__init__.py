@@ -62,6 +62,18 @@ deltas:
 ...     with db.batch():
 ...         db.add(f1); db.discard(f2)
 ...     view.answers        # == certain_answers(db, open_query), maintained
+
+Serving certain answers
+-----------------------
+The :mod:`repro.service` layer hosts isolated tenants (each with a private
+:class:`InternTable`, database, session, and bounded-staleness views)
+behind band-aware admission control: FO-band requests run inline on the
+hot compiled path, harder bands queue onto a bounded worker pool:
+
+>>> from repro.service import CertaintyService                # doctest: +SKIP
+>>> with CertaintyService(max_workers=4) as svc:
+...     svc.create_tenant("acme", facts=facts)
+...     svc.certain_answers("acme", q, timeout=1.0)
 """
 
 from .attacks import Attack, AttackCycle, AttackGraph
@@ -102,7 +114,13 @@ from .engine import (
     shard_of_key,
 )
 from .fo import certain_rewriting, evaluate_sentence
-from .incremental import MaterializedCertainView, SupportIndex, ViewManager
+from .incremental import (
+    MaterializedCertainView,
+    StalenessPolicy,
+    StalenessStats,
+    SupportIndex,
+    ViewManager,
+)
 from .model import (
     Atom,
     ChangeSet,
@@ -117,6 +135,13 @@ from .model import (
     enumerate_repairs,
 )
 from .probability import BIDDatabase, is_safe, probability, probability_safe_plan
+from .service import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTicket,
+    CertaintyService,
+    Tenant,
+)
 from .store import (
     ColumnarFactIndex,
     ColumnarFactStore,
@@ -141,6 +166,9 @@ from .query import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTicket",
     "Atom",
     "Attack",
     "AttackCycle",
@@ -148,6 +176,7 @@ __all__ = [
     "BIDDatabase",
     "CacheStats",
     "CertaintyOutcome",
+    "CertaintyService",
     "CertaintySession",
     "ChangeSet",
     "Classification",
@@ -168,7 +197,10 @@ __all__ = [
     "QueryPlan",
     "RelationSchema",
     "ShardedCertaintySession",
+    "StalenessPolicy",
+    "StalenessStats",
     "SupportIndex",
+    "Tenant",
     "UncertainDatabase",
     "UnsupportedQueryError",
     "Valuation",

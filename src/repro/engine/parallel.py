@@ -46,7 +46,7 @@ from ..model.database import DatabaseObserver, UncertainDatabase
 from ..model.schema import DatabaseSchema
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
-from ..store import ColumnarSnapshot
+from ..store import ColumnarSnapshot, InternTable
 from .cache import PlanCache
 from .session import CertaintySession
 
@@ -161,7 +161,12 @@ def _init_worker(
     db = UncertainDatabase(facts, schema=DatabaseSchema(relations))
     # A worker-local plan cache: plans cannot cross process boundaries, and
     # the worker only ever sees one query shape per certain_answers call.
-    _WORKER_SESSION = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
+    # The intern table is explicitly private too: worker ids never cross
+    # back undecoded, so sharing the worker-global table would only let
+    # snapshots of different parent sessions grow each other's id space.
+    _WORKER_SESSION = CertaintySession(
+        db, plan_cache=PlanCache(maxsize=64), intern_table=InternTable()
+    )
 
 
 def _init_worker_columnar(
@@ -172,12 +177,14 @@ def _init_worker_columnar(
     The columnar wire format pickles as flat ``array('q')`` columns plus
     the raw constant values in use — no per-fact object graphs — and
     decodes locally, so worker hash salts never matter.  The worker session
-    re-interns against its own process-local table; block/term ids are
+    re-interns against an explicitly private table; block/term ids are
     process-local and portable data is decoded before it crosses back.
     """
     global _WORKER_SESSION
     db = UncertainDatabase(snapshot.iter_facts(), schema=DatabaseSchema(relations))
-    _WORKER_SESSION = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
+    _WORKER_SESSION = CertaintySession(
+        db, plan_cache=PlanCache(maxsize=64), intern_table=InternTable()
+    )
 
 
 def _decide_chunk(
@@ -259,6 +266,11 @@ class ParallelCertaintySession:
         When set, :attr:`stats` additionally records the pickled snapshot
         bytes shipped at every process-pool rebuild (pickling the payload
         twice costs time, so byte accounting is opt-in for benchmarks).
+    intern_table:
+        Scoped intern table of the inline session (and of thread-mode
+        snapshot sessions, which share the parent's process).  Defaults to
+        the process-wide table; process workers always intern against
+        explicitly private worker-local tables regardless.
 
     Guarantees
     ----------
@@ -286,6 +298,7 @@ class ParallelCertaintySession:
         allow_exponential: bool = False,
         plan_cache: Optional[PlanCache] = None,
         track_bytes: bool = False,
+        intern_table: Optional[InternTable] = None,
     ) -> None:
         if mode not in ("auto", "process", "thread", "serial"):
             raise ValueError(
@@ -304,8 +317,12 @@ class ParallelCertaintySession:
         self._min_parallel = min_parallel_candidates
         self._allow_exponential = allow_exponential
         self._plan_cache = plan_cache
+        self._intern_table = intern_table
         self._inner = CertaintySession(
-            db, plan_cache=plan_cache, allow_exponential=allow_exponential
+            db,
+            plan_cache=plan_cache,
+            allow_exponential=allow_exponential,
+            intern_table=intern_table,
         )
         self._version = _MutationCounter()
         db.register_observer(self._version)
@@ -524,6 +541,7 @@ class ParallelCertaintySession:
                 snapshot,
                 plan_cache=self._plan_cache,
                 allow_exponential=self._allow_exponential,
+                intern_table=self._intern_table,
             )
             self._executor = ThreadPoolExecutor(
                 max_workers=self._max_workers,

@@ -43,7 +43,7 @@ from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.evaluation import FactIndex, answer_tuples
 from ..query.substitution import ground_free_variables
-from ..store import ColumnarFactIndex, ColumnarFactStore
+from ..store import ColumnarFactIndex, ColumnarFactStore, InternTable
 from .cache import PlanCache, default_plan_cache
 from .plan import QueryPlan
 
@@ -71,6 +71,15 @@ class CertaintySession:
         keeps the pure fact-dictionary :class:`FactIndex` — the reference
         implementation the columnar kernels are differentially tested
         against.
+    intern_table:
+        The :class:`~repro.store.intern.InternTable` the columnar index
+        encodes constants through.  Defaults to the process-wide table
+        (:func:`~repro.store.intern.global_intern_table`), which keeps term
+        ids comparable across sessions in one process.  A private table
+        scopes the id space to this session — the isolation the
+        multi-tenant service layer builds on: two sessions with private
+        tables never share (or grow) each other's id space.  Ignored by the
+        object backend, which never interns.
 
     Example
     -------
@@ -86,13 +95,16 @@ class CertaintySession:
         plan_cache: Optional[PlanCache] = None,
         allow_exponential: bool = False,
         backend: str = "columnar",
+        intern_table: Optional[InternTable] = None,
     ) -> None:
         if backend not in ("columnar", "object"):
             raise ValueError(f"unknown backend {backend!r}: use 'columnar' or 'object'")
         self._db = db
         self._backend = backend
         self._index = (
-            ColumnarFactIndex(db.facts) if backend == "columnar" else FactIndex(db.facts)
+            ColumnarFactIndex(db.facts, table=intern_table)
+            if backend == "columnar"
+            else FactIndex(db.facts)
         )
         db.register_observer(self._index)
         self._cache = plan_cache if plan_cache is not None else default_plan_cache()
@@ -139,6 +151,13 @@ class CertaintySession:
     def store(self) -> Optional[ColumnarFactStore]:
         """The columnar store of the index (``None`` for the object backend)."""
         return getattr(self._index, "store", None)
+
+    @property
+    def intern_table(self) -> Optional[InternTable]:
+        """The intern table the columnar store encodes through (``None`` for
+        the object backend)."""
+        store = self.store
+        return store.table if store is not None else None
 
     @property
     def plan_cache(self) -> PlanCache:

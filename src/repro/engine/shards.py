@@ -349,8 +349,12 @@ def _shard_worker_main(conn, shard_id: int, n_shards: int) -> None:
     mirror = InternTable()
     relations: Dict[_RelationSig, RelationSchema] = {}
     db = UncertainDatabase()
-    # A worker-local plan cache: plans cannot cross process boundaries.
-    session = CertaintySession(db, plan_cache=PlanCache(maxsize=64))
+    # A worker-local plan cache (plans cannot cross process boundaries) and
+    # an explicitly private intern table: the shard's id space belongs to
+    # this worker alone, never to whatever else runs in the process.
+    session = CertaintySession(
+        db, plan_cache=PlanCache(maxsize=64), intern_table=InternTable()
+    )
     while True:
         try:
             payload = conn.recv_bytes()
@@ -416,6 +420,11 @@ class ShardedCertaintySession:
     plan_cache:
         Plan cache of the parent's inline session (workers always compile
         through worker-local caches).
+    intern_table:
+        Scoped intern table of the parent's inline session.  Defaults to
+        the process-wide table; shard workers always intern against
+        explicitly private worker-local tables, and the wire format uses
+        its own private table regardless.
 
     Guarantees
     ----------
@@ -443,6 +452,7 @@ class ShardedCertaintySession:
         min_shard_candidates: int = MIN_SHARD_CANDIDATES,
         allow_exponential: bool = False,
         plan_cache: Optional[PlanCache] = None,
+        intern_table: Optional[InternTable] = None,
     ) -> None:
         if n_shards is not None and n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -455,7 +465,10 @@ class ShardedCertaintySession:
         # Inline session first: its index observer registers before the
         # router, so routing always sees an up-to-date parent index.
         self._inner = CertaintySession(
-            db, plan_cache=plan_cache, allow_exponential=allow_exponential
+            db,
+            plan_cache=plan_cache,
+            allow_exponential=allow_exponential,
+            intern_table=intern_table,
         )
         #: Private wire intern table: ids on the wire are dense over the
         #: constants this session actually ships, independent of the

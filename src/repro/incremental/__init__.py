@@ -27,7 +27,11 @@ Public surface:
 * :class:`MaterializedCertainView` — the per-query answer set, support
   index, stats, and ``subscribe(on_insert, on_retract)`` delta feed;
 * :class:`SupportIndex` / :func:`delta_candidates` — the maintenance
-  machinery, exposed for inspection and testing.
+  machinery, exposed for inspection and testing;
+* :class:`StalenessPolicy` / :class:`StalenessStats` — bounded-staleness
+  (deferred) maintenance: mutations merge into a pending changelog and
+  views refresh lazily on read or flush, within a configured staleness
+  bound (see :mod:`repro.incremental.staleness`).
 
 >>> from repro import ViewManager                       # doctest: +SKIP
 >>> with ViewManager(db) as manager:
@@ -39,11 +43,14 @@ Public surface:
 
 from .delta import delta_candidates
 from .manager import ViewManager
+from .staleness import StalenessPolicy, StalenessStats
 from .support import SupportIndex
 from .view import MaterializedCertainView, Subscription, ViewStats
 
 __all__ = [
     "MaterializedCertainView",
+    "StalenessPolicy",
+    "StalenessStats",
     "Subscription",
     "SupportIndex",
     "ViewManager",

@@ -26,7 +26,8 @@ mutating thread.  Decisions may still fan out to worker processes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..engine.cache import PlanCache
 from ..engine.parallel import ParallelCertaintySession
@@ -36,6 +37,8 @@ from ..fo.compile import ReadSet
 from ..model.atoms import Fact
 from ..model.database import ChangeSet, DatabaseObserver, UncertainDatabase
 from ..query.conjunctive import ConjunctiveQuery
+from ..store import InternTable
+from .staleness import StalenessPolicy, StalenessStats
 from .support import Candidate
 from .view import MaterializedCertainView
 
@@ -77,6 +80,21 @@ class ViewManager(DatabaseObserver):
         *parallel_workers*.
     parallel_min_dirty:
         Candidate-count floor for fanning out (default ``64``).
+    intern_table:
+        Scoped intern table of the owned session (and of any parallel /
+        sharded maintenance session).  Ignored when *session* is supplied —
+        the supplied session's table governs.
+    staleness:
+        When set, **deferred maintenance mode**: mutations merge into one
+        pending net :class:`ChangeSet` instead of refreshing views
+        synchronously, and views refresh lazily — on a read that exceeds
+        the policy's mutation budget or deadline, or on an explicit
+        :meth:`flush`.  See :class:`~repro.incremental.staleness.StalenessPolicy`;
+        progress is counted in :attr:`staleness_stats`.  ``None`` (default)
+        keeps the eager always-fresh behaviour.
+    clock:
+        Monotonic time source for the staleness deadline (default
+        :func:`time.monotonic`); injectable for deterministic tests.
 
     Example
     -------
@@ -99,6 +117,9 @@ class ViewManager(DatabaseObserver):
         parallel_min_dirty: int = 64,
         backend: str = "columnar",
         shard_workers: Optional[int] = None,
+        intern_table: Optional[InternTable] = None,
+        staleness: Optional[StalenessPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not 0.0 <= full_refresh_threshold <= 1.0:
             raise ValueError("full_refresh_threshold must lie in [0, 1]")
@@ -113,6 +134,7 @@ class ViewManager(DatabaseObserver):
                 plan_cache=plan_cache,
                 allow_exponential=allow_exponential,
                 backend=backend,
+                intern_table=intern_table,
             )
             self._owns_session = True
         else:
@@ -136,6 +158,7 @@ class ViewManager(DatabaseObserver):
                 mode="process",
                 min_parallel_candidates=parallel_min_dirty,
                 allow_exponential=allow_exponential,
+                intern_table=intern_table,
             )
         self._sharded: Optional[ShardedCertaintySession] = None
         if shard_workers is not None:
@@ -148,10 +171,16 @@ class ViewManager(DatabaseObserver):
                 n_shards=shard_workers,
                 min_shard_candidates=parallel_min_dirty,
                 allow_exponential=allow_exponential,
+                intern_table=intern_table,
             )
         self._views: Dict[ConjunctiveQuery, MaterializedCertainView] = {}
         self._pending: List[ChangeSet] = []
         self._delivering = False
+        self._staleness = staleness
+        self._clock = clock
+        self._deferred: Optional[ChangeSet] = None
+        self._deferred_since: Optional[float] = None
+        self._staleness_stats = StalenessStats()
         self._closed = False
         db.register_observer(self)
 
@@ -239,6 +268,10 @@ class ViewManager(DatabaseObserver):
     def refresh_all(self) -> None:
         """Force a full refresh of every view (e.g. after out-of-band doubt)."""
         self._check_open()
+        # A cold refresh runs against the live database, which subsumes any
+        # deferred changelog — drop it instead of replaying it afterwards.
+        self._deferred = None
+        self._deferred_since = None
         for view in self._views.values():
             view.refresh()
 
@@ -276,9 +309,22 @@ class ViewManager(DatabaseObserver):
         arrive here re-entrantly and are queued, then drained after the
         current delivery completes — every view refresh runs against the
         *current* database, so late deliveries only confirm verdicts.
+
+        In deferred (bounded-staleness) mode, mutations arriving outside a
+        flush delivery merge into the pending changelog instead; mutations
+        triggered *by* a flush's subscriber callbacks still deliver through
+        the re-entrancy queue, so a flush leaves the views fully caught up
+        with everything it (transitively) caused.
         """
         if self._closed:
             return
+        if self._staleness is not None and not self._delivering:
+            self._defer(changes)
+            return
+        self._deliver(changes)
+
+    def _deliver(self, changes: ChangeSet) -> None:
+        """Queue *changes* for view delivery and drain unless re-entrant."""
         self._pending.append(changes)
         if self._delivering:
             return
@@ -290,6 +336,96 @@ class ViewManager(DatabaseObserver):
                     view.apply(batch)
         finally:
             self._delivering = False
+
+    # -- bounded-staleness (deferred) maintenance --------------------------------
+
+    @property
+    def staleness(self) -> Optional[StalenessPolicy]:
+        """The bounded-staleness policy (``None`` in eager mode)."""
+        return self._staleness
+
+    @property
+    def staleness_stats(self) -> StalenessStats:
+        """Deferred-maintenance counters (all zero in eager mode)."""
+        return self._staleness_stats
+
+    @property
+    def pending_mutations(self) -> int:
+        """Net deferred mutations not yet delivered to the views."""
+        return len(self._deferred) if self._deferred is not None else 0
+
+    def _defer(self, changes: ChangeSet) -> None:
+        """Merge *changes* into the pending changelog (net semantics)."""
+        if not changes:
+            return
+        stats = self._staleness_stats
+        if self._deferred is None:
+            self._deferred = ChangeSet()
+            self._deferred_since = self._clock()
+        for fact in changes.added:
+            self._deferred.record_added(fact)
+        for fact in changes.discarded:
+            self._deferred.record_discarded(fact)
+        stats.deferred_batches += 1
+        stats.deferred_mutations += len(changes)
+        stats.max_pending_mutations = max(
+            stats.max_pending_mutations, len(self._deferred)
+        )
+
+    def flush(self) -> bool:
+        """Deliver every deferred mutation to the views now.
+
+        Returns ``True`` when pending work was delivered.  After a flush
+        (and until the next mutation) every view read is identical to a
+        cold recompute.  A no-op in eager mode, where nothing ever defers.
+        """
+        self._check_open()
+        return self._flush("explicit")
+
+    def _flush(self, trigger: str) -> bool:
+        if self._deferred is None:
+            return False
+        changes = self._deferred
+        self._deferred = None
+        self._deferred_since = None
+        stats = self._staleness_stats
+        stats.flushes += 1
+        if trigger == "read_budget":
+            stats.flushes_on_read_budget += 1
+        elif trigger == "read_deadline":
+            stats.flushes_on_read_deadline += 1
+        else:
+            stats.flushes_explicit += 1
+        if changes:
+            self._deliver(changes)
+        return True
+
+    def _sync_for_read(self) -> None:
+        """Read-path hook: refresh first when the policy's bounds are hit.
+
+        Called by every :attr:`MaterializedCertainView.answers` /
+        ``is_certain`` read.  A read served without flushing is *stale but
+        bounded*: at most ``max_stale_mutations`` net mutations and (when a
+        deadline is configured) ``refresh_deadline`` seconds behind.
+        """
+        if self._staleness is None or self._deferred is None or self._closed:
+            return
+        if self._delivering:
+            # A subscriber callback reading its own view mid-delivery sees
+            # the in-progress refresh; deferral cannot be flushed here.
+            return
+        policy = self._staleness
+        if (
+            policy.refresh_deadline is not None
+            and self._deferred_since is not None
+            and self._clock() - self._deferred_since >= policy.refresh_deadline
+        ):
+            self._flush("read_deadline")
+            return
+        if len(self._deferred) > policy.max_stale_mutations:
+            self._flush("read_budget")
+            return
+        self._staleness_stats.stale_reads += 1
 
     # -- decision routing --------------------------------------------------------
 

@@ -1,0 +1,120 @@
+"""Bounded-staleness maintenance: deferred view refresh with read-time sync.
+
+Eager view maintenance (the :class:`~repro.incremental.manager.ViewManager`
+default) re-decides dirty candidates synchronously inside every mutation
+notification, so a write-heavy tenant pays maintenance latency on the write
+path even when nobody reads the view between writes.  *Deferred* mode flips
+the cost to the read path: mutations merge into one pending net
+:class:`~repro.model.database.ChangeSet` (the same changelog object the
+``db.batch()`` protocol produces, so a fact added and later discarded while
+deferred cancels out entirely), and views refresh lazily —
+
+* a **read** (``view.answers`` / ``view.is_certain``) first syncs when the
+  pending net mutation count exceeds ``max_stale_mutations`` or the oldest
+  deferred mutation is older than ``refresh_deadline`` seconds;
+* an explicit :meth:`~repro.incremental.manager.ViewManager.flush` always
+  syncs.
+
+The staleness *bound* this buys (asserted by the randomized test harness):
+a read served without flushing saw an answer set at most
+``max_stale_mutations`` net mutations and ``refresh_deadline`` seconds
+behind the live database, and any read immediately after a flush (or past
+the deadline) is identical to a cold ``certain_answers`` recompute —
+deferral delays maintenance, it never changes what maintenance computes,
+because the session's fact index stays eagerly maintained and every
+deferred refresh runs against the *current* database.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StalenessPolicy:
+    """How stale a deferred view read may be before it forces a refresh.
+
+    Parameters
+    ----------
+    max_stale_mutations:
+        The largest *net* pending mutation count a read may be served over
+        without refreshing.  The default ``0`` defers maintenance between
+        reads but keeps every read fresh — writes stop paying synchronous
+        maintenance, reads never observe staleness.
+    refresh_deadline:
+        Seconds after the oldest deferred mutation beyond which any read
+        refreshes first, regardless of the mutation budget.  ``None``
+        (default) disables the deadline.
+    """
+
+    __slots__ = ("max_stale_mutations", "refresh_deadline")
+
+    def __init__(
+        self,
+        max_stale_mutations: int = 0,
+        refresh_deadline: Optional[float] = None,
+    ) -> None:
+        if max_stale_mutations < 0:
+            raise ValueError("max_stale_mutations must be non-negative")
+        if refresh_deadline is not None and refresh_deadline < 0:
+            raise ValueError("refresh_deadline must be non-negative")
+        self.max_stale_mutations = max_stale_mutations
+        self.refresh_deadline = refresh_deadline
+
+    def __repr__(self) -> str:
+        return (
+            f"StalenessPolicy(max_stale_mutations={self.max_stale_mutations}, "
+            f"refresh_deadline={self.refresh_deadline})"
+        )
+
+
+class StalenessStats:
+    """Counters describing deferred maintenance (see :class:`StalenessPolicy`).
+
+    ``deferred_batches`` / ``deferred_mutations``
+        mutation notifications absorbed into the pending changelog, and the
+        total facts they carried (pre-merge, so cancellations still count);
+    ``flushes``
+        deferred changelogs delivered to the views, split by trigger into
+        ``flushes_on_read_budget`` (a read found the pending count past
+        ``max_stale_mutations``), ``flushes_on_read_deadline`` (a read
+        found the changelog older than ``refresh_deadline``), and
+        ``flushes_explicit`` (:meth:`ViewManager.flush` calls that found
+        pending work);
+    ``stale_reads``
+        reads served from the materialized answers while mutations were
+        pending (each one was within the policy's bounds);
+    ``max_pending_mutations``
+        high-water mark of the pending net mutation count.
+    """
+
+    __slots__ = (
+        "deferred_batches",
+        "deferred_mutations",
+        "flushes",
+        "flushes_on_read_budget",
+        "flushes_on_read_deadline",
+        "flushes_explicit",
+        "stale_reads",
+        "max_pending_mutations",
+    )
+
+    def __init__(self) -> None:
+        self.deferred_batches = 0
+        self.deferred_mutations = 0
+        self.flushes = 0
+        self.flushes_on_read_budget = 0
+        self.flushes_on_read_deadline = 0
+        self.flushes_explicit = 0
+        self.stale_reads = 0
+        self.max_pending_mutations = 0
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (for service stats aggregation)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"StalenessStats(deferred={self.deferred_batches}, "
+            f"flushes={self.flushes}, stale_reads={self.stale_reads}, "
+            f"max_pending={self.max_pending_mutations})"
+        )

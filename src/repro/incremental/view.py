@@ -204,12 +204,20 @@ class MaterializedCertainView:
 
     @property
     def answers(self) -> frozenset:
-        """The current certain answers (``{()}``/``set()`` for Boolean queries)."""
+        """The current certain answers (``{()}``/``set()`` for Boolean queries).
+
+        Under the manager's bounded-staleness (deferred) mode this is the
+        read-path sync point: pending mutations past the policy's budget or
+        deadline are flushed first, so the returned set is never staler
+        than the configured bound.  Eager mode returns directly.
+        """
+        self._manager._sync_for_read()
         return frozenset(self._answers)
 
     @property
     def is_certain(self) -> bool:
         """Boolean-query convenience: is the query certain right now?"""
+        self._manager._sync_for_read()
         return bool(self._answers)
 
     @property

@@ -3,6 +3,7 @@
 from .bid import BIDDatabase
 from .bridge import (
     FrontierComparison,
+    certainty_session_for,
     certainty_via_probability,
     compare_frontiers,
     frontier_comparison_table,
@@ -21,6 +22,7 @@ __all__ = [
     "FrontierComparison",
     "SafetyTrace",
     "UnsafeQueryError",
+    "certainty_session_for",
     "certainty_via_probability",
     "compare_frontiers",
     "connected_components",

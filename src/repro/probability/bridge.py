@@ -14,21 +14,43 @@ what experiment E10 reports.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from ..certainty.brute_force import certain_brute_force
 from ..core.classify import classify
 from ..core.complexity import ComplexityBand
+from ..engine.cache import PlanCache
+from ..engine.session import CertaintySession
 from ..query.conjunctive import ConjunctiveQuery
+from ..store import InternTable
 from .bid import BIDDatabase
 from .evaluation import probability
 from .safety import is_safe
 
 
+def certainty_session_for(
+    bid: BIDDatabase, plan_cache: Optional[PlanCache] = None
+) -> CertaintySession:
+    """A scoped engine session over the ``db'`` of Proposition 1.
+
+    The session runs the full band dispatch (compiled FO rewritings, the
+    Theorem 3/4 polynomial solvers, brute force only for the coNP band) on
+    the block-restricted sub-database, against a **private**
+    :class:`~repro.store.intern.InternTable` — BID experiments never leak
+    constants into the process-global id space.  The caller owns the
+    session (close it, or use it as a context manager).
+    """
+    return CertaintySession(
+        bid.restrict_to_certain_blocks(),
+        plan_cache=plan_cache,
+        allow_exponential=True,
+        intern_table=InternTable(),
+    )
+
+
 def proposition1_holds(bid: BIDDatabase, query: ConjunctiveQuery) -> bool:
     """Check Proposition 1 on a concrete BID database and query."""
-    restricted = bid.restrict_to_certain_blocks()
-    certain = certain_brute_force(restricted, query)
+    with certainty_session_for(bid) as session:
+        certain = session.is_certain(query)
     prob = probability(bid, query)
     return certain == (prob == 1)
 

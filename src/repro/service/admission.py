@@ -1,0 +1,283 @@
+"""Band-aware admission control: the trichotomy as a scheduling policy.
+
+The paper's classifier places ``CERTAINTY(q)`` on the tractability frontier
+*before* any data is touched — a property of the query shape alone.  The
+admission controller turns that into the serving policy of the multi-tenant
+service:
+
+* **FO band** — the request is interactive: a certain first-order rewriting
+  exists and executes as one compiled set-at-a-time plan, so the request
+  runs inline on the submitting thread (the *hot path*) and the caller gets
+  the answer synchronously;
+* **every other band** (PTIME-not-FO, the Theorem 4 cycle queries, and the
+  coNP-complete band's brute-force search) — the request is dispatched onto
+  a bounded background worker pool and the caller gets an
+  :class:`AdmissionTicket` whose future supports ``result(timeout)`` and
+  ``cancel()``.  Each tenant has a queue-depth cap; a submission past the
+  cap raises :class:`AdmissionRejected` (counted per tenant), which is the
+  back-pressure signal — a tenant hammering coNP queries cannot starve the
+  pool for everyone else.
+
+Classification happens once per query *shape* process-wide (the plan cache
+and ``classify_cached`` both memoise), so admission adds one dict probe to
+the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from ..core.complexity import ComplexityBand
+from ..model.symbols import Constant
+from ..query.conjunctive import ConjunctiveQuery
+
+#: Admission outcomes recorded on tickets.
+INLINE = "inline"
+QUEUED = "queued"
+
+#: An answer set: frozenset of constant tuples ({()} / set() for Boolean).
+AnswerSet = FrozenSet[Tuple[Constant, ...]]
+
+
+class AdmissionRejected(RuntimeError):
+    """A queued-band submission found the tenant's queue at capacity."""
+
+    def __init__(self, tenant_id: str, depth: int, cap: int) -> None:
+        super().__init__(
+            f"tenant {tenant_id!r} has {depth} queued requests "
+            f"(cap {cap}); retry after pending work drains"
+        )
+        self.tenant_id = tenant_id
+        self.depth = depth
+        self.cap = cap
+
+
+class AdmissionStats:
+    """Per-tenant admission counters.
+
+    ``inline_served``
+        FO-band requests answered synchronously on the hot path;
+    ``queued`` / ``completed`` / ``cancelled``
+        harder-band requests dispatched to the worker pool, and how many
+        of those finished or were cancelled before starting;
+    ``rejected``
+        submissions refused at the tenant's queue-depth cap;
+    ``timeouts``
+        ``result(timeout)`` calls that expired before completion (the
+        request keeps running; a later ``result()`` can still collect it);
+    ``max_queue_depth``
+        high-water mark of this tenant's concurrently queued requests.
+    """
+
+    __slots__ = (
+        "inline_served",
+        "queued",
+        "completed",
+        "cancelled",
+        "rejected",
+        "timeouts",
+        "max_queue_depth",
+    )
+
+    def __init__(self) -> None:
+        self.inline_served = 0
+        self.queued = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.max_queue_depth = 0
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (for service stats aggregation)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionStats(inline={self.inline_served}, queued={self.queued}, "
+            f"completed={self.completed}, rejected={self.rejected})"
+        )
+
+
+class AdmissionTicket:
+    """The handle for one admitted request.
+
+    ``outcome`` is :data:`INLINE` (FO band; the answer is already computed)
+    or :data:`QUEUED` (a harder band; the answer is a pending future).
+    Either way :meth:`result` returns the answer set — a frozenset of
+    constant tuples, ``{()}``/``set()`` encoding certain/not-certain for
+    Boolean queries — so callers need not branch on the outcome.
+    """
+
+    __slots__ = ("tenant_id", "query", "band", "outcome", "_value", "_future", "_stats")
+
+    def __init__(
+        self,
+        tenant_id: str,
+        query: ConjunctiveQuery,
+        band: ComplexityBand,
+        outcome: str,
+        value: Optional[AnswerSet] = None,
+        future: Optional["Future[AnswerSet]"] = None,
+        stats: Optional[AdmissionStats] = None,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.query = query
+        self.band = band
+        self.outcome = outcome
+        self._value = value
+        self._future = future
+        self._stats = stats
+
+    @property
+    def done(self) -> bool:
+        """``True`` once the answer is available (always, for inline)."""
+        return self._future is None or self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> AnswerSet:
+        """The answer set, waiting up to *timeout* seconds for queued work.
+
+        Raises :class:`concurrent.futures.TimeoutError` when the deadline
+        expires (counted in the tenant's stats; the computation keeps
+        running and a later call can still collect it) and
+        :class:`concurrent.futures.CancelledError` after :meth:`cancel`.
+        """
+        if self._future is None:
+            assert self._value is not None
+            return self._value
+        try:
+            return self._future.result(timeout)
+        except FutureTimeoutError:
+            if self._stats is not None:
+                self._stats.timeouts += 1
+            raise
+
+    def cancel(self) -> bool:
+        """Cancel a queued request that has not started running.
+
+        Returns ``True`` on success (the future will never run; the queue
+        slot is released immediately).  Inline and already-running requests
+        return ``False``.
+        """
+        if self._future is None:
+            return False
+        return self._future.cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionTicket({self.tenant_id!r}, {self.band.name}, "
+            f"{self.outcome}, done={self.done})"
+        )
+
+
+class AdmissionController:
+    """Routes requests by complexity band; bounds background work per tenant.
+
+    One controller (and one worker pool) serves every tenant of a
+    :class:`~repro.service.service.CertaintyService`.  Thread-safe: the
+    depth table is guarded by a lock, and per-tenant execution is
+    serialised by the tenant's own lock (a queued decision never interleaves
+    with that tenant's mutations).
+    """
+
+    def __init__(self, max_workers: int = 2, queue_depth: int = 8) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._queue_depth = queue_depth
+        self._depths: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def queue_depth_cap(self) -> int:
+        """The per-tenant cap on concurrently queued requests."""
+        return self._queue_depth
+
+    def queue_depth(self, tenant_id: str) -> int:
+        """The tenant's current number of queued (unfinished) requests."""
+        with self._lock:
+            return self._depths.get(tenant_id, 0)
+
+    def submit(
+        self,
+        tenant_id: str,
+        query: ConjunctiveQuery,
+        band: ComplexityBand,
+        execute: Callable[[], AnswerSet],
+        stats: AdmissionStats,
+    ) -> AdmissionTicket:
+        """Admit one request: FO inline, anything harder onto the pool.
+
+        *execute* is the tenant-locked thunk computing the answer set; the
+        controller decides only *where* it runs.  Raises
+        :class:`AdmissionRejected` when the tenant's queue is full.
+        """
+        if self._closed:
+            raise RuntimeError("the admission controller is closed")
+        if band.is_first_order:
+            value = execute()
+            stats.inline_served += 1
+            return AdmissionTicket(tenant_id, query, band, INLINE, value=value)
+        with self._lock:
+            depth = self._depths.get(tenant_id, 0)
+            if depth >= self._queue_depth:
+                stats.rejected += 1
+                raise AdmissionRejected(tenant_id, depth, self._queue_depth)
+            self._depths[tenant_id] = depth + 1
+            stats.queued += 1
+            stats.max_queue_depth = max(stats.max_queue_depth, depth + 1)
+
+        def run() -> AnswerSet:
+            try:
+                value = execute()
+                stats.completed += 1
+                return value
+            finally:
+                self._release(tenant_id)
+
+        # A successful cancel() skips run() (and its slot release) entirely —
+        # release the slot and count the cancellation through a done
+        # callback, which fires exactly once per future.
+        def on_done(f: "Future[AnswerSet]") -> None:
+            if f.cancelled():
+                stats.cancelled += 1
+                self._release(tenant_id)
+
+        future = self._executor.submit(run)
+        future.add_done_callback(on_done)
+        return AdmissionTicket(
+            tenant_id, query, band, QUEUED, future=future, stats=stats
+        )
+
+    def _release(self, tenant_id: str) -> None:
+        with self._lock:
+            depth = self._depths.get(tenant_id, 0)
+            if depth > 0:
+                self._depths[tenant_id] = depth - 1
+
+    def close(self) -> None:
+        """Shut the worker pool down, waiting for running work (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+
+__all__ = [
+    "INLINE",
+    "QUEUED",
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionStats",
+    "AdmissionTicket",
+    "AnswerSet",
+    "CancelledError",
+]

@@ -1,0 +1,278 @@
+"""The multi-tenant certainty service: admission-controlled serving.
+
+:class:`CertaintyService` hosts any number of :class:`~repro.service.tenant.Tenant`
+objects — each with its own intern table, database, session, and
+bounded-staleness views — behind one band-aware
+:class:`~repro.service.admission.AdmissionController`:
+
+>>> from repro.service import CertaintyService            # doctest: +SKIP
+>>> with CertaintyService(max_workers=4) as svc:
+...     svc.create_tenant("acme", facts=acme_facts)
+...     ticket = svc.submit("acme", query)      # FO band: answered inline
+...     answers = ticket.result(timeout=1.0)
+...     svc.apply("acme", [("add", fact)])      # views go bounded-stale
+...     svc.stats()["totals"]
+
+Design points:
+
+* **One classification, one policy.**  ``submit`` classifies the query via
+  the tenant's plan cache (memoised per shape) and hands the band to the
+  controller: the FO band runs on the submitting thread, every harder band
+  becomes a future on the shared bounded worker pool.
+* **Per-tenant serialisation, cross-tenant parallelism.**  Every decision
+  and mutation runs under its tenant's re-entrant lock, so a queued coNP
+  decision never interleaves with that tenant's writes — but two tenants'
+  work proceeds concurrently.
+* **Writes are cheap, reads are honest.**  Mutations update the session's
+  incremental index synchronously but view maintenance is deferred under
+  the tenant's :class:`~repro.incremental.staleness.StalenessPolicy`; the
+  default policy (zero stale budget) flushes on the next read, so view
+  reads through the service are always fresh unless the tenant opted into
+  staleness.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine.cache import PlanCache
+from ..incremental.staleness import StalenessPolicy
+from ..model.atoms import Fact
+from ..model.schema import DatabaseSchema
+from ..query.conjunctive import ConjunctiveQuery
+from ..workloads.streaming import MutationOp
+from .admission import AdmissionController, AdmissionTicket, AnswerSet
+from .tenant import Tenant
+
+
+class CertaintyService:
+    """Admission-controlled, multi-tenant CERTAINTY(q) serving (see module doc)."""
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        queue_depth: int = 8,
+        staleness: Optional[StalenessPolicy] = None,
+        plan_cache_size: int = 256,
+        allow_exponential: bool = True,
+        clock=None,
+    ) -> None:
+        """Create an empty service.
+
+        Parameters
+        ----------
+        max_workers / queue_depth:
+            Worker-pool size and per-tenant queued-request cap of the
+            admission controller.
+        staleness:
+            Default :class:`StalenessPolicy` for new tenants (overridable
+            per tenant).  ``None`` means the zero-budget policy: writes
+            defer view maintenance, reads always see fresh views.
+        plan_cache_size:
+            Size of each tenant's private plan cache.
+        allow_exponential:
+            Whether queued coNP-band requests may run the brute-force
+            fallback.  ``True`` by default — the whole point of queueing
+            is making the hard band servable without blocking the hot path.
+        clock:
+            Injectable monotonic clock handed to tenants' view managers
+            (for deterministic staleness tests).
+        """
+        self._admission = AdmissionController(
+            max_workers=max_workers, queue_depth=queue_depth
+        )
+        self._staleness = staleness
+        self._plan_cache_size = plan_cache_size
+        self._allow_exponential = allow_exponential
+        self._clock = clock
+        self._tenants: Dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- tenant lifecycle --------------------------------------------------------
+
+    def create_tenant(
+        self,
+        tenant_id: str,
+        facts: Iterable[Fact] = (),
+        schema: Optional[DatabaseSchema] = None,
+        staleness: Optional[StalenessPolicy] = None,
+    ) -> Tenant:
+        """Provision an isolated tenant (private intern table and engine state)."""
+        self._check_open()
+        with self._lock:
+            if tenant_id in self._tenants:
+                raise ValueError(f"tenant {tenant_id!r} already exists")
+            tenant = Tenant(
+                tenant_id,
+                facts=facts,
+                schema=schema,
+                plan_cache=PlanCache(maxsize=self._plan_cache_size),
+                staleness=staleness if staleness is not None else self._staleness,
+                allow_exponential=self._allow_exponential,
+                clock=self._clock,
+            )
+            self._tenants[tenant_id] = tenant
+            return tenant
+
+    def tenant(self, tenant_id: str) -> Tenant:
+        """The tenant registered as *tenant_id* (KeyError if unknown)."""
+        with self._lock:
+            try:
+                return self._tenants[tenant_id]
+            except KeyError:
+                raise KeyError(f"unknown tenant {tenant_id!r}") from None
+
+    def drop_tenant(self, tenant_id: str) -> None:
+        """Close and forget a tenant; its id space dies with it."""
+        with self._lock:
+            tenant = self._tenants.pop(tenant_id, None)
+        if tenant is not None:
+            tenant.close()
+
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        """Registered tenant ids, in creation order."""
+        with self._lock:
+            return tuple(self._tenants)
+
+    # -- serving -----------------------------------------------------------------
+
+    def submit(self, tenant_id: str, query: ConjunctiveQuery) -> AdmissionTicket:
+        """Admit one certainty request for *tenant_id*.
+
+        FO-band queries are answered inline (the returned ticket is already
+        done); harder bands are queued onto the worker pool.  Raises
+        :class:`~repro.service.admission.AdmissionRejected` when the
+        tenant's queue is at capacity.
+        """
+        self._check_open()
+        tenant = self.tenant(tenant_id)
+        band = tenant.band(query)
+        return self._admission.submit(
+            tenant_id,
+            query,
+            band,
+            lambda: tenant.execute(query),
+            tenant.admission_stats,
+        )
+
+    def certain_answers(
+        self,
+        tenant_id: str,
+        query: ConjunctiveQuery,
+        timeout: Optional[float] = None,
+    ) -> AnswerSet:
+        """Submit and wait: the certain answers of *query* for *tenant_id*.
+
+        Boolean queries come back as ``{()}`` (certain) / ``set()`` (not).
+        """
+        return self.submit(tenant_id, query).result(timeout)
+
+    def is_certain(
+        self,
+        tenant_id: str,
+        query: ConjunctiveQuery,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Submit a Boolean query and wait for its certainty verdict."""
+        return bool(self.certain_answers(tenant_id, query, timeout=timeout))
+
+    # -- mutations ---------------------------------------------------------------
+
+    def apply(self, tenant_id: str, batch: List[MutationOp]) -> None:
+        """Apply a mutation batch to one tenant (views defer per its policy)."""
+        self._check_open()
+        self.tenant(tenant_id).apply(batch)
+
+    def flush_views(self, tenant_id: str) -> bool:
+        """Force the tenant's deferred view maintenance to run now."""
+        return self.tenant(tenant_id).flush_views()
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The shared admission controller (queue-depth introspection)."""
+        return self._admission
+
+    def stats(self) -> dict:
+        """Per-tenant and aggregate service statistics.
+
+        ``tenants`` maps tenant id → :meth:`Tenant.stats` (facts, intern
+        memory, staleness and admission counters, live queue depth);
+        ``totals`` sums the cross-tenant aggregates — total interned bytes,
+        facts, pending view mutations, and every admission counter.
+        """
+        with self._lock:
+            tenants = dict(self._tenants)
+        per_tenant = {}
+        totals = {
+            "tenants": len(tenants),
+            "facts": 0,
+            "intern_constants": 0,
+            "intern_bytes": 0,
+            "pending_view_mutations": 0,
+            "inline_served": 0,
+            "queued": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "rejected": 0,
+            "timeouts": 0,
+        }
+        for tenant_id, tenant in tenants.items():
+            stats = tenant.stats()
+            stats["queue_depth"] = self._admission.queue_depth(tenant_id)
+            per_tenant[tenant_id] = stats
+            totals["facts"] += stats["facts"]
+            totals["intern_constants"] += stats["intern_memory"]["constants"]
+            totals["intern_bytes"] += stats["intern_memory"]["total_bytes"]
+            totals["pending_view_mutations"] += stats["pending_view_mutations"]
+            for key in (
+                "inline_served",
+                "queued",
+                "completed",
+                "cancelled",
+                "rejected",
+                "timeouts",
+            ):
+                totals[key] += stats["admission"][key]
+        return {
+            "tenants": per_tenant,
+            "totals": totals,
+            "queue_depth_cap": self._admission.queue_depth_cap,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drain the worker pool and close every tenant (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._admission.close()
+        with self._lock:
+            tenants = list(self._tenants.values())
+            self._tenants.clear()
+        for tenant in tenants:
+            tenant.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the service is closed")
+
+    def __enter__(self) -> "CertaintyService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"CertaintyService({len(self.tenants)} tenants, {state})"

@@ -1,0 +1,213 @@
+"""Per-tenant state: a private id space, database, session, and views.
+
+A :class:`Tenant` bundles everything one customer of the
+:class:`~repro.service.service.CertaintyService` owns:
+
+* a **private** :class:`~repro.store.intern.InternTable` — the tenant's
+  constant id space.  Nothing the tenant interns ever enters the process
+  -global table or another tenant's table, so tenants cannot observe each
+  other's constants (the isolation property the regression tests assert),
+  and dropping the tenant releases the whole id space at once (the global
+  table is append-only for the process lifetime);
+* an :class:`~repro.model.database.UncertainDatabase` plus a scoped
+  :class:`~repro.engine.session.CertaintySession` executing on the
+  columnar backend against the private table;
+* a :class:`~repro.incremental.manager.ViewManager` in bounded-staleness
+  (deferred) mode, so the tenant's write path never pays synchronous view
+  maintenance beyond the session's O(1)-amortised index upkeep;
+* a re-entrant lock serialising this tenant's mutations and decisions —
+  the service's background workers and the caller's threads interleave
+  *across* tenants, never within one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Optional
+
+from ..engine.cache import PlanCache
+from ..engine.session import CertaintySession
+from ..incremental.manager import ViewManager
+from ..incremental.staleness import StalenessPolicy
+from ..incremental.view import MaterializedCertainView
+from ..model.atoms import Fact
+from ..model.database import UncertainDatabase
+from ..model.schema import DatabaseSchema
+from ..query.conjunctive import ConjunctiveQuery
+from ..store import InternTable
+from ..workloads.streaming import MutationOp, apply_mutation
+from .admission import AdmissionStats, AnswerSet
+
+
+class Tenant:
+    """One tenant's isolated certainty state (see the module docstring).
+
+    Constructed by :meth:`CertaintyService.create_tenant`; user code
+    normally goes through the service (which adds admission control), but
+    every attribute here is a public read surface.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        facts: Iterable[Fact] = (),
+        schema: Optional[DatabaseSchema] = None,
+        plan_cache: Optional[PlanCache] = None,
+        staleness: Optional[StalenessPolicy] = None,
+        allow_exponential: bool = False,
+        clock=None,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.intern_table = InternTable()
+        self.db = UncertainDatabase(facts, schema=schema)
+        self.session = CertaintySession(
+            self.db,
+            plan_cache=plan_cache,
+            allow_exponential=allow_exponential,
+            intern_table=self.intern_table,
+        )
+        manager_kwargs = {} if clock is None else {"clock": clock}
+        self.views = ViewManager(
+            self.db,
+            session=self.session,
+            staleness=staleness if staleness is not None else StalenessPolicy(),
+            **manager_kwargs,
+        )
+        self.admission_stats = AdmissionStats()
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # -- locking -----------------------------------------------------------------
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The lock serialising this tenant's mutations and decisions."""
+        return self._lock
+
+    # -- queries -----------------------------------------------------------------
+
+    def band(self, query: ConjunctiveQuery):
+        """The complexity band of *query* (classified once, via the plan cache)."""
+        return self.session.plan_for(query).band
+
+    def execute(
+        self, query: ConjunctiveQuery, allow_exponential: Optional[bool] = None
+    ) -> AnswerSet:
+        """Decide *query* now, under the tenant lock.
+
+        Returns the certain answers as a frozenset of constant tuples;
+        Boolean queries encode their verdict as ``{()}`` / ``set()``.
+        This is the thunk the admission controller runs — inline for the
+        FO band, on a background worker otherwise.
+        """
+        with self._lock:
+            self._check_open()
+            if query.is_boolean:
+                certain = self.session.is_certain(
+                    query, allow_exponential=allow_exponential
+                )
+                return frozenset({()}) if certain else frozenset()
+            return frozenset(
+                self.session.certain_answers(
+                    query, allow_exponential=allow_exponential
+                )
+            )
+
+    # -- mutations ---------------------------------------------------------------
+
+    def add(self, fact: Fact) -> None:
+        """Insert one fact (tenant-locked)."""
+        with self._lock:
+            self._check_open()
+            self.db.add(fact)
+
+    def discard(self, fact: Fact) -> None:
+        """Remove one fact (tenant-locked)."""
+        with self._lock:
+            self._check_open()
+            self.db.discard(fact)
+
+    def apply(self, batch: List[MutationOp]) -> None:
+        """Apply a batch of mutation ops inside one ``db.batch()`` block.
+
+        Observers (the session index, the view manager's changelog) receive
+        one consolidated notification; in deferred mode the whole batch
+        merges into the pending staleness changelog.
+        """
+        with self._lock:
+            self._check_open()
+            with self.db.batch():
+                for op in batch:
+                    apply_mutation(self.db, op)
+
+    # -- views -------------------------------------------------------------------
+
+    def register_view(self, query: ConjunctiveQuery) -> MaterializedCertainView:
+        """Materialize (and keep maintaining) the certain answers of *query*."""
+        with self._lock:
+            self._check_open()
+            return self.views.register(query)
+
+    def view_answers(self, query: ConjunctiveQuery) -> AnswerSet:
+        """Read a registered view under the tenant lock (bounded-stale)."""
+        with self._lock:
+            self._check_open()
+            view = self.views.register(query)
+            return view.answers
+
+    def flush_views(self) -> bool:
+        """Deliver every deferred mutation to the tenant's views now."""
+        with self._lock:
+            self._check_open()
+            return self.views.flush()
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """This tenant's memory, staleness, and admission counters.
+
+        ``intern_memory`` is the private table's
+        :meth:`~repro.store.intern.InternTable.memory_stats` — the
+        previously un-aggregated footprint the service surfaces per tenant;
+        ``store_memory`` adds the columnar store's column footprint.
+        """
+        with self._lock:
+            store = self.session.store
+            return {
+                "facts": len(self.db),
+                "blocks": self.db.num_blocks(),
+                "mutation_version": self.db.mutation_version,
+                "views": len(self.views.views),
+                "pending_view_mutations": self.views.pending_mutations,
+                "intern_memory": self.intern_table.memory_stats(),
+                "store_memory": store.memory_stats() if store is not None else {},
+                "staleness": self.views.staleness_stats.as_dict(),
+                "admission": self.admission_stats.as_dict(),
+            }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Detach the session and views from the database (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self.views.close()
+            self.session.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"tenant {self.tenant_id!r} is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Tenant({self.tenant_id!r}, {len(self.db)} facts, "
+            f"{len(self.intern_table)} constants, {state})"
+        )

@@ -11,6 +11,12 @@ from .generators import (
     uniform_random_instance,
     zipfian_instance,
 )
+from .multitenant import (
+    MultiTenantWorkload,
+    TenantTrace,
+    multi_tenant_workload,
+    replay_trace,
+)
 from .streaming import apply_batch, apply_mutation, mutation_stream
 from .instances import (
     figure1_database,
@@ -29,13 +35,17 @@ __all__ = [
     "figure6_database",
     "figure7_falsifying_repairs",
     "mixed_corpus",
+    "multi_tenant_workload",
+    "MultiTenantWorkload",
     "mutation_stream",
     "named_corpus",
     "planted_certain_instance",
     "random_acyclic_query",
     "random_corpus",
     "random_valuation",
+    "replay_trace",
     "ring_instance",
+    "TenantTrace",
     "scaling_instances",
     "synthetic_instance",
     "uniform_random_instance",

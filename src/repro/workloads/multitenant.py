@@ -1,0 +1,227 @@
+"""Multi-tenant service workloads: concurrent tenants, mixed read/write traffic.
+
+The service benchmark needs traffic with three properties the other
+generators don't provide together:
+
+* **per-tenant isolation by construction** — every constant a tenant ever
+  touches carries its tenant prefix (``t3~c17``), so the active domains of
+  any two tenants are disjoint and the service's intern-table isolation is
+  *checkable*: a tenant's private table must never contain another
+  tenant's prefix, and the id→value maps must be pairwise disjoint;
+* **deterministic, replayable traces** — each tenant's trace is a plain
+  list of steps generated up front (no live contract), so the same trace
+  can be driven concurrently through the service *and* replayed
+  sequentially on a throwaway engine session, and the answers compared
+  step-by-step for the in-run identity assertion;
+* **band-mixed reads** — reads split between an FO-band open query (the
+  inline hot path) and a PTIME-band Boolean query (the queued path), both
+  over the same two relations, so one fact population serves both.
+
+Writes draw block keys from a Zipf distribution (weight ``1/rank^skew``),
+concentrating conflicts on a few hot blocks per tenant, and track a shadow
+fact set so discards always name a fact actually present at that point in
+the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..engine.cache import PlanCache
+from ..engine.session import CertaintySession
+from ..model.database import UncertainDatabase
+from ..query.parser import parse_query
+from ..store import InternTable
+from .generators import _zipf_weights
+from .streaming import MutationOp, apply_mutation
+
+#: One trace step: ``("read", query)`` or ``("write", [MutationOp, ...])``.
+TraceStep = Tuple[str, object]
+
+#: The FO-band read: an open path query, answered inline by the service.
+FO_QUERY_TEXT = "R(x | y), S(y | z)"
+
+#: The queued-band read: the Boolean 2-cycle query, PTIME but not FO.
+QUEUED_QUERY_TEXT = "R(x | y), S(y | x)"
+
+
+class TenantTrace:
+    """One tenant's deterministic workload: initial facts plus a step list."""
+
+    __slots__ = ("tenant_id", "prefix", "facts", "steps")
+
+    def __init__(self, tenant_id, prefix, facts, steps) -> None:
+        self.tenant_id = tenant_id
+        self.prefix = prefix
+        self.facts = facts
+        self.steps = steps
+
+    @property
+    def reads(self) -> int:
+        """Number of read steps in the trace."""
+        return sum(1 for kind, _ in self.steps if kind == "read")
+
+    @property
+    def writes(self) -> int:
+        """Number of write steps in the trace."""
+        return sum(1 for kind, _ in self.steps if kind == "write")
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantTrace({self.tenant_id!r}, {len(self.facts)} facts, "
+            f"{self.reads} reads / {self.writes} writes)"
+        )
+
+
+class MultiTenantWorkload:
+    """A bundle of per-tenant traces sharing the two query shapes."""
+
+    __slots__ = ("fo_query", "queued_query", "traces", "seed")
+
+    def __init__(self, fo_query, queued_query, traces, seed) -> None:
+        self.fo_query = fo_query
+        self.queued_query = queued_query
+        self.traces = traces
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        return f"MultiTenantWorkload({len(self.traces)} tenants, seed={self.seed})"
+
+
+def multi_tenant_workload(
+    num_tenants: int = 8,
+    steps: int = 40,
+    seed: int = 0,
+    domain_size: int = 24,
+    initial_facts: int = 48,
+    read_fraction: float = 0.7,
+    queued_read_fraction: float = 0.2,
+    skew: float = 1.1,
+    conflict_rate: float = 0.4,
+    batch_range: Tuple[int, int] = (1, 4),
+) -> MultiTenantWorkload:
+    """Generate *num_tenants* deterministic mixed read/write traces.
+
+    Each tenant gets a private Zipf-skewed active domain (prefixed with its
+    tenant id), *initial_facts* starting facts over relations ``R``/``S``,
+    and *steps* steps: a read with probability *read_fraction* (of which a
+    *queued_read_fraction* share targets the PTIME-band query), otherwise a
+    write batch of Zipf-keyed insertions, key-conflicting insertions, and
+    discards of currently-present facts.
+    """
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be at least 1")
+    fo_query = parse_query(FO_QUERY_TEXT, free=["x"])
+    queued_query = parse_query(QUEUED_QUERY_TEXT)
+    relations = [atom.relation for atom in fo_query.atoms]
+
+    traces = []
+    for idx in range(num_tenants):
+        rng = random.Random(seed * 10007 + idx)
+        prefix = f"t{idx}~"
+        domain = [f"{prefix}c{j}" for j in range(domain_size)]
+        weights = _zipf_weights(domain_size, skew)
+
+        def zipf_fact(relation):
+            key = rng.choices(domain, weights, k=relation.key_size)
+            rest = [
+                rng.choice(domain)
+                for _ in range(relation.arity - relation.key_size)
+            ]
+            return relation.fact(*(key + rest))
+
+        def conflicting_fact(fact):
+            relation = fact.relation
+            key = [c.value for c in fact.key_terms]
+            rest = [
+                rng.choice(domain)
+                for _ in range(relation.arity - relation.key_size)
+            ]
+            return relation.fact(*(key + rest))
+
+        shadow = set()
+        facts = []
+        for relation in relations:
+            for _ in range(max(1, initial_facts // len(relations))):
+                fact = zipf_fact(relation)
+                facts.append(fact)
+                shadow.add(fact)
+                if rng.random() < conflict_rate:
+                    extra = conflicting_fact(fact)
+                    facts.append(extra)
+                    shadow.add(extra)
+
+        trace_steps: List[TraceStep] = []
+        for _ in range(steps):
+            if rng.random() < read_fraction:
+                if rng.random() < queued_read_fraction:
+                    trace_steps.append(("read", queued_query))
+                else:
+                    trace_steps.append(("read", fo_query))
+                continue
+            batch: List[MutationOp] = []
+            for _ in range(rng.randint(*batch_range)):
+                roll = rng.random()
+                if roll < 0.25 and shadow:
+                    victim = rng.choice(sorted(shadow, key=str))
+                    shadow.discard(victim)
+                    batch.append(("discard", victim))
+                else:
+                    fact = zipf_fact(rng.choice(relations))
+                    shadow.add(fact)
+                    batch.append(("add", fact))
+                    if rng.random() < conflict_rate:
+                        extra = conflicting_fact(fact)
+                        shadow.add(extra)
+                        batch.append(("add", extra))
+            trace_steps.append(("write", batch))
+        traces.append(TenantTrace(f"tenant-{idx}", prefix, facts, trace_steps))
+    return MultiTenantWorkload(fo_query, queued_query, traces, seed)
+
+
+def replay_trace(trace: TenantTrace) -> List[Tuple[int, frozenset]]:
+    """Replay one trace sequentially on a throwaway engine session.
+
+    Runs outside the service entirely — a fresh database, a fresh private
+    :class:`~repro.store.intern.InternTable`, and a plain
+    :class:`~repro.engine.session.CertaintySession` — and returns
+    ``(step_index, answers)`` for every read step, Boolean verdicts encoded
+    as ``{()}``/``set()``.  This is the ground truth the service run is
+    compared against: same trace, independent code path.
+    """
+    db = UncertainDatabase(trace.facts)
+    session = CertaintySession(
+        db,
+        plan_cache=PlanCache(maxsize=64),
+        allow_exponential=True,
+        intern_table=InternTable(),
+    )
+    answers: List[Tuple[int, frozenset]] = []
+    try:
+        for index, (kind, payload) in enumerate(trace.steps):
+            if kind == "write":
+                with db.batch():
+                    for op in payload:
+                        apply_mutation(db, op)
+                continue
+            query = payload
+            if query.is_boolean:
+                certain = session.is_certain(query)
+                answers.append((index, frozenset({()}) if certain else frozenset()))
+            else:
+                answers.append((index, frozenset(session.certain_answers(query))))
+    finally:
+        session.close()
+    return answers
+
+
+__all__ = [
+    "FO_QUERY_TEXT",
+    "QUEUED_QUERY_TEXT",
+    "MultiTenantWorkload",
+    "TenantTrace",
+    "TraceStep",
+    "multi_tenant_workload",
+    "replay_trace",
+]
