@@ -41,6 +41,14 @@ must match between baseline and current):
     per-tenant replay) and the isolation check (``zero_intern_collisions``)
     are enforced unconditionally.
 
+``durability``
+    Guards ``speedup_restart_vs_rebuild`` per shared changelog-tail size —
+    cold restart from segment + changelog tail must keep beating a
+    full-history rebuild.  The suite is single-process, so the ratio is
+    checked on any CPU count.  The in-run recovery identity
+    (``all_agree``: recovered facts, ``mutation_version``, and certain
+    answers equal the pre-crash live state) is enforced unconditionally.
+
 Run with::
 
     python benchmarks/emit_bench.py --suite columnar_store --smoke \
@@ -275,12 +283,43 @@ def check_service_load(baseline: Dict, current: Dict, factor: float) -> int:
     )
 
 
+def check_durability(baseline: Dict, current: Dict, factor: float) -> int:
+    """Guard restart-vs-rebuild per tail; recovery identity unconditional.
+
+    No cpu-count skip: both legs are single-process and the ratio divides
+    out machine speed, so it is meaningful even on a 1-core runner.
+    """
+    if not current.get("all_agree", False):
+        print(
+            "ERROR: current report records a recovered database diverging "
+            "from the pre-crash state",
+            file=sys.stderr,
+        )
+        return 1
+    baseline_rows = _rows_by_size(baseline, key="tail")
+    current_rows = _rows_by_size(current, key="tail")
+    shared = sorted(set(baseline_rows) & set(current_rows))
+    if not shared:
+        print("ERROR: the reports share no changelog-tail sizes", file=sys.stderr)
+        return 1
+    status = 0
+    for tail in shared:
+        status |= _check_ratio(
+            f"tail={tail:6d}",
+            baseline_rows[tail].get("speedup_restart_vs_rebuild") or 0.0,
+            current_rows[tail].get("speedup_restart_vs_rebuild") or 0.0,
+            factor,
+        )
+    return status
+
+
 _CHECKERS = {
     "columnar_store": check_columnar_store,
     "all_bands": check_all_bands,
     "parallel_answers": check_parallel_answers,
     "sharded_runtime": check_sharded_runtime,
     "service_load": check_service_load,
+    "durability": check_durability,
 }
 
 

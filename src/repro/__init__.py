@@ -100,6 +100,14 @@ from .core import (
     classify_corpus,
     frontier_table,
 )
+from .durability import (
+    ChangelogWriter,
+    DurableStore,
+    SegmentCorruption,
+    read_changelog,
+    read_segment,
+    write_segment,
+)
 from .engine import (
     CacheStats,
     CertaintySession,
@@ -179,6 +187,7 @@ __all__ = [
     "CertaintyService",
     "CertaintySession",
     "ChangeSet",
+    "ChangelogWriter",
     "Classification",
     "ColumnarFactIndex",
     "ColumnarFactStore",
@@ -187,6 +196,7 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "DatabaseSchema",
+    "DurableStore",
     "Fact",
     "InternTable",
     "IntractableQueryError",
@@ -196,6 +206,7 @@ __all__ = [
     "PlanCache",
     "QueryPlan",
     "RelationSchema",
+    "SegmentCorruption",
     "ShardedCertaintySession",
     "StalenessPolicy",
     "StalenessStats",
@@ -239,8 +250,11 @@ __all__ = [
     "probability",
     "probability_safe_plan",
     "purify",
+    "read_changelog",
+    "read_segment",
     "satisfies",
     "shard_of_key",
     "solve",
     "theorem2_reduction",
+    "write_segment",
 ]

@@ -1,0 +1,34 @@
+"""The durability tier: segment snapshots, write-ahead changelog, epochs.
+
+:class:`DurableStore` persists an observed
+:class:`~repro.model.database.UncertainDatabase` across restarts and
+crashes: checkpoints write checksummed segment files
+(:mod:`~repro.durability.segments`), committed mutation batches append to
+a framed changelog (:mod:`~repro.durability.changelog`), and recovery
+replays snapshot + changelog tail to exactly the last committed state.
+Intern-table epochs keep the id space dense under churn.
+"""
+
+from .changelog import (
+    SYNC_POLICIES,
+    ChangelogRecord,
+    ChangelogWriter,
+    read_changelog,
+    truncate_changelog,
+)
+from .durable import DurabilityStats, DurableStore
+from .segments import SegmentCorruption, SegmentData, read_segment, write_segment
+
+__all__ = [
+    "ChangelogRecord",
+    "ChangelogWriter",
+    "DurabilityStats",
+    "DurableStore",
+    "SYNC_POLICIES",
+    "SegmentCorruption",
+    "SegmentData",
+    "read_changelog",
+    "read_segment",
+    "truncate_changelog",
+    "write_segment",
+]

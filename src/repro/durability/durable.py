@@ -1,0 +1,513 @@
+"""DurableStore: the persistence tier under the columnar engine.
+
+A :class:`DurableStore` makes an :class:`~repro.model.database.UncertainDatabase`
+survive restarts with three cooperating mechanisms:
+
+**Segment snapshots** (:mod:`repro.durability.segments`)
+    :meth:`checkpoint` writes the mirror store's integer columns plus the
+    intern-table values to one checksummed, atomically-renamed segment
+    file.  :meth:`open` restores a
+    :class:`~repro.store.columnar.ColumnarFactStore` and
+    :class:`~repro.store.intern.InternTable` straight from the raw arrays
+    — no per-fact re-interning.
+
+**Write-ahead changelog** (:mod:`repro.durability.changelog`)
+    Attached as a database observer, the store appends one framed,
+    checksummed record per committed mutation batch: the net
+    :class:`~repro.model.database.ChangeSet` as interned id rows, plus
+    the intern-table *suffix* assigned since the previous record, keyed
+    by the database's ``mutation_version`` (the natural log sequence
+    number).  The ``sync`` knob picks the fsync-on-commit policy.
+
+**Intern-table epochs**
+    Ids are never reused, so churn grows the table without bound.  Every
+    checkpoint consults the table's live-id fraction
+    (:meth:`~repro.store.intern.InternTable.memory_stats`) and, below the
+    ``rotate_live_fraction`` threshold, *rotates the epoch*: live ids are
+    remapped into a fresh dense table, the mirror columns are rewritten,
+    and the new epoch lands in the segment header — RSS stays bounded by
+    the live data, not the churn history.
+
+Recovery (:meth:`open`, or constructing over a non-empty directory) loads
+the newest valid segment and replays the changelog tail, stopping at the
+first torn or corrupt record, so a cold restart reaches exactly the last
+committed pre-crash state.  :meth:`database` then decodes the mirror into
+a fresh ``UncertainDatabase`` whose ``mutation_version`` continues the
+pre-crash sequence.
+
+The store keeps a **private** intern table and mirror store: rotation
+never invalidates ids cached by sessions, compiled plans, or views, and
+one database can stay attached while arbitrary engine state comes and
+goes above it.  Like the database itself, the writer side assumes a
+single mutating thread.  Register the durable store **before** sessions
+and view managers (``attach`` does this for you when called first), so a
+subscriber-triggered mutation can never reach the log ahead of the
+mutation that caused it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..model.atoms import Fact, RelationSchema
+from ..model.database import ChangeSet, DatabaseObserver, UncertainDatabase
+from ..model.schema import DatabaseSchema
+from ..store.columnar import ColumnarFactStore
+from ..store.intern import InternTable
+from .changelog import (
+    ChangelogWriter,
+    read_changelog,
+    truncate_changelog,
+)
+from .segments import SegmentCorruption, read_segment, write_segment
+
+#: Rotation floor: below this many interned ids, remapping cannot pay off.
+DEFAULT_MIN_ROTATE_IDS = 64
+
+
+class DurabilityStats:
+    """Counters describing one durable store's lifetime."""
+
+    __slots__ = (
+        "commits",
+        "log_bytes_appended",
+        "checkpoints",
+        "rotations",
+        "replayed_records",
+        "skipped_segments",
+        "torn_tail_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.commits = 0
+        self.log_bytes_appended = 0
+        self.checkpoints = 0
+        self.rotations = 0
+        self.replayed_records = 0
+        self.skipped_segments = 0
+        self.torn_tail_bytes = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"DurabilityStats({inner})"
+
+
+class DurableStore(DatabaseObserver):
+    """Segment snapshots + write-ahead changelog for one database.
+
+    Parameters
+    ----------
+    directory:
+        Where segments and changelogs live (created if missing).  A
+        non-empty directory is **recovered on construction**: the newest
+        valid segment is loaded and the changelog tail replayed, after
+        which :attr:`store`, :attr:`table`, :attr:`mutation_version`, and
+        :attr:`epoch` describe the last committed state.
+    sync:
+        Changelog durability policy — ``"commit"`` (fsync per batch,
+        default), ``"flush"``, or ``"never"``; see
+        :class:`~repro.durability.changelog.ChangelogWriter`.
+    rotate_live_fraction:
+        Live-id fraction below which :meth:`checkpoint` automatically
+        rotates the intern-table epoch (default ``0.5``; ``0.0`` disables
+        automatic rotation — explicit ``checkpoint(rotate=True)`` still
+        rotates).
+    min_rotate_ids:
+        Table-size floor under which automatic rotation is skipped.
+    """
+
+    def __init__(
+        self,
+        directory,
+        sync: str = "commit",
+        rotate_live_fraction: float = 0.5,
+        min_rotate_ids: int = DEFAULT_MIN_ROTATE_IDS,
+    ) -> None:
+        if not 0.0 <= rotate_live_fraction <= 1.0:
+            raise ValueError("rotate_live_fraction must lie in [0, 1]")
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._sync = sync
+        self._rotate_live_fraction = rotate_live_fraction
+        self._min_rotate_ids = min_rotate_ids
+        self._table = InternTable()
+        self._store = ColumnarFactStore(table=self._table)
+        self._epoch = 0
+        self._version = 0
+        self._watermark = 0  # intern ids already shipped to disk
+        self._db: Optional[UncertainDatabase] = None
+        self._log: Optional[ChangelogWriter] = None
+        self._log_path: Optional[Path] = None
+        self._log_valid_bytes = 0
+        self._closed = False
+        self.stats = DurabilityStats()
+        self._recover()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory, **kwargs) -> "DurableStore":
+        """Recover the committed state persisted under *directory*.
+
+        Alias of the constructor, named for the read side: the returned
+        store's :attr:`store`/:attr:`table` hold the snapshot + replayed
+        changelog tail, and :meth:`database` decodes them into a live
+        ``UncertainDatabase``.  Call :meth:`attach` on that database to
+        resume appending where the pre-crash process stopped.
+        """
+        return cls(directory, **kwargs)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def store(self) -> ColumnarFactStore:
+        """The private mirror store holding the committed facts as id rows."""
+        return self._store
+
+    @property
+    def table(self) -> InternTable:
+        """The private intern table of the current epoch."""
+        return self._table
+
+    @property
+    def epoch(self) -> int:
+        """The current intern-table epoch (bumped by each rotation)."""
+        return self._epoch
+
+    @property
+    def mutation_version(self) -> int:
+        """The log sequence number of the last committed batch."""
+        return self._version
+
+    @property
+    def attached(self) -> bool:
+        return self._db is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("attached" if self.attached else "idle")
+        return (
+            f"DurableStore({str(self._dir)!r}, epoch={self._epoch}, "
+            f"v{self._version}, {len(self._store)} facts, {state})"
+        )
+
+    def facts(self) -> Tuple[Fact, ...]:
+        """The committed facts, decoded from the mirror store."""
+        return tuple(self._store.decode_facts())
+
+    def database(self, schema: Optional[DatabaseSchema] = None) -> UncertainDatabase:
+        """A fresh ``UncertainDatabase`` holding the committed state.
+
+        The database's ``mutation_version`` is restored to the recovered
+        log sequence number, so changelog records appended after a
+        re-:meth:`attach` continue the pre-crash numbering.
+        """
+        return UncertainDatabase(
+            self._store.decode_facts(),
+            schema=schema,
+            mutation_version=self._version,
+        )
+
+    # -- attaching ---------------------------------------------------------------
+
+    def attach(self, db: UncertainDatabase) -> "DurableStore":
+        """Observe *db*, appending every committed batch to the changelog.
+
+        Two supported shapes: a database built from this store's own
+        :meth:`database` (recovery — the mirror already matches, appends
+        resume on the recovered log), or any other database (fresh start —
+        the mirror is rebuilt from its facts and an initial checkpoint
+        establishes the segment baseline).  Attach **before** creating
+        sessions or view managers over *db*, so the changelog observer
+        runs first in the notification order.
+        """
+        self._check_open()
+        if self._db is not None:
+            raise RuntimeError("this DurableStore is already attached")
+        in_sync = (
+            db.mutation_version == self._version
+            and len(db) == len(self._store)
+        )
+        self._db = db
+        db.register_observer(self)
+        if in_sync:
+            # Recovery path: resume appending to the existing changelog,
+            # dropping any torn tail left by the crash first.
+            if self._log_path is not None:
+                truncate_changelog(self._log_path, self._log_valid_bytes)
+                self._log = ChangelogWriter(self._log_path, sync=self._sync)
+            else:
+                self.checkpoint(rotate=False)
+        else:
+            # Fresh start: adopt the database's current contents as the
+            # new baseline and checkpoint immediately so recovery always
+            # has a segment to stand on.
+            self._table = InternTable()
+            self._store = ColumnarFactStore(table=self._table)
+            for fact in db.facts:
+                self._store.add_fact(fact)
+            self._version = db.mutation_version
+            self._watermark = len(self._table)
+            self.checkpoint(rotate=False)
+        return self
+
+    def detach(self) -> None:
+        """Stop observing the attached database (no-op when idle)."""
+        if self._db is not None:
+            self._db.unregister_observer(self)
+            self._db = None
+
+    def close(self) -> None:
+        """Flush and close the changelog, detaching first (idempotent)."""
+        if self._closed:
+            return
+        self.detach()
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+        self._closed = True
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def simulate_crash(self) -> None:
+        """Abandon the writer as a crash would: no final flush under
+        ``sync="never"``, no checkpoint, no clean close.  The on-disk
+        state is exactly what the chosen sync policy guaranteed so far —
+        tests and benchmarks recover from it with :meth:`open`."""
+        self.detach()
+        if self._log is not None and self._sync == "never":
+            # A real crash loses the user-space buffer; drop it by closing
+            # the raw descriptor without flushing Python's buffer.
+            import os
+
+            try:
+                os.close(self._log._fh.fileno())  # noqa: SLF001 - test hook
+            except OSError:
+                pass
+            try:
+                self._log._fh.close()
+            except (OSError, ValueError):
+                pass
+        elif self._log is not None:
+            self._log.close()
+        self._log = None
+        self._closed = True
+
+    # -- observer protocol -------------------------------------------------------
+
+    def fact_added(self, fact: Fact) -> None:
+        self._commit(ChangeSet(added=(fact,)))
+
+    def fact_discarded(self, fact: Fact) -> None:
+        self._commit(ChangeSet(discarded=(fact,)))
+
+    def batch_applied(self, changes: ChangeSet) -> None:
+        self._commit(changes)
+
+    def _commit(self, changes: ChangeSet) -> None:
+        """Mirror one committed batch and append its changelog record."""
+        if not changes or self._closed:
+            return
+        version = self._db.mutation_version if self._db is not None else self._version + 1
+        added = self._encode_group(changes.added, add=True)
+        discarded = self._encode_group(changes.discarded, add=False)
+        base = self._watermark
+        values = self._table.values_since(base)
+        self._watermark = base + len(values)
+        if self._log is None:
+            raise RuntimeError(
+                "DurableStore received a mutation before attach() opened "
+                "its changelog"
+            )
+        size = self._log.append((version, base, values, added, discarded))
+        self._version = version
+        self.stats.commits += 1
+        self.stats.log_bytes_appended += size
+        self._log_valid_bytes = self._log.bytes_written
+
+    def _encode_group(
+        self, facts: Tuple[Fact, ...], add: bool
+    ) -> Tuple[Tuple[str, int, int, Tuple[Tuple[int, ...], ...]], ...]:
+        """Encode net added/discarded facts as per-relation id-row groups,
+        applying them to the mirror store as a side effect."""
+        grouped: Dict[RelationSchema, List[Tuple[int, ...]]] = {}
+        for fact in facts:
+            row = (
+                self._store.add_fact(fact) if add else self._store.discard_fact(fact)
+            )
+            if row is None:
+                # The mirror already agreed (e.g. duplicate replay); net
+                # change sets make this unreachable in normal operation.
+                continue
+            grouped.setdefault(fact.relation, []).append(row)
+        return tuple(
+            (schema.name, schema.arity, schema.key_size, tuple(rows))
+            for schema, rows in grouped.items()
+        )
+
+    # -- checkpointing and epoch rotation ----------------------------------------
+
+    def should_rotate(self) -> bool:
+        """Whether the automatic epoch-rotation policy fires right now."""
+        if self._rotate_live_fraction <= 0.0:
+            return False
+        if len(self._table) < self._min_rotate_ids:
+            return False
+        return (
+            self._table.memory_stats()["live_fraction"] < self._rotate_live_fraction
+        )
+
+    def checkpoint(self, rotate: Optional[bool] = None) -> Dict[str, object]:
+        """Write a segment snapshot and start a fresh changelog.
+
+        *rotate* forces (``True``) or suppresses (``False``) the epoch
+        rotation; ``None`` applies the automatic live-fraction policy.
+        Returns a summary dict (segment path, epoch, version, whether the
+        epoch rotated, segment bytes).
+        """
+        self._check_open()
+        rotated = False
+        if rotate is None:
+            rotate = self.should_rotate()
+        if rotate:
+            self._rotate_epoch()
+            rotated = True
+        segment_path = self._segment_path(self._version, self._epoch)
+        segment_bytes = write_segment(
+            segment_path,
+            self._store,
+            self._table.snapshot(),
+            self._epoch,
+            self._version,
+        )
+        if self._log is not None:
+            self._log.close()
+        self._log_path = self._wal_path(self._version, self._epoch)
+        # A stale log from an earlier checkpoint at this exact (version,
+        # epoch) would replay twice; start clean.
+        if self._log_path.exists():
+            self._log_path.unlink()
+        self._log = ChangelogWriter(self._log_path, sync=self._sync)
+        self._log_valid_bytes = 0
+        self._watermark = len(self._table)
+        self._prune_older_than(segment_path, self._log_path)
+        self.stats.checkpoints += 1
+        return {
+            "segment": str(segment_path),
+            "epoch": self._epoch,
+            "mutation_version": self._version,
+            "rotated": rotated,
+            "segment_bytes": segment_bytes,
+            "facts": len(self._store),
+            "constants": len(self._table),
+        }
+
+    def _rotate_epoch(self) -> None:
+        """Remap live ids into a fresh dense table; rewrite the columns.
+
+        Deterministic: old ids map to new ids in old-id order, so two
+        processes rotating the same state produce identical segments.
+        Only the durable tier's private table rotates — ids cached by
+        sessions or plans above the database are untouched.
+        """
+        old_table, old_store = self._table, self._store
+        new_table = InternTable()
+        remap: Dict[int, int] = {}
+        for old_id in sorted(old_store.term_ids()):
+            remap[old_id] = new_table.intern(old_table.constant(old_id))
+        relations = []
+        for name in old_store.relation_names():
+            rel = old_store.relation_columns(name)
+            new_columns = tuple(
+                array("q", (remap[term_id] for term_id in column))
+                for column in rel.columns
+            )
+            relations.append((rel.schema, new_columns))
+        self._store = ColumnarFactStore.from_columns(relations, table=new_table)
+        self._table = new_table
+        self._epoch += 1
+        self.stats.rotations += 1
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Load the newest valid segment, then replay its changelog tail."""
+        segment_path = None
+        for candidate in sorted(self._dir.glob("segment-*.seg"), reverse=True):
+            try:
+                segment = read_segment(candidate)
+            except (SegmentCorruption, OSError):
+                self.stats.skipped_segments += 1
+                continue
+            segment_path = candidate
+            break
+        if segment_path is None:
+            return  # empty (or unrecoverable) directory: genesis state
+        self._table = InternTable.from_snapshot(segment.values)
+        self._store = ColumnarFactStore.from_columns(segment.relations, self._table)
+        self._epoch = segment.epoch
+        self._version = segment.mutation_version
+        self._log_path = self._wal_path(segment.mutation_version, segment.epoch)
+        records, valid_bytes, torn = read_changelog(self._log_path)
+        if torn:
+            self.stats.torn_tail_bytes = (
+                self._log_path.stat().st_size - valid_bytes
+            )
+        self._log_valid_bytes = valid_bytes
+        for record in records:
+            version, base, values, added, discarded = record
+            try:
+                self._table.extend_values(base, values)
+            except ValueError:
+                # An intern-suffix skew means the record cannot decode;
+                # everything before it is still committed state.
+                break
+            for name, arity, key_size, rows in added:
+                schema = RelationSchema(name, arity, key_size)
+                for row in rows:
+                    self._store.add_row(schema, tuple(row))
+            for name, _arity, _key_size, rows in discarded:
+                for row in rows:
+                    self._store.discard_row(name, tuple(row))
+            self._version = version
+            self.stats.replayed_records += 1
+        self._watermark = len(self._table)
+
+    # -- paths and pruning -------------------------------------------------------
+
+    def _segment_path(self, version: int, epoch: int) -> Path:
+        return self._dir / f"segment-{version:012d}.{epoch:06d}.seg"
+
+    def _wal_path(self, version: int, epoch: int) -> Path:
+        return self._dir / f"wal-{version:012d}.{epoch:06d}.log"
+
+    def _prune_older_than(self, segment_path: Path, log_path: Path) -> None:
+        """Delete superseded segments and changelogs (the new pair stays)."""
+        keep = {segment_path.name, log_path.name}
+        for pattern in ("segment-*.seg", "wal-*.log", "segment-*.seg.tmp"):
+            for candidate in self._dir.glob(pattern):
+                if candidate.name not in keep:
+                    try:
+                        candidate.unlink()
+                    except OSError:
+                        pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this DurableStore is closed")

@@ -27,7 +27,7 @@ mutating thread.  Decisions may still fan out to worker processes.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..engine.cache import PlanCache
 from ..engine.parallel import ParallelCertaintySession
@@ -258,6 +258,20 @@ class ViewManager(DatabaseObserver):
         )
         self._views[query] = view
         return view
+
+    def register_many(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        allow_exponential: Optional[bool] = None,
+    ) -> List[MaterializedCertainView]:
+        """Register every query in *queries*, returning the views in order.
+
+        The warm-start helper of the recovery path: after a
+        :class:`~repro.durability.DurableStore` rebuilds a database, the
+        serving layer re-registers its whole query catalog in one call and
+        each view materializes against the recovered state.
+        """
+        return [self.register(q, allow_exponential=allow_exponential) for q in queries]
 
     def unregister(self, view: MaterializedCertainView) -> None:
         """Stop maintaining *view* (no-op if not registered)."""

@@ -138,6 +138,7 @@ class UncertainDatabase:
         self,
         facts: Iterable[Fact] = (),
         schema: Optional[DatabaseSchema] = None,
+        mutation_version: Optional[int] = None,
     ) -> None:
         self._schema = schema if schema is not None else DatabaseSchema()
         self._facts: Set[Fact] = set()
@@ -150,6 +151,13 @@ class UncertainDatabase:
         self._mutation_version = 0
         for fact in facts:
             self.add(fact)
+        if mutation_version is not None:
+            # Resume a prior counter sequence (crash recovery): the initial
+            # facts are state being *restored*, not new mutations, so their
+            # add() bumps above are folded into the recovered version.
+            if mutation_version < 0:
+                raise ValueError("mutation_version must be non-negative")
+            self._mutation_version = mutation_version
 
     @property
     def mutation_version(self) -> int:

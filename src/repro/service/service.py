@@ -34,6 +34,7 @@ Design points:
 from __future__ import annotations
 
 import threading
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..engine.cache import PlanCache
@@ -57,6 +58,8 @@ class CertaintyService:
         plan_cache_size: int = 256,
         allow_exponential: bool = True,
         clock=None,
+        durability_dir=None,
+        durability_sync: str = "commit",
     ) -> None:
         """Create an empty service.
 
@@ -78,6 +81,16 @@ class CertaintyService:
         clock:
             Injectable monotonic clock handed to tenants' view managers
             (for deterministic staleness tests).
+        durability_dir:
+            When set, every tenant persists through a
+            :class:`~repro.durability.DurableStore` rooted at
+            ``durability_dir/<tenant_id>``, and construction **recovers**
+            every tenant whose subdirectory already holds a segment — a
+            service restarted over the same directory comes back serving
+            the last committed state of each tenant.
+        durability_sync:
+            Changelog fsync policy for durable tenants (``"commit"`` /
+            ``"flush"`` / ``"never"``).
         """
         self._admission = AdmissionController(
             max_workers=max_workers, queue_depth=queue_depth
@@ -86,9 +99,15 @@ class CertaintyService:
         self._plan_cache_size = plan_cache_size
         self._allow_exponential = allow_exponential
         self._clock = clock
+        self._durability_dir = Path(durability_dir) if durability_dir else None
+        self._durability_sync = durability_sync
         self._tenants: Dict[str, Tenant] = {}
         self._lock = threading.Lock()
         self._closed = False
+        if self._durability_dir is not None and self._durability_dir.exists():
+            for subdir in sorted(self._durability_dir.iterdir()):
+                if subdir.is_dir() and any(subdir.glob("segment-*.seg")):
+                    self.create_tenant(subdir.name)
 
     # -- tenant lifecycle --------------------------------------------------------
 
@@ -99,11 +118,19 @@ class CertaintyService:
         schema: Optional[DatabaseSchema] = None,
         staleness: Optional[StalenessPolicy] = None,
     ) -> Tenant:
-        """Provision an isolated tenant (private intern table and engine state)."""
+        """Provision an isolated tenant (private intern table and engine state).
+
+        On a durable service (``durability_dir``), a tenant whose
+        subdirectory already holds persisted state is *recovered* — the
+        on-disk facts win over the *facts* argument.
+        """
         self._check_open()
         with self._lock:
             if tenant_id in self._tenants:
                 raise ValueError(f"tenant {tenant_id!r} already exists")
+            durability_dir = None
+            if self._durability_dir is not None:
+                durability_dir = self._durability_dir / tenant_id
             tenant = Tenant(
                 tenant_id,
                 facts=facts,
@@ -112,6 +139,8 @@ class CertaintyService:
                 staleness=staleness if staleness is not None else self._staleness,
                 allow_exponential=self._allow_exponential,
                 clock=self._clock,
+                durability_dir=durability_dir,
+                durability_sync=self._durability_sync,
             )
             self._tenants[tenant_id] = tenant
             return tenant
@@ -189,6 +218,20 @@ class CertaintyService:
     def flush_views(self, tenant_id: str) -> bool:
         """Force the tenant's deferred view maintenance to run now."""
         return self.tenant(tenant_id).flush_views()
+
+    # -- durability --------------------------------------------------------------
+
+    def checkpoint(self, tenant_id: str, rotate: Optional[bool] = None) -> Optional[dict]:
+        """Write a durable segment snapshot of one tenant (``None`` if not durable)."""
+        self._check_open()
+        return self.tenant(tenant_id).checkpoint(rotate=rotate)
+
+    def checkpoint_all(self) -> Dict[str, Optional[dict]]:
+        """Checkpoint every tenant; maps tenant id → checkpoint summary."""
+        self._check_open()
+        with self._lock:
+            tenants = list(self._tenants.values())
+        return {t.tenant_id: t.checkpoint() for t in tenants}
 
     # -- observability -----------------------------------------------------------
 

@@ -17,7 +17,12 @@ A :class:`Tenant` bundles everything one customer of the
   maintenance beyond the session's O(1)-amortised index upkeep;
 * a re-entrant lock serialising this tenant's mutations and decisions —
   the service's background workers and the caller's threads interleave
-  *across* tenants, never within one.
+  *across* tenants, never within one;
+* optionally a :class:`~repro.durability.DurableStore` (``durability_dir``)
+  persisting every committed batch: construction over a non-empty
+  directory *recovers* the tenant — the persisted state wins over the
+  ``facts`` argument — and :meth:`Tenant.checkpoint` writes segment
+  snapshots (rotating the intern-table epoch when churn warrants it).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable, List, Optional
 
+from ..durability import DurableStore
 from ..engine.cache import PlanCache
 from ..engine.session import CertaintySession
 from ..incremental.manager import ViewManager
@@ -56,10 +62,26 @@ class Tenant:
         staleness: Optional[StalenessPolicy] = None,
         allow_exponential: bool = False,
         clock=None,
+        durability_dir=None,
+        durability_sync: str = "commit",
     ) -> None:
         self.tenant_id = tenant_id
         self.intern_table = InternTable()
-        self.db = UncertainDatabase(facts, schema=schema)
+        self.durable: Optional[DurableStore] = None
+        if durability_dir is not None:
+            # Recover-or-fresh: a non-empty directory wins over the *facts*
+            # argument (the persisted state IS the tenant's data); an empty
+            # one adopts *facts* as the durable baseline.  The durable store
+            # attaches before the session and view manager below, so its
+            # changelog observer always runs first.
+            self.durable = DurableStore(durability_dir, sync=durability_sync)
+            if self.durable.mutation_version > 0 or len(self.durable.store) > 0:
+                self.db = self.durable.database(schema=schema)
+            else:
+                self.db = UncertainDatabase(facts, schema=schema)
+            self.durable.attach(self.db)
+        else:
+            self.db = UncertainDatabase(facts, schema=schema)
         self.session = CertaintySession(
             self.db,
             plan_cache=plan_cache,
@@ -161,6 +183,23 @@ class Tenant:
             self._check_open()
             return self.views.flush()
 
+    # -- durability --------------------------------------------------------------
+
+    def checkpoint(self, rotate: Optional[bool] = None) -> Optional[dict]:
+        """Write a durable segment snapshot of this tenant's database now.
+
+        Returns the checkpoint summary (see
+        :meth:`~repro.durability.DurableStore.checkpoint`), or ``None``
+        when the tenant was created without a ``durability_dir``.  *rotate*
+        forces or suppresses the intern-table epoch rotation; the default
+        applies the automatic live-fraction policy.
+        """
+        with self._lock:
+            self._check_open()
+            if self.durable is None:
+                return None
+            return self.durable.checkpoint(rotate=rotate)
+
     # -- observability -----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -183,6 +222,15 @@ class Tenant:
                 "store_memory": store.memory_stats() if store is not None else {},
                 "staleness": self.views.staleness_stats.as_dict(),
                 "admission": self.admission_stats.as_dict(),
+                "durability": (
+                    {
+                        "epoch": self.durable.epoch,
+                        "mutation_version": self.durable.mutation_version,
+                        **self.durable.stats.as_dict(),
+                    }
+                    if self.durable is not None
+                    else None
+                ),
             }
 
     # -- lifecycle ---------------------------------------------------------------
@@ -199,6 +247,8 @@ class Tenant:
                 return
             self.views.close()
             self.session.close()
+            if self.durable is not None:
+                self.durable.close()
             self._closed = True
 
     def _check_open(self) -> None:

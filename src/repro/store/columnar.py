@@ -163,6 +163,10 @@ class ColumnarFactStore:
         """The columns of relation *name* (``None`` when never populated)."""
         return self._relations.get(name)
 
+    def relation_names(self) -> Tuple[str, ...]:
+        """Every relation name ever populated, in first-insert order."""
+        return tuple(self._relations)
+
     def relation_rows(self, name: str) -> Sequence[IntRow]:
         """All id-rows of relation *name* (a live view; do not mutate)."""
         rel = self._relations.get(name)
@@ -243,9 +247,8 @@ class ColumnarFactStore:
         intern = self._table.intern
         return fact.relation.name, tuple(intern(t) for t in fact.terms)
 
-    def add_fact(self, fact: Fact) -> Optional[IntRow]:
-        """Insert a fact; returns its id-row, or ``None`` if already present."""
-        schema = fact.relation
+    def _relation_for(self, schema: RelationSchema) -> _RelationColumns:
+        """The (possibly new) columns of *schema*'s relation, signature-checked."""
         name = schema.name
         rel = self._relations.get(name)
         if rel is None:
@@ -254,12 +257,27 @@ class ColumnarFactStore:
         elif (rel.schema.arity, rel.schema.key_size) != (schema.arity, schema.key_size):
             raise ValueError(
                 f"relation {name!r} already stored with signature "
-                f"[{rel.schema.arity},{rel.schema.key_size}], cannot add {fact}"
+                f"[{rel.schema.arity},{rel.schema.key_size}], cannot store "
+                f"[{schema.arity},{schema.key_size}] rows"
             )
+        return rel
+
+    def add_fact(self, fact: Fact) -> Optional[IntRow]:
+        """Insert a fact; returns its id-row, or ``None`` if already present."""
         intern = self._table.intern
         row = tuple(intern(t) for t in fact.terms)
+        return row if self.add_row(fact.relation, row) else None
+
+    def add_row(self, schema: RelationSchema, row: IntRow) -> bool:
+        """Insert an already-interned id-row; ``False`` when already present.
+
+        The id-space twin of :meth:`add_fact` — every id of *row* must have
+        been produced by this store's intern table (e.g. by changelog
+        replay, which ships the intern-table suffix ahead of the rows).
+        """
+        rel = self._relation_for(schema)
         if row in rel.row_index:
-            return None
+            return False
         rel.row_index[row] = len(rel.row_index)
         for column, term_id in zip(rel.columns, row):
             column.append(term_id)
@@ -267,18 +285,15 @@ class ColumnarFactStore:
         block = rel.blocks.get(key)
         if block is None:
             rel.blocks[key] = [row]
-            self.block_id(name, key)  # assign (or reuse) the dense block id
+            self.block_id(schema.name, key)  # assign (or reuse) the dense block id
         else:
             block.append(row)
+        self._table.retain_row(row)
         self._size += 1
-        return row
+        return True
 
     def discard_fact(self, fact: Fact) -> Optional[IntRow]:
         """Remove a fact; returns its id-row, or ``None`` if absent."""
-        name = fact.relation.name
-        rel = self._relations.get(name)
-        if rel is None:
-            return None
         id_of = self._table.id_of
         ids: List[int] = []
         for term in fact.terms:
@@ -287,9 +302,16 @@ class ColumnarFactStore:
                 return None  # a never-interned constant cannot be stored
             ids.append(term_id)
         row = tuple(ids)
+        return row if self.discard_row(fact.relation.name, row) else None
+
+    def discard_row(self, name: str, row: IntRow) -> bool:
+        """Remove an id-row from relation *name*; ``False`` when absent."""
+        rel = self._relations.get(name)
+        if rel is None:
+            return False
         position = rel.row_index.pop(row, None)
         if position is None:
-            return None
+            return False
         # Swap-remove keeps the columns dense: move the last row into the
         # vacated position and re-point its row-index entry.
         last = len(rel.row_index)  # index of the final row after the pop
@@ -306,8 +328,9 @@ class ColumnarFactStore:
             block.remove(row)
             if not block:
                 del rel.blocks[key]  # the block id stays interned
+        self._table.release_row(row)
         self._size -= 1
-        return row
+        return True
 
     def contains_fact(self, fact: Fact) -> bool:
         """O(1) membership through the row index."""
@@ -364,6 +387,49 @@ class ColumnarFactStore:
     ) -> "ColumnarFactStore":
         """Rebuild a store (re-interned locally) from a snapshot."""
         return cls(facts=tuple(snapshot.iter_facts()), table=table)
+
+    @classmethod
+    def from_columns(
+        cls,
+        relations: Sequence[Tuple[RelationSchema, Sequence[array]]],
+        table: InternTable,
+    ) -> "ColumnarFactStore":
+        """Adopt already-encoded columns wholesale — no per-fact interning.
+
+        This is the restore path of the durability tier: the caller hands
+        per-relation ``array('q')`` columns whose ids are valid in *table*
+        (a segment file read back, or rotated columns remapped into a fresh
+        epoch table), and the store rebuilds only its derived indexes (row
+        index, block slices, block ids) from the raw arrays.  No
+        :class:`~repro.model.atoms.Fact` objects are materialised and no
+        constant is re-interned.
+        """
+        store = cls(table=table)
+        for schema, columns in relations:
+            rel = store._relation_for(schema)
+            if rel.row_index:
+                raise ValueError(f"relation {schema.name!r} adopted twice")
+            n_rows = len(columns[0]) if columns else 0
+            for column, source in zip(rel.columns, columns):
+                column.extend(source)
+            key_size = schema.key_size
+            for i in range(n_rows):
+                row = tuple(column[i] for column in rel.columns)
+                if row in rel.row_index:
+                    raise ValueError(
+                        f"duplicate row {row} in adopted columns of {schema.name!r}"
+                    )
+                rel.row_index[row] = i
+                key = row[:key_size]
+                block = rel.blocks.get(key)
+                if block is None:
+                    rel.blocks[key] = [row]
+                    store.block_id(schema.name, key)
+                else:
+                    block.append(row)
+                table.retain_row(row)
+                store._size += 1
+        return store
 
     # -- diagnostics -------------------------------------------------------------
 

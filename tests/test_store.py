@@ -88,6 +88,41 @@ class TestInternTable:
         assert stats["constants"] == 1
         assert stats["total_bytes"] > 0
 
+    def test_live_fraction_tracks_stored_rows(self):
+        table = InternTable()
+        store = ColumnarFactStore(table=table)
+        schema = RelationSchema("R", 2, 1)
+        facts = [schema.fact(f"k{i}", f"v{i}") for i in range(4)]
+        for fact in facts:
+            store.add_fact(fact)
+        stats = table.memory_stats()
+        assert stats["live_constants"] == len(table) == 8
+        assert stats["live_fraction"] == 1.0
+        for fact in facts[:3]:  # discard 3 of 4 rows: 6 of 8 ids go dead
+            store.discard_fact(fact)
+        stats = table.memory_stats()
+        assert stats["live_constants"] == 2
+        assert stats["live_fraction"] == pytest.approx(2 / 8)
+        assert table.live_ids() == sorted(table.id_of(c) for c in facts[3].terms)
+
+    def test_live_counts_survive_shared_ids(self):
+        """An id referenced by two rows stays live until both are removed."""
+        table = InternTable()
+        store = ColumnarFactStore(table=table)
+        schema = RelationSchema("R", 2, 1)
+        f1, f2 = schema.fact("k1", "shared"), schema.fact("k2", "shared")
+        store.add_fact(f1)
+        store.add_fact(f2)
+        shared_id = table.id_of(Constant("shared"))
+        store.discard_fact(f1)
+        assert shared_id in table.live_ids()
+        store.discard_fact(f2)
+        assert shared_id not in table.live_ids()
+        assert table.live_count() == 0
+
+    def test_empty_table_is_fully_live_by_convention(self):
+        assert InternTable().memory_stats()["live_fraction"] == 1.0
+
     def test_unpickled_tables_intern_identically_under_other_hash_seeds(self):
         """Mirrors the Atom hash-salt test: shipped tables must agree with
         locally interned constants in a worker whose PYTHONHASHSEED differs."""
