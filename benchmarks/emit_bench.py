@@ -1,6 +1,6 @@
 """Emit benchmark JSON reports recording the engine's performance trajectory.
 
-Eight suites:
+Nine suites:
 
 ``fo_rewriting`` (default) → ``BENCH_fo_rewriting.json``
     Times the certain first-order rewriting of Theorem 1 under the two
@@ -99,6 +99,22 @@ Eight suites:
     and certain answers equal the pre-crash live state.  Single-process,
     so the guarded restart-vs-rebuild ratio holds on any CI box.
 
+``fault_recovery`` → ``BENCH_fault_recovery.json``
+    Replays the sharded-runtime mutation stream twice — fault-free, then
+    under a deterministic :class:`repro.faults.FaultPlan` that kills shard
+    workers mid-stream and drops a dispatch pipe — and records how much of
+    the clean throughput the supervised runtime retains while every
+    per-step answer set stays identical to a sequential replay
+    (``throughput_retained_under_faults``; no answer may differ, degrade,
+    or be dropped while workers die).  Post-kill dispatches (the ones that
+    re-spawn and re-bootstrap a worker) are timed separately:
+    ``recovery_p50_seconds`` / ``recovery_max_seconds``, with
+    ``recovery_responsiveness`` comparing them against the fault-free
+    per-step p50.  A durability leg drives the same stream through a
+    ``sync="commit"`` :class:`repro.durability.DurableStore` under injected
+    fsync failures and a torn changelog write, crashes, recovers, and
+    asserts zero acknowledged-but-lost batches.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full sizes
@@ -115,11 +131,12 @@ import os
 import pathlib
 import pickle
 import random
+import statistics
 import sys
 import tempfile
 import threading
 import time
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
@@ -130,6 +147,7 @@ from repro.engine import (
     ParallelCertaintySession,
     ShardedCertaintySession,
 )
+from repro.faults import FaultPlan, FaultSpec, inject
 from repro.fo import certain_rewriting_cached, compile_formula, evaluate_sentence
 from repro.model.database import UncertainDatabase
 from repro.model.symbols import Variable
@@ -1544,6 +1562,296 @@ def _emit_durability(args: argparse.Namespace, output: pathlib.Path) -> int:
     return 0
 
 
+#: Planted same-key pairs per replayed stream (reuses the sharded-runtime
+#: workload so the chaos numbers are comparable to the clean suite's).
+FAULT_RECOVERY_FULL_SIZES = (48, 96)
+FAULT_RECOVERY_SMOKE_SIZES = (16,)
+
+#: Mutation batches interleaved with reads in the replayed stream.
+FAULT_RECOVERY_FULL_STEPS = 10
+FAULT_RECOVERY_SMOKE_STEPS = 5
+
+#: Shard workers under chaos.  Two is enough to exercise routing around a
+#: dead shard while keeping the spawn cost CI-friendly.
+FAULT_RECOVERY_SHARDS = 2
+
+
+def fault_recovery_plan(shards: int) -> FaultPlan:
+    """The deterministic chaos schedule the sharded leg replays under.
+
+    Worker kills are pinned per shard by *command arrival*, so each
+    freshly restarted worker dies again a few commands later — the stream
+    exercises repeated kill → inline-serve → restart → re-bootstrap
+    cycles, not one isolated crash.  The pipe drop lands parent-side and
+    exercises the send-path failure handling as well as worker exits.
+    """
+    specs = [FaultSpec("shard.worker.command", "kill", at=4, shard=0)]
+    if shards > 1:
+        specs.append(FaultSpec("shard.worker.command", "kill", at=6, shard=1))
+    specs.append(FaultSpec("shard.pipe", "drop", at=9))
+    return FaultPlan(specs)
+
+
+def _fault_recovery_shard_leg(
+    db0, batches, query, shards: int, repeats: int, plan: Optional[FaultPlan]
+) -> Dict:
+    """Replay the recorded stream on a supervised sharded session.
+
+    With *plan* the replay runs under injection; either way the per-step
+    answers are returned for the caller's identity check, along with
+    per-step latencies split into recovery dispatches (a worker restart
+    happened inside the step) and ordinary ones.  Best-of-*repeats* on
+    total seconds; the step split comes from the fastest run.
+    """
+    best: Dict = {"seconds": float("inf")}
+    for _ in range(repeats):
+        db = db0.copy()
+        session = ShardedCertaintySession(
+            db, n_shards=shards, min_shard_candidates=1, restart_backoff=0.0
+        )
+        try:
+            with inject(plan if plan is not None else FaultPlan(())):
+                per_step: List = []
+                step_seconds: List[float] = []
+                recovery_steps: List[int] = []
+                start = time.perf_counter()
+                for step in range(len(batches) + 1):
+                    if step:
+                        apply_batch(db, batches[step - 1])
+                    restarts_before = session.stats.worker_restarts
+                    step_start = time.perf_counter()
+                    per_step.append(session.certain_answers(query))
+                    step_seconds.append(time.perf_counter() - step_start)
+                    if session.stats.worker_restarts > restarts_before:
+                        recovery_steps.append(step)
+                seconds = time.perf_counter() - start
+            stats = session.stats
+        finally:
+            session.close()
+        if seconds < best["seconds"]:
+            recovery = [step_seconds[i] for i in recovery_steps]
+            ordinary = [
+                s for i, s in enumerate(step_seconds) if i not in recovery_steps
+            ]
+            best = {
+                "seconds": seconds,
+                "per_step": per_step,
+                "step_p50": statistics.median(ordinary) if ordinary else None,
+                "recovery_p50": statistics.median(recovery) if recovery else None,
+                "recovery_max": max(recovery) if recovery else None,
+                "recovery_dispatches": len(recovery),
+                "worker_failures": stats.worker_failures,
+                "worker_restarts": stats.worker_restarts,
+                "degradations": stats.degradations,
+                "deadline_timeouts": stats.deadline_timeouts,
+            }
+        elif plan is not None and best.get("per_step") != per_step:
+            # Identity must hold on every repeat, not just the fastest.
+            best["per_step"] = None
+    return best
+
+
+def _fault_recovery_durability_leg(
+    query, size: int, steps: int, repeats: int, seed: int
+) -> Dict:
+    """Commit a stream under injected WAL faults, crash, recover, diff.
+
+    Every batch the store acknowledges (``apply_batch`` returned without a
+    :class:`DurabilityError`) must survive the crash: the recovered facts,
+    ``mutation_version``, and certain answers are compared against the
+    live pre-crash state.  The injected faults are single-shot, so the
+    write path's truncate-and-retry must absorb each one — a lost batch
+    here means the store acknowledged a commit it never made durable.
+    """
+    plan = FaultPlan(
+        (
+            FaultSpec("wal.fsync", "error", at=2),
+            FaultSpec("wal.write", "torn", at=4),
+            FaultSpec("wal.fsync", "error", at=7),
+        )
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-fault-recovery-") as base:
+        workdir = pathlib.Path(base) / "store"
+        db = sharded_bench_instance(query, size, seed=seed)
+        batches = _record_stream(query, db, steps, seed=seed + 3)
+        durable = DurableStore(workdir, sync="commit").attach(db)
+        acknowledged = 0
+        with inject(plan) as injector:
+            for batch in batches:
+                apply_batch(db, batch)
+                acknowledged += 1
+            injected = len(injector.fired)
+        with CertaintySession(db) as live_session:
+            ground_truth = live_session.certain_answers(query)
+        live_facts = db.facts
+        live_version = db.mutation_version
+        wal_reopens = durable.stats.wal_reopens
+        durable.simulate_crash()
+
+        def recover():
+            store = DurableStore.open(workdir)
+            return store, store.database()
+
+        recovered_store, recovered_db = recover()
+        with CertaintySession(recovered_db) as session:
+            recovered_answers = session.certain_answers(query)
+        zero_lost = (
+            recovered_db.facts == live_facts
+            and recovered_db.mutation_version == live_version
+        )
+        agree = zero_lost and recovered_answers == ground_truth
+        recover_seconds = _best_of(repeats, recover)
+        return {
+            "batches": len(batches),
+            "acknowledged": acknowledged,
+            "injected_faults": injected,
+            "wal_reopens": wal_reopens,
+            "replayed_records": recovered_store.stats.replayed_records,
+            "recover_seconds": recover_seconds,
+            "zero_acknowledged_lost": zero_lost,
+            "agree": agree,
+        }
+
+
+def run_fault_recovery_benchmark(
+    sizes: Sequence[int], steps: int, repeats: int = 2, seed: int = 29
+) -> Dict:
+    """Clean vs chaos sharded replay, plus a crash-recovery durability leg.
+
+    Per size the same pre-recorded batches replay three times: on a
+    sequential :class:`CertaintySession` (per-step ground truth), on a
+    fault-free :class:`ShardedCertaintySession`, and on an identically
+    configured one under :func:`fault_recovery_plan`.  Every per-step
+    answer set under chaos must equal the sequential replay — the faults
+    may cost latency, never answers.  Both headline ratios are framed
+    bigger-is-better: ``throughput_retained_under_faults`` (clean seconds
+    over chaos seconds) and ``recovery_responsiveness`` (fault-free step
+    p50 over post-kill dispatch p50).
+    """
+    query = sharded_bench_query()
+    shards = FAULT_RECOVERY_SHARDS
+    results: List[Dict] = []
+    all_agree = True
+    faults_exercised = True
+    for size in sizes:
+        db0 = sharded_bench_instance(query, size, seed=seed)
+        batches = _record_stream(query, db0, steps, seed=seed + 7)
+
+        expected = None
+        for _ in range(repeats):
+            _seconds, per_step, _session = _replay_stream(
+                db0, batches, query, lambda db: CertaintySession(db)
+            )
+            expected = per_step
+
+        clean = _fault_recovery_shard_leg(
+            db0, batches, query, shards, repeats, plan=None
+        )
+        chaos = _fault_recovery_shard_leg(
+            db0, batches, query, shards, repeats, plan=fault_recovery_plan(shards)
+        )
+        agree = clean["per_step"] == expected and chaos["per_step"] == expected
+        all_agree = all_agree and agree
+        faults_exercised = faults_exercised and chaos["worker_failures"] > 0
+        recovery_p50 = chaos["recovery_p50"]
+        clean_p50 = clean["step_p50"]
+        results.append(
+            {
+                "size": size,
+                "facts": len(db0),
+                "steps": len(batches),
+                "worker_failures": chaos["worker_failures"],
+                "worker_restarts": chaos["worker_restarts"],
+                "recovery_dispatches": chaos["recovery_dispatches"],
+                "degradations": chaos["degradations"],
+                "deadline_timeouts": chaos["deadline_timeouts"],
+                "clean_seconds": clean["seconds"],
+                "chaos_seconds": chaos["seconds"],
+                "throughput_retained_under_faults": (
+                    clean["seconds"] / chaos["seconds"] if chaos["seconds"] else None
+                ),
+                "clean_step_p50_seconds": clean_p50,
+                "recovery_p50_seconds": recovery_p50,
+                "recovery_max_seconds": chaos["recovery_max"],
+                "recovery_responsiveness": (
+                    clean_p50 / recovery_p50 if clean_p50 and recovery_p50 else None
+                ),
+                "agree": agree,
+            }
+        )
+    durability = _fault_recovery_durability_leg(
+        query, max(sizes), steps, repeats, seed=seed + 11
+    )
+    return {
+        "benchmark": "fault_recovery",
+        "query": str(query),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "shards": shards,
+        "fault_plan": [list(spec) for spec in fault_recovery_plan(shards).specs],
+        "results": results,
+        "durability": durability,
+        "all_agree": all_agree and durability["agree"],
+        "faults_exercised": faults_exercised and durability["injected_faults"] > 0,
+        "zero_acknowledged_lost": durability["zero_acknowledged_lost"],
+    }
+
+
+def _emit_fault_recovery(args: argparse.Namespace, output: pathlib.Path) -> int:
+    if args.sizes:
+        sizes: Sequence[int] = args.sizes
+    else:
+        sizes = FAULT_RECOVERY_SMOKE_SIZES if args.smoke else FAULT_RECOVERY_FULL_SIZES
+    steps = FAULT_RECOVERY_SMOKE_STEPS if args.smoke else FAULT_RECOVERY_FULL_STEPS
+    report = run_fault_recovery_benchmark(sizes, steps, repeats=2)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["results"]:
+        retained = row["throughput_retained_under_faults"]
+        responsiveness = row["recovery_responsiveness"]
+        print(
+            f"size={row['size']:5d} facts={row['facts']:6d} "
+            f"kills={row['worker_failures']:2d} "
+            f"restarts={row['worker_restarts']:2d} "
+            f"clean={row['clean_seconds']:.4f}s "
+            f"chaos={row['chaos_seconds']:.4f}s "
+            f"retained={retained:.2f}x "
+            + (
+                f"recovery_p50={row['recovery_p50_seconds']:.4f}s "
+                f"responsiveness={responsiveness:.2f}x "
+                if responsiveness is not None
+                else "recovery_p50=n/a "
+            )
+            + f"agree={row['agree']}"
+        )
+    durability = report["durability"]
+    print(
+        f"durability: batches={durability['batches']} "
+        f"acknowledged={durability['acknowledged']} "
+        f"injected={durability['injected_faults']} "
+        f"wal_reopens={durability['wal_reopens']} "
+        f"recover={durability['recover_seconds']:.4f}s "
+        f"zero_lost={durability['zero_acknowledged_lost']}"
+    )
+    print(f"wrote {output}")
+    if not report["all_agree"]:
+        print(
+            "ERROR: an answer under injected faults diverged from the "
+            "sequential replay",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["zero_acknowledged_lost"]:
+        print(
+            "ERROR: the durable store lost an acknowledged batch",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["faults_exercised"]:
+        print("ERROR: the fault plan never fired", file=sys.stderr)
+        return 1
+    return 0
+
+
 _DEFAULT_OUTPUTS = {
     "fo_rewriting": "BENCH_fo_rewriting.json",
     "parallel_answers": "BENCH_parallel_answers.json",
@@ -1553,6 +1861,7 @@ _DEFAULT_OUTPUTS = {
     "all_bands": "BENCH_all_bands.json",
     "service_load": "BENCH_service_load.json",
     "durability": "BENCH_durability.json",
+    "fault_recovery": "BENCH_fault_recovery.json",
 }
 
 
@@ -1569,6 +1878,7 @@ def main(argv: Sequence[str] = ()) -> int:
             "all_bands",
             "service_load",
             "durability",
+            "fault_recovery",
         ),
         default="fo_rewriting",
         help="which benchmark suite to run",
@@ -1610,6 +1920,8 @@ def main(argv: Sequence[str] = ()) -> int:
         return _emit_service_load(args, output)
     if args.suite == "durability":
         return _emit_durability(args, output)
+    if args.suite == "fault_recovery":
+        return _emit_fault_recovery(args, output)
     return _emit_fo_rewriting(args, output)
 
 

@@ -287,6 +287,52 @@ def main() -> None:
               == certain_answers(durable_db, open_query))
         recovered.close()
 
+    # 13. Surviving failures.  The same stack stays correct while its
+    #     components die mid-request.  repro.faults injects deterministic
+    #     faults at the real failure points — worker kills and stalls,
+    #     dropped dispatch pipes, torn WAL writes, fsync errors — and the
+    #     runtime is built to contain them: the shard supervisor serves
+    #     the affected candidates inline, restarts the dead worker with a
+    #     fresh bootstrap (backoff-gated), and if a shard keeps dying
+    #     degrades sharded -> parallel -> serial, probing its way back up
+    #     once the faults clear.  Deadlines bound every dispatch, and the
+    #     service's per-tenant circuit breaker sheds queued-band load
+    #     (CircuitOpen) while FO-band requests stay inline.  Answers under
+    #     any fault schedule equal a fault-free recompute — failures cost
+    #     latency, never correctness.
+    from repro import FaultPlan, FaultSpec, inject
+
+    chaos_db = UncertainDatabase(
+        parse_facts(
+            ["Emp('ada' | 'db')", "Emp('bob' | 'db')", "Dept('db' | 'Mons')"],
+            schema=schema,
+        )
+    )
+    for i in range(30):  # enough candidates to engage the shard workers
+        chaos_db.add(schema["Emp"].fact(f"e{i}", "db"))
+    expected = certain_answers(chaos_db, open_query)
+    plan = FaultPlan(
+        (
+            FaultSpec("shard.worker.command", "kill", at=2, shard=0),
+            FaultSpec("shard.pipe", "drop", at=5),
+        )
+    )
+    with inject(plan):
+        sharded = ShardedCertaintySession(
+            chaos_db, n_shards=2, min_shard_candidates=1, restart_backoff=0.0
+        )
+        try:
+            first = sharded.certain_answers(open_query)   # worker dies mid-call
+            second = sharded.certain_answers(open_query)  # restarted + re-bootstrapped
+        finally:
+            stats = sharded.stats
+            sharded.close()
+    print("\nanswers under injected faults match:",
+          first == expected and second == expected)
+    print("worker failures:", stats.worker_failures,
+          "restarts:", stats.worker_restarts,
+          "degradations:", stats.degradations)
+
 
 if __name__ == "__main__":
     main()

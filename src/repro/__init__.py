@@ -102,6 +102,7 @@ from .core import (
 )
 from .durability import (
     ChangelogWriter,
+    DurabilityError,
     DurableStore,
     SegmentCorruption,
     read_changelog,
@@ -111,6 +112,7 @@ from .durability import (
 from .engine import (
     CacheStats,
     CertaintySession,
+    DeadlineExceeded,
     ParallelCertaintySession,
     PlanCache,
     QueryPlan,
@@ -121,6 +123,7 @@ from .engine import (
     default_plan_cache,
     shard_of_key,
 )
+from .faults import FaultInjector, FaultPlan, FaultSpec, InjectedFault, inject
 from .fo import certain_rewriting, evaluate_sentence
 from .incremental import (
     MaterializedCertainView,
@@ -148,6 +151,7 @@ from .service import (
     AdmissionRejected,
     AdmissionTicket,
     CertaintyService,
+    CircuitOpen,
     Tenant,
 )
 from .store import (
@@ -188,6 +192,7 @@ __all__ = [
     "CertaintySession",
     "ChangeSet",
     "ChangelogWriter",
+    "CircuitOpen",
     "Classification",
     "ColumnarFactIndex",
     "ColumnarFactStore",
@@ -196,8 +201,14 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "DatabaseSchema",
+    "DeadlineExceeded",
+    "DurabilityError",
     "DurableStore",
     "Fact",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "InternTable",
     "IntractableQueryError",
     "JoinTree",
@@ -242,6 +253,7 @@ __all__ = [
     "figure4_query",
     "frontier_table",
     "global_intern_table",
+    "inject",
     "is_certain",
     "is_safe",
     "kolaitis_pema_q0",

@@ -16,12 +16,13 @@ from .changelog import (
     read_changelog,
     truncate_changelog,
 )
-from .durable import DurabilityStats, DurableStore
+from .durable import DurabilityError, DurabilityStats, DurableStore
 from .segments import SegmentCorruption, SegmentData, read_segment, write_segment
 
 __all__ = [
     "ChangelogRecord",
     "ChangelogWriter",
+    "DurabilityError",
     "DurabilityStats",
     "DurableStore",
     "SYNC_POLICIES",

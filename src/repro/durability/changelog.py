@@ -38,6 +38,8 @@ import zlib
 from pathlib import Path
 from typing import Any, List, Tuple
 
+from ..faults import InjectedFault, fire as _fire_fault
+
 _FRAME = struct.Struct("<II")
 
 #: One committed batch: ``(mutation_version, intern_base, intern_values,
@@ -87,15 +89,31 @@ class ChangelogWriter:
         return self._records_written
 
     def append(self, record: ChangelogRecord) -> int:
-        """Append one commit record; returns the framed size in bytes."""
+        """Append one commit record; returns the framed size in bytes.
+
+        Raises ``OSError`` when the write or fsync fails — the record is
+        then **not** committed (a prefix of it may be on disk; the caller
+        must truncate back to the last valid byte before retrying, which
+        is what :meth:`DurableStore._commit` does).
+        """
         payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
-        self._fh.write(frame + payload)
+        blob = frame + payload
+        fault = _fire_fault("wal.write")
+        if fault is not None and fault.kind == "torn":
+            # A torn write: only a prefix of the frame lands, exactly as a
+            # crash mid-write would leave the file, then the append fails.
+            self._fh.write(blob[: max(1, len(blob) // 2)])
+            self._fh.flush()
+            raise InjectedFault("injected torn changelog write")
+        self._fh.write(blob)
         if self._sync != "never":
             self._fh.flush()
             if self._sync == "commit":
+                if _fire_fault("wal.fsync") is not None:
+                    raise InjectedFault("injected changelog fsync failure")
                 os.fsync(self._fh.fileno())
-        size = len(frame) + len(payload)
+        size = len(blob)
         self._bytes_written += size
         self._records_written += 1
         return size

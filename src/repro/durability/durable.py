@@ -67,6 +67,19 @@ from .segments import SegmentCorruption, read_segment, write_segment
 DEFAULT_MIN_ROTATE_IDS = 64
 
 
+class DurabilityError(RuntimeError):
+    """A committed batch could not be made durable.
+
+    Raised by the write path when a changelog append fails even after the
+    WAL was re-opened.  The batch was **not acknowledged**: it is applied
+    to the in-memory database and mirrored (so a later
+    :meth:`DurableStore.checkpoint` can still persist it), but it is not
+    in the log, and recovery before that checkpoint lands on the last
+    acknowledged state.  Once raised, further commits keep raising until
+    ``checkpoint()`` re-establishes a durable baseline.
+    """
+
+
 class DurabilityStats:
     """Counters describing one durable store's lifetime."""
 
@@ -78,6 +91,10 @@ class DurabilityStats:
         "replayed_records",
         "skipped_segments",
         "torn_tail_bytes",
+        "wal_reopens",
+        "failed_commits",
+        "failed_checkpoints",
+        "tmp_files_swept",
     )
 
     def __init__(self) -> None:
@@ -88,6 +105,10 @@ class DurabilityStats:
         self.replayed_records = 0
         self.skipped_segments = 0
         self.torn_tail_bytes = 0
+        self.wal_reopens = 0
+        self.failed_commits = 0
+        self.failed_checkpoints = 0
+        self.tmp_files_swept = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -145,6 +166,7 @@ class DurableStore(DatabaseObserver):
         self._log_path: Optional[Path] = None
         self._log_valid_bytes = 0
         self._closed = False
+        self._failed = False  # a commit could not be logged; checkpoint heals
         self.stats = DurabilityStats()
         self._recover()
 
@@ -191,6 +213,15 @@ class DurableStore(DatabaseObserver):
     @property
     def attached(self) -> bool:
         return self._db is not None
+
+    @property
+    def failed(self) -> bool:
+        """``True`` while an unrecoverable append blocks further commits.
+
+        Entered when a changelog append fails even after a WAL re-open;
+        cleared by the next successful :meth:`checkpoint`.
+        """
+        return self._failed
 
     @property
     def closed(self) -> bool:
@@ -321,7 +352,18 @@ class DurableStore(DatabaseObserver):
         self._commit(changes)
 
     def _commit(self, changes: ChangeSet) -> None:
-        """Mirror one committed batch and append its changelog record."""
+        """Mirror one committed batch and append its changelog record.
+
+        **Never acknowledges an uncommitted batch**: the record is counted
+        as a commit only after the changelog append (including its fsync)
+        succeeded.  On an append ``OSError`` the WAL is re-opened — the
+        broken handle is closed, any torn partial frame is truncated back
+        to the last valid byte, and the append retried on a fresh writer.
+        If that retry also fails, :class:`DurabilityError` propagates to
+        the mutating caller, the batch stays mirrored-but-unlogged, and
+        the store refuses further commits until :meth:`checkpoint`
+        re-establishes a durable baseline.
+        """
         if not changes or self._closed:
             return
         version = self._db.mutation_version if self._db is not None else self._version + 1
@@ -335,11 +377,55 @@ class DurableStore(DatabaseObserver):
                 "DurableStore received a mutation before attach() opened "
                 "its changelog"
             )
-        size = self._log.append((version, base, values, added, discarded))
+        if self._failed:
+            # The mirror keeps tracking the database (so a checkpoint can
+            # persist everything), but nothing is acknowledged as durable.
+            self._version = version
+            self.stats.failed_commits += 1
+            raise DurabilityError(
+                "durable store is in a failed state after an unrecoverable "
+                "changelog append; checkpoint() to restore durability"
+            )
+        record = (version, base, values, added, discarded)
+        try:
+            size = self._log.append(record)
+        except OSError:
+            try:
+                size = self._retry_append(record)
+            except DurabilityError:
+                self._version = version
+                self.stats.failed_commits += 1
+                raise
         self._version = version
         self.stats.commits += 1
         self.stats.log_bytes_appended += size
-        self._log_valid_bytes = self._log.bytes_written
+        self._log_valid_bytes += size
+
+    def _retry_append(self, record) -> int:
+        """Re-open the WAL after a failed append and retry the record once.
+
+        A failed append may have left a torn partial frame on disk;
+        re-opening truncates back to ``_log_valid_bytes`` (the end of the
+        last acknowledged record) first, so the retried record never lands
+        after garbage.  A second failure marks the store failed and raises
+        :class:`DurabilityError`.
+        """
+        self.stats.wal_reopens += 1
+        if self._log is not None:
+            try:
+                self._log.close()
+            except OSError:
+                pass
+        truncate_changelog(self._log_path, self._log_valid_bytes)
+        self._log = ChangelogWriter(self._log_path, sync=self._sync)
+        try:
+            return self._log.append(record)
+        except OSError as exc:
+            self._failed = True
+            raise DurabilityError(
+                "changelog append failed twice (WAL re-open did not help); "
+                "the batch is NOT durable"
+            ) from exc
 
     def _encode_group(
         self, facts: Tuple[Fact, ...], add: bool
@@ -380,22 +466,39 @@ class DurableStore(DatabaseObserver):
         rotation; ``None`` applies the automatic live-fraction policy.
         Returns a summary dict (segment path, epoch, version, whether the
         epoch rotated, segment bytes).
+
+        Failure-contained: the rotated table/store only replace the live
+        ones **after** the segment write succeeded (a failed checkpoint
+        never leaves the mirror in a new epoch whose segment does not
+        exist), stale ``*.tmp`` files from the failed write are swept
+        before the error propagates, and a successful checkpoint clears
+        the failed-commit state (the new segment is a complete durable
+        baseline, including any mirrored-but-unlogged batches).
         """
         self._check_open()
         rotated = False
         if rotate is None:
             rotate = self.should_rotate()
+        new_table, new_store, new_epoch = self._table, self._store, self._epoch
         if rotate:
-            self._rotate_epoch()
+            new_table, new_store, new_epoch = self._rotated_state()
             rotated = True
-        segment_path = self._segment_path(self._version, self._epoch)
-        segment_bytes = write_segment(
-            segment_path,
-            self._store,
-            self._table.snapshot(),
-            self._epoch,
-            self._version,
-        )
+        segment_path = self._segment_path(self._version, new_epoch)
+        try:
+            segment_bytes = write_segment(
+                segment_path,
+                new_store,
+                new_table.snapshot(),
+                new_epoch,
+                self._version,
+            )
+        except Exception:
+            self.stats.failed_checkpoints += 1
+            self._sweep_tmp_files()
+            raise
+        if rotated:
+            self._table, self._store, self._epoch = new_table, new_store, new_epoch
+            self.stats.rotations += 1
         if self._log is not None:
             self._log.close()
         self._log_path = self._wal_path(self._version, self._epoch)
@@ -407,6 +510,7 @@ class DurableStore(DatabaseObserver):
         self._log_valid_bytes = 0
         self._watermark = len(self._table)
         self._prune_older_than(segment_path, self._log_path)
+        self._failed = False
         self.stats.checkpoints += 1
         return {
             "segment": str(segment_path),
@@ -418,13 +522,15 @@ class DurableStore(DatabaseObserver):
             "constants": len(self._table),
         }
 
-    def _rotate_epoch(self) -> None:
-        """Remap live ids into a fresh dense table; rewrite the columns.
+    def _rotated_state(self) -> Tuple[InternTable, ColumnarFactStore, int]:
+        """Live ids remapped into a fresh dense table, columns rewritten.
 
         Deterministic: old ids map to new ids in old-id order, so two
         processes rotating the same state produce identical segments.
         Only the durable tier's private table rotates — ids cached by
-        sessions or plans above the database are untouched.
+        sessions or plans above the database are untouched.  Pure: the
+        live table/store are not replaced here — :meth:`checkpoint`
+        adopts the rotated state only once its segment is safely on disk.
         """
         old_table, old_store = self._table, self._store
         new_table = InternTable()
@@ -439,15 +545,17 @@ class DurableStore(DatabaseObserver):
                 for column in rel.columns
             )
             relations.append((rel.schema, new_columns))
-        self._store = ColumnarFactStore.from_columns(relations, table=new_table)
-        self._table = new_table
-        self._epoch += 1
-        self.stats.rotations += 1
+        new_store = ColumnarFactStore.from_columns(relations, table=new_table)
+        return new_table, new_store, self._epoch + 1
 
     # -- recovery ----------------------------------------------------------------
 
     def _recover(self) -> None:
         """Load the newest valid segment, then replay its changelog tail."""
+        # A crash between a checkpoint's tmp write and its atomic rename
+        # leaves an orphaned *.tmp; it was never part of the committed
+        # state, so sweep it before recovery even looks at segments.
+        self._sweep_tmp_files()
         segment_path = None
         for candidate in sorted(self._dir.glob("segment-*.seg"), reverse=True):
             try:
@@ -496,6 +604,18 @@ class DurableStore(DatabaseObserver):
 
     def _wal_path(self, version: int, epoch: int) -> Path:
         return self._dir / f"wal-{version:012d}.{epoch:06d}.log"
+
+    def _sweep_tmp_files(self) -> int:
+        """Delete orphaned ``*.tmp`` files (interrupted checkpoint writes)."""
+        swept = 0
+        for candidate in self._dir.glob("*.tmp"):
+            try:
+                candidate.unlink()
+                swept += 1
+            except OSError:
+                pass
+        self.stats.tmp_files_swept += swept
+        return swept
 
     def _prune_older_than(self, segment_path: Path, log_path: Path) -> None:
         """Delete superseded segments and changelogs (the new pair stays)."""

@@ -37,6 +37,7 @@ from array import array
 from pathlib import Path
 from typing import Any, List, Sequence, Tuple
 
+from ..faults import InjectedFault, fire as _fire_fault
 from ..model.atoms import RelationSchema
 from ..store.columnar import ColumnarFactStore
 
@@ -124,7 +125,16 @@ def write_segment(
         fh.write(header)
         fh.write(body)
         fh.flush()
+        if _fire_fault("segment.fsync") is not None:
+            raise InjectedFault(f"injected segment fsync failure for {path.name}")
         os.fsync(fh.fileno())
+    if _fire_fault("segment.rename") is not None:
+        # The checkpoint-interruption window: the tmp file is fully
+        # written but never renamed — exactly what a crash here leaves.
+        # The orphan stays on disk on purpose; DurableStore sweeps it.
+        raise InjectedFault(
+            f"injected checkpoint interruption before renaming {tmp.name}"
+        )
     os.replace(tmp, path)
     _fsync_directory(path.parent)
     return len(header) + len(body)

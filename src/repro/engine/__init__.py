@@ -42,11 +42,19 @@ from .cache import CacheStats, PlanCache, default_plan_cache
 from .parallel import ParallelCertaintySession, certain_answers_parallel
 from .plan import QueryPlan, compile_plan
 from .session import CertaintySession
-from .shards import ShardedCertaintySession, certain_answers_sharded, shard_of_key
+from .shards import (
+    DEGRADATION_LADDER,
+    DeadlineExceeded,
+    ShardedCertaintySession,
+    certain_answers_sharded,
+    shard_of_key,
+)
 
 __all__ = [
     "CacheStats",
     "CertaintySession",
+    "DEGRADATION_LADDER",
+    "DeadlineExceeded",
     "ParallelCertaintySession",
     "PlanCache",
     "QueryPlan",

@@ -40,6 +40,7 @@ from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, Th
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..certainty.solver import CertaintyOutcome
+from ..faults import fire as _fire_fault
 from ..fo.compile import ReadSet
 from ..model.atoms import Fact, RelationSchema
 from ..model.database import DatabaseObserver, UncertainDatabase
@@ -495,6 +496,11 @@ class ParallelCertaintySession:
         """Dispatch chunks to the pool and concatenate the shard results."""
         self._ensure_pool()
         assert self._executor is not None
+        fault = _fire_fault("parallel.dispatch")
+        if fault is not None and fault.kind == "error":
+            # Simulate the pool breaking at dispatch time; the caller's
+            # BrokenExecutor handler tears the pool down and retries.
+            raise BrokenExecutor("injected parallel dispatch failure")
         self.stats.dispatches += 1
         with_support = support is not None
         if self._mode == "thread":

@@ -48,7 +48,9 @@ single-shard session is a full replica, so validation is vacuous there.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import time
 import traceback
 import zlib
 from typing import (
@@ -64,6 +66,8 @@ from typing import (
 )
 
 from ..certainty.solver import CertaintyOutcome
+from ..faults import FaultPlan, FaultSpec, fire as _fire_fault, install as _install_faults
+from ..faults import worker_fault_specs as _worker_fault_specs
 from ..fo.compile import ReadSet
 from ..model.atoms import Fact, RelationSchema
 from ..model.database import DatabaseObserver, UncertainDatabase
@@ -87,6 +91,23 @@ _RelationSig = Tuple[str, int, int]  # (name, arity, key_size)
 
 #: One wire delta group: a relation signature plus its integer rows.
 _RowGroup = Tuple[str, int, int, Tuple[Tuple[int, ...], ...]]
+
+#: Graceful-degradation ladder: a session whose workers keep failing steps
+#: down one level at a time; a probe every few degraded dispatches tries
+#: to climb back to sharded serving.
+DEGRADATION_LADDER = ("sharded", "parallel", "serial")
+
+
+class DeadlineExceeded(TimeoutError):
+    """An end-to-end request deadline expired before the work completed.
+
+    Raised by the shard runtime when a dispatch's absolute deadline (a
+    ``time.monotonic`` instant propagated from a service ticket) passes,
+    and by the admission controller when a queued request's deadline
+    expires before it even starts.  Deliberately **not** served by a
+    fallback: blowing a deadline by silently re-deciding inline would be
+    slower than the caller's budget, so the budget violation surfaces.
+    """
 
 
 def shard_of_key(key_constants: Sequence[Constant], n_shards: int) -> int:
@@ -144,7 +165,21 @@ class ShardStats:
     ``bootstraps`` / ``bootstrap_bytes_shipped``
         full partitioned loads (pool start and post-crash restarts);
     ``worker_restarts``
-        pool restarts forced by a dead or erroring worker.
+        individual supervised worker restarts (spawn + shard re-bootstrap)
+        after a detected failure;
+    ``worker_failures``
+        detected worker failures: dead pipes, error replies, and missed
+        dispatch deadlines (each also schedules a backoff-gated restart);
+    ``deadline_timeouts``
+        dispatches where a worker missed its reply deadline and was
+        declared dead (a slow or stalled worker, contained per shard);
+    ``degradations``
+        steps taken down the sharded→parallel→serial ladder after a shard
+        exhausted its restart budget;
+    ``degraded_decides``
+        candidates served while degraded (threaded-parallel or serial);
+    ``heartbeats``
+        explicit :meth:`ShardedCertaintySession.heartbeat` sweeps.
     """
 
     __slots__ = (
@@ -159,6 +194,11 @@ class ShardStats:
         "bootstraps",
         "bootstrap_bytes_shipped",
         "worker_restarts",
+        "worker_failures",
+        "deadline_timeouts",
+        "degradations",
+        "degraded_decides",
+        "heartbeats",
     )
 
     def __init__(self) -> None:
@@ -173,6 +213,11 @@ class ShardStats:
         self.bootstraps = 0
         self.bootstrap_bytes_shipped = 0
         self.worker_restarts = 0
+        self.worker_failures = 0
+        self.deadline_timeouts = 0
+        self.degradations = 0
+        self.degraded_decides = 0
+        self.heartbeats = 0
 
     def __repr__(self) -> str:
         return (
@@ -287,6 +332,14 @@ def _worker_apply_delta(
 ) -> int:
     """Apply one shipped delta to the shard database; return its fact count."""
     mirror.extend_values(base, values)
+    # The watermark-consistency crash window: the intern suffix is now in
+    # the mirror but no row has been applied.  A worker dying here must
+    # not leave the parent believing the suffix was absorbed — the
+    # supervisor restarts the shard from watermark 0 with a full
+    # re-bootstrap, so a half-applied delta can never skew the id space.
+    fault = _fire_fault("shard.worker.delta")
+    if fault is not None and fault.kind == "kill":
+        os._exit(17)
     with db.batch():
         for name, arity, key_size, rows in discarded:
             relation = _worker_relation(relations, (name, arity, key_size))
@@ -336,7 +389,9 @@ def _worker_decide(
     return results
 
 
-def _shard_worker_main(conn, shard_id: int, n_shards: int) -> None:
+def _shard_worker_main(
+    conn, shard_id: int, n_shards: int, fault_specs: Tuple[FaultSpec, ...] = ()
+) -> None:
     """Command loop of one shard worker: apply deltas, decide candidates.
 
     The worker owns a persistent shard database and session for its whole
@@ -345,7 +400,25 @@ def _shard_worker_main(conn, shard_id: int, n_shards: int) -> None:
     (``ok`` / ``decided`` / ``error``) so the parent can pair requests with
     replies; unexpected exceptions ship the traceback back instead of
     killing the process, and the parent treats them as a worker failure.
+
+    *fault_specs* are the parent's active worker-process fault specs
+    (shipped at spawn time because the parent's injector does not cross
+    the process boundary); the worker installs a local injector over the
+    specs addressed to its shard.
     """
+    if fault_specs:
+        # Keep only the specs addressed to this shard, then strip the pin:
+        # in-process hook points (like the delta crash window) fire without
+        # a shard argument, and everything left is already ours.
+        _install_faults(
+            FaultPlan(
+                [
+                    s._replace(shard=None)
+                    for s in fault_specs
+                    if s.shard is None or s.shard == shard_id
+                ]
+            )
+        )
     mirror = InternTable()
     relations: Dict[_RelationSig, RelationSchema] = {}
     db = UncertainDatabase()
@@ -363,10 +436,18 @@ def _shard_worker_main(conn, shard_id: int, n_shards: int) -> None:
         try:
             command = pickle.loads(payload)
             kind = command[0]
+            fault = _fire_fault("shard.worker.command", shard=shard_id)
+            if fault is not None:
+                if fault.kind == "kill":
+                    os._exit(17)
+                if fault.kind == "stall":
+                    time.sleep(fault.delay or 0.2)
             if kind == "stop":
                 conn.send(("bye",))
                 break
-            if kind == "delta":
+            if kind == "ping":
+                conn.send(("ok", "pong"))
+            elif kind == "delta":
                 _, base, values, added, discarded = command
                 facts = _worker_apply_delta(
                     db, mirror, relations, base, values, added, discarded
@@ -425,6 +506,26 @@ class ShardedCertaintySession:
         the process-wide table; shard workers always intern against
         explicitly private worker-local tables, and the wire format uses
         its own private table regardless.
+    dispatch_deadline:
+        Seconds a worker gets to answer one command before the supervisor
+        declares it dead (``None`` disables — waits forever).  Contains a
+        stalled or wedged worker to one shard: its bucket re-decides on
+        the parent, the process is killed, and a backoff-gated restart is
+        scheduled.
+    restart_backoff / max_backoff:
+        Base and cap of the exponential restart backoff: after ``k``
+        consecutive failures of one shard, the next restart attempt waits
+        ``min(restart_backoff * 2**(k-1), max_backoff)`` seconds.  During
+        backoff the shard's candidates serve from the parent inline.
+    degrade_after_failures:
+        Consecutive failures of any single shard after which the session
+        **degrades** one step down the sharded→parallel→serial ladder
+        (counted in ``stats.degradations``).  Failure counts reset on any
+        successful reply from the shard, so only persistent inability to
+        serve escalates.
+    degraded_probe_interval:
+        Degraded dispatches between probes that try to climb back to
+        sharded serving.
 
     Guarantees
     ----------
@@ -453,11 +554,14 @@ class ShardedCertaintySession:
         allow_exponential: bool = False,
         plan_cache: Optional[PlanCache] = None,
         intern_table: Optional[InternTable] = None,
+        dispatch_deadline: Optional[float] = 30.0,
+        restart_backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        degrade_after_failures: int = 3,
+        degraded_probe_interval: int = 8,
     ) -> None:
         if n_shards is not None and n_shards < 1:
             raise ValueError("n_shards must be at least 1")
-        import os
-
         self._db = db
         self._n_shards = n_shards if n_shards is not None else min(os.cpu_count() or 1, 4)
         self._min_shard = min_shard_candidates
@@ -476,10 +580,21 @@ class ShardedCertaintySession:
         self._wire_table = InternTable()
         self._router = _DeltaRouter(self)
         db.register_observer(self._router)
-        self._workers: Optional[List[_WorkerHandle]] = None
+        self._workers: Optional[List[Optional[_WorkerHandle]]] = None
         self._pending: List[_PendingDelta] = [
             _PendingDelta() for _ in range(self._n_shards)
         ]
+        # -- supervision state ----------------------------------------------
+        self._dispatch_deadline = dispatch_deadline
+        self._restart_backoff = restart_backoff
+        self._max_backoff = max_backoff
+        self._degrade_after = max(1, degrade_after_failures)
+        self._probe_interval = max(1, degraded_probe_interval)
+        self._failures = [0] * self._n_shards
+        self._backoff_until = [0.0] * self._n_shards
+        self._degraded: Optional[str] = None  # None | "parallel" | "serial"
+        self._degraded_since_probe = 0
+        self._parallel_fallback = None
         #: query -> candidate -> owning shard (or _PARENT), learned from
         #: validated decisions; a cheap guess seeds unknown candidates.
         self._routing: Dict[ConjunctiveQuery, Dict[Tuple[Constant, ...], int]] = {}
@@ -493,6 +608,7 @@ class ShardedCertaintySession:
         if self._closed:
             return
         self._teardown_workers()
+        self._close_parallel_fallback()
         self._db.unregister_observer(self._router)
         self._inner.close()
         self._closed = True
@@ -506,12 +622,13 @@ class ShardedCertaintySession:
     def _teardown_workers(self) -> None:
         if self._workers is None:
             return
-        for worker in self._workers:
+        live = [w for w in self._workers if w is not None]
+        for worker in live:
             try:
                 worker.conn.send_bytes(pickle.dumps(("stop",)))
             except (BrokenPipeError, OSError):
                 pass
-        for worker in self._workers:
+        for worker in live:
             worker.process.join(timeout=5)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
@@ -519,6 +636,14 @@ class ShardedCertaintySession:
             worker.conn.close()
         self._workers = None
         self._pending = [_PendingDelta() for _ in range(self._n_shards)]
+
+    def _close_parallel_fallback(self) -> None:
+        if self._parallel_fallback is not None:
+            try:
+                self._parallel_fallback.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self._parallel_fallback = None
 
     # -- views -------------------------------------------------------------------
 
@@ -560,26 +685,70 @@ class ShardedCertaintySession:
     def shard_fact_counts(self) -> List[int]:
         """Current fact count per shard (flushes pending deltas first)."""
         self._check_open()
-        self._ensure_workers()
+        self._ensure_workers(force=True)
         self._flush_deltas()
         assert self._workers is not None
         counts: List[int] = []
-        for worker in self._workers:
-            worker.conn.send_bytes(pickle.dumps(("stats",)))
-        for worker in self._workers:
-            reply = worker.conn.recv()
-            if reply[0] != "ok":
-                raise _WorkerFailure(reply[1])
+        for shard, worker in enumerate(self._workers):
+            if worker is None or not self._send_to(shard, pickle.dumps(("stats",))):
+                raise _WorkerFailure(f"shard {shard} is down")
+            reply = self._recv_from(shard, None)
+            if reply is None or reply[0] != "ok":
+                raise _WorkerFailure(f"shard {shard} failed to report stats")
             counts.append(reply[1]["facts"])
         return counts
+
+    def heartbeat(self, timeout: Optional[float] = None) -> List[bool]:
+        """Ping every worker; returns per-shard liveness (dead shards noted).
+
+        A shard that misses the heartbeat window is declared failed —
+        terminated, backoff-scheduled for restart — exactly as if a
+        dispatch had caught it, so periodic heartbeats surface silent
+        hangs before a query does.
+        """
+        self._check_open()
+        if self._workers is None:
+            return [False] * self._n_shards
+        wait = self._dispatch_deadline if timeout is None else timeout
+        alive: List[bool] = []
+        for shard, worker in enumerate(self._workers):
+            if worker is None:
+                alive.append(False)
+                continue
+            self.stats.heartbeats += 1
+            if not self._send_to(shard, pickle.dumps(("ping",))):
+                alive.append(False)
+                continue
+            try:
+                if wait is not None and not worker.conn.poll(wait):
+                    self._note_failure(shard)
+                    alive.append(False)
+                    continue
+                reply = worker.conn.recv()
+            except (EOFError, OSError):
+                self._note_failure(shard)
+                alive.append(False)
+                continue
+            alive.append(reply[0] == "ok")
+        return alive
+
+    @property
+    def degraded_mode(self) -> Optional[str]:
+        """``None`` while sharded; ``"parallel"``/``"serial"`` once degraded."""
+        return self._degraded
 
     # -- sequential delegates ----------------------------------------------------
 
     def solve(
-        self, query: ConjunctiveQuery, allow_exponential: Optional[bool] = None
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> CertaintyOutcome:
         """Decide ``db ∈ CERTAINTY(q)`` (single instance — runs inline)."""
         self._check_open()
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("request deadline expired before solve")
         return self._inner.solve(query, allow_exponential=allow_exponential)
 
     def is_certain(
@@ -601,52 +770,126 @@ class ShardedCertaintySession:
 
     # -- worker pool -------------------------------------------------------------
 
-    def _ensure_workers(self) -> None:
-        """Start the long-lived pool and bootstrap it from the live database."""
-        if self._workers is not None:
-            return
+    def _spawn_worker(self, shard_id: int) -> _WorkerHandle:
         ctx = _pool_mp_context() or multiprocessing.get_context()
-        workers: List[_WorkerHandle] = []
-        for shard_id in range(self._n_shards):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_shard_worker_main,
-                args=(child_conn, shard_id, self._n_shards),
-                daemon=True,
-                name=f"repro-shard-{shard_id}",
-            )
-            process.start()
-            child_conn.close()
-            workers.append(_WorkerHandle(process, parent_conn))
-        # The bootstrap is one partitioned load expressed as ordinary
-        # deltas-from-empty: route every live fact, then flush.  Anything
-        # recorded before this point is already in the database, so the
-        # pending state starts clean.
-        self._pending = [_PendingDelta() for _ in range(self._n_shards)]
-        self._workers = workers
-        for fact in self._db.facts:
-            self._record_mutation(fact, added=True)
-        self.stats.bootstraps += 1
-        self._flush_deltas(bootstrap=True)
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, shard_id, self._n_shards, _worker_fault_specs()),
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
 
-    def _restart_workers(self) -> None:
-        """Tear the pool down after a failure; the next dispatch re-bootstraps."""
-        self.stats.worker_restarts += 1
-        if self._workers is not None:
-            for worker in self._workers:
-                if worker.process.is_alive():
-                    worker.process.terminate()
-            for worker in self._workers:
-                worker.process.join(timeout=5)
-                worker.conn.close()
-            self._workers = None
-        self._pending = [_PendingDelta() for _ in range(self._n_shards)]
+    def _ensure_workers(self, force: bool = False) -> None:
+        """Start (or supervise back to life) the long-lived worker pool.
 
-    def _flush_deltas(self, bootstrap: bool = False) -> None:
-        """Ship pending deltas (and new intern values) to every stale shard."""
+        First call: full bootstrap — every shard spawns and receives its
+        partition as a delta-from-empty.  Later calls: each dead shard is
+        restarted individually once its backoff window has passed
+        (*force* overrides the backoff), re-bootstrapping **only that
+        shard's** facts from the live database.  A restarted worker
+        starts at intern watermark 0 and receives the complete wire-table
+        prefix, so a crash mid-delta (intern suffix shipped, rows lost)
+        can never leave a skewed replica id space behind.
+        """
+        if self._workers is None:
+            self._workers = [None] * self._n_shards
+            self._pending = [_PendingDelta() for _ in range(self._n_shards)]
+            self.stats.bootstraps += 1
+            for shard in range(self._n_shards):
+                self._maybe_restart(shard, force=True, initial=True)
+        else:
+            for shard in range(self._n_shards):
+                if self._workers[shard] is None:
+                    self._maybe_restart(shard, force=force)
+
+    def _maybe_restart(
+        self, shard: int, force: bool = False, initial: bool = False
+    ) -> None:
+        """One supervised restart attempt for a dead shard (backoff-gated)."""
+        if self._workers is None or self._workers[shard] is not None:
+            return
+        if not force and time.monotonic() < self._backoff_until[shard]:
+            return
+        try:
+            self._start_shard(shard)
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            self._note_failure(shard)
+            return
+        if not initial:
+            self.stats.worker_restarts += 1
+        # A successful spawn + bootstrap flush is real service: the worker
+        # received and acknowledged its partition, so its failure streak ends.
+        self._failures[shard] = 0
+        self._backoff_until[shard] = 0.0
+
+    def _start_shard(self, shard: int) -> None:
+        """Spawn one worker and bootstrap it with its shard's partition."""
         assert self._workers is not None
-        flushed: List[_WorkerHandle] = []
+        handle = self._spawn_worker(shard)
+        self._workers[shard] = handle
+        self._pending[shard] = _PendingDelta()
+        pending = self._pending[shard]
+        n = self._n_shards
+        for fact in self._db.facts:
+            if shard_of_key(fact.key_terms, n) != shard:
+                continue
+            relation = fact.relation
+            sig = (relation.name, relation.arity, relation.key_size)
+            pending.record(sig, self._wire_table.intern_many(fact.terms), True)
+        self._flush_shard(shard, bootstrap=True)
+
+    def _flush_shard(self, shard: int, bootstrap: bool = False) -> None:
+        """Ship one shard's pending delta; raise on any worker problem."""
+        assert self._workers is not None
+        worker = self._workers[shard]
+        assert worker is not None
+        pending = self._pending[shard]
+        values = self._wire_table.values_since(worker.watermark)
+        if not pending and not values:
+            return
+        added, discarded = pending.take()
+        payload = pickle.dumps(
+            ("delta", worker.watermark, values, added, discarded),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        worker.conn.send_bytes(payload)
+        worker.watermark += len(values)
+        facts = sum(len(group[3]) for group in added + discarded)
+        if bootstrap:
+            self.stats.bootstrap_bytes_shipped += len(payload)
+        else:
+            self.stats.delta_flushes += 1
+            self.stats.delta_bytes_shipped += len(payload)
+            self.stats.delta_facts_shipped += facts
+            self.stats.max_flush_bytes = max(self.stats.max_flush_bytes, len(payload))
+        timeout = self._dispatch_deadline
+        if timeout is not None and not worker.conn.poll(timeout):
+            raise _WorkerFailure(f"shard {shard} delta flush timed out")
+        reply = worker.conn.recv()
+        if reply[0] != "ok":
+            raise _WorkerFailure(reply[1])
+
+    def _flush_deltas(
+        self, bootstrap: bool = False, deadline: Optional[float] = None
+    ) -> None:
+        """Ship pending deltas (and new intern values) to every live stale shard.
+
+        Failure-contained: a shard whose pipe drops, whose worker dies
+        mid-apply, or whose reply misses the dispatch deadline is marked
+        dead (supervised restart later re-bootstraps it from the live
+        database) and the flush continues for every other shard.
+        """
+        assert self._workers is not None
+        flushed: List[int] = []
         for shard, worker in enumerate(self._workers):
+            if worker is None:
+                continue
             pending = self._pending[shard]
             values = self._wire_table.values_since(worker.watermark)
             if not pending and not values:
@@ -656,9 +899,10 @@ class ShardedCertaintySession:
                 ("delta", worker.watermark, values, added, discarded),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
-            worker.conn.send_bytes(payload)
+            if not self._send_to(shard, payload):
+                continue
             worker.watermark += len(values)
-            flushed.append(worker)
+            flushed.append(shard)
             facts = sum(len(group[3]) for group in added + discarded)
             if bootstrap:
                 self.stats.bootstrap_bytes_shipped += len(payload)
@@ -669,10 +913,134 @@ class ShardedCertaintySession:
                 self.stats.max_flush_bytes = max(
                     self.stats.max_flush_bytes, len(payload)
                 )
-        for worker in flushed:
-            reply = worker.conn.recv()
+        for shard in flushed:
+            reply = self._recv_from(shard, deadline)
+            if reply is None:
+                continue  # failure noted; the restart re-bootstraps the shard
             if reply[0] != "ok":
-                raise _WorkerFailure(reply[1])
+                self._note_failure(shard)
+            else:
+                self._failures[shard] = 0
+
+    # -- supervision -------------------------------------------------------------
+
+    def _send_to(self, shard: int, payload: bytes) -> bool:
+        """Send one command to a live shard; note the failure on a dead pipe."""
+        assert self._workers is not None
+        worker = self._workers[shard]
+        if worker is None:
+            return False
+        fault = _fire_fault("shard.pipe", shard=shard)
+        if fault is not None and fault.kind == "drop":
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        try:
+            worker.conn.send_bytes(payload)
+            return True
+        except (BrokenPipeError, OSError):
+            self._note_failure(shard)
+            return False
+
+    def _recv_from(self, shard: int, deadline: Optional[float]) -> Optional[tuple]:
+        """One reply from a shard, bounded by the dispatch deadline.
+
+        Returns ``None`` (after noting the failure) when the worker is
+        dead, errored, or missed its deadline.  Raises
+        :class:`DeadlineExceeded` only for the *caller's* end-to-end
+        deadline — a single slow worker is contained, a blown request
+        budget is surfaced.
+        """
+        assert self._workers is not None
+        worker = self._workers[shard]
+        if worker is None:
+            return None
+        timeout = self._dispatch_deadline
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceeded("request deadline expired at shard dispatch")
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        try:
+            if timeout is not None and not worker.conn.poll(timeout):
+                self.stats.deadline_timeouts += 1
+                self._note_failure(shard)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceeded(
+                        "request deadline expired waiting on a shard reply"
+                    )
+                return None
+            return worker.conn.recv()
+        except (EOFError, OSError):
+            self._note_failure(shard)
+            return None
+
+    def _note_failure(self, shard: int) -> None:
+        """Declare one shard dead: kill it, schedule a backoff-gated restart.
+
+        The shard's pending delta is dropped (the restart re-bootstraps
+        from the live database, which already contains every mutation)
+        and its failure streak grows — exceeding the restart budget steps
+        the whole session down the degradation ladder.
+        """
+        self.stats.worker_failures += 1
+        if self._workers is not None:
+            worker = self._workers[shard]
+            if worker is not None:
+                try:
+                    if worker.process.is_alive():
+                        worker.process.terminate()
+                    worker.process.join(timeout=5)
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                self._workers[shard] = None
+        self._pending[shard] = _PendingDelta()
+        self._failures[shard] += 1
+        delay = min(
+            self._restart_backoff * (2 ** (self._failures[shard] - 1)),
+            self._max_backoff,
+        )
+        self._backoff_until[shard] = time.monotonic() + delay
+        if self._failures[shard] >= self._degrade_after:
+            self._degrade()
+
+    def _degrade(self) -> None:
+        """Step down the sharded→parallel→serial ladder (teardown deferred).
+
+        One rung per failure episode: the failure ledger resets on entry,
+        so N shards dying together cost one step, not N — each tier gets
+        its own full budget before the next step down.
+        """
+        if self._degraded is None:
+            self._degraded = "parallel"
+        elif self._degraded == "parallel":
+            self._degraded = "serial"
+            self._close_parallel_fallback()
+        else:
+            return
+        self.stats.degradations += 1
+        self._degraded_since_probe = 0
+        self._failures = [0] * self._n_shards
+        self._backoff_until = [0.0] * self._n_shards
+
+    def _restart_workers(self) -> None:
+        """Tear the pool down after a failure; the next dispatch re-bootstraps."""
+        self.stats.worker_restarts += 1
+        if self._workers is not None:
+            for worker in self._workers:
+                if worker is not None and worker.process.is_alive():
+                    worker.process.terminate()
+            for worker in self._workers:
+                if worker is not None:
+                    worker.process.join(timeout=5)
+                    worker.conn.close()
+            self._workers = None
+        self._pending = [_PendingDelta() for _ in range(self._n_shards)]
 
     # -- the sharded loop --------------------------------------------------------
 
@@ -680,21 +1048,29 @@ class ShardedCertaintySession:
         self,
         query: ConjunctiveQuery,
         allow_exponential: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> Set[Tuple[Constant, ...]]:
         """The certain answers of a non-Boolean query, sharded over workers.
 
         Identical to the sequential session's answer set: candidates are
         enumerated once on the live (parent) database, scattered to the
         shards that own their supporting blocks, and every non-shard-local
-        decision re-runs on the parent.
+        decision re-runs on the parent.  *deadline* is an absolute
+        ``time.monotonic`` instant; blowing it raises
+        :class:`DeadlineExceeded` instead of degrading silently.
         """
         self._check_open()
         if query.is_boolean:
             raise ValueError("certain_answers expects a query with free variables")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("request deadline expired before dispatch")
         candidates = self._inner.candidate_answers(query)
         return set(
             self.decide_candidates(
-                query, candidates, allow_exponential=allow_exponential
+                query,
+                candidates,
+                allow_exponential=allow_exponential,
+                deadline=deadline,
             )
         )
 
@@ -705,6 +1081,7 @@ class ShardedCertaintySession:
         allow_exponential: Optional[bool] = None,
         support: Optional[Dict[Tuple[Constant, ...], ReadSet]] = None,
         support_index=None,
+        deadline: Optional[float] = None,
     ) -> List[Tuple[Constant, ...]]:
         """The certain candidates, in input order, scattered across shards.
 
@@ -718,8 +1095,16 @@ class ShardedCertaintySession:
         provides routing hints: candidates route to the shard owning the
         blocks of their *previous* decision, which post-mutation is almost
         always still the owner — and ownership validation catches the rest.
+
+        Failure containment: individual worker deaths are absorbed by the
+        supervisor (dead shards' buckets re-decide on the parent inline),
+        repeated failures step the session down the
+        sharded→parallel→serial :data:`DEGRADATION_LADDER`, and only an
+        exhausted *deadline* escapes as :class:`DeadlineExceeded`.
         """
         self._check_open()
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("request deadline expired before dispatch")
         allow = (
             self._allow_exponential if allow_exponential is None else allow_exponential
         )
@@ -730,13 +1115,21 @@ class ShardedCertaintySession:
             self._portabilize(support)
             self.stats.parent_decides += len(candidates)
             return certain
+        if self._degraded is not None:
+            if self._workers is not None:
+                self._teardown_workers()
+            return self._decide_degraded(query, candidates, allow, support, deadline)
         self._ensure_workers()
         try:
-            self._flush_deltas()
-            return self._scatter(query, candidates, allow, support, support_index)
+            self._flush_deltas(deadline=deadline)
+            return self._scatter(
+                query, candidates, allow, support, support_index, deadline
+            )
+        except DeadlineExceeded:
+            raise
         except (_WorkerFailure, BrokenPipeError, EOFError, OSError):
-            # A worker died or errored: restart lazily and serve this call
-            # from the always-correct parent session.
+            # Something escaped per-shard containment: tear the pool down
+            # and serve this call from the always-correct parent session.
             self._restart_workers()
             certain = self._inner.decide_candidates(
                 query, candidates, allow_exponential=allow, support=support
@@ -745,6 +1138,86 @@ class ShardedCertaintySession:
             self.stats.parent_decides += len(candidates)
             return certain
 
+    def _decide_degraded(
+        self,
+        query: ConjunctiveQuery,
+        candidates: Sequence[Tuple[Constant, ...]],
+        allow: bool,
+        support: Optional[Dict[Tuple[Constant, ...], ReadSet]],
+        deadline: Optional[float],
+    ) -> List[Tuple[Constant, ...]]:
+        """Serve one dispatch below the sharded tier, probing back up.
+
+        Every ``degraded_probe_interval`` dispatches the session clears
+        its failure ledger and retries the sharded path once; a clean run
+        promotes back, another failure drops straight back down.
+        """
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("request deadline expired in degraded mode")
+        self._degraded_since_probe += 1
+        if self._degraded_since_probe > self._probe_interval:
+            mode = self._degraded
+            self._degraded = None
+            self._degraded_since_probe = 0
+            self._failures = [0] * self._n_shards
+            self._backoff_until = [0.0] * self._n_shards
+            self._close_parallel_fallback()
+            try:
+                result = self.decide_candidates(
+                    query,
+                    candidates,
+                    allow_exponential=allow,
+                    support=support,
+                    deadline=deadline,
+                )
+            except DeadlineExceeded:
+                self._degraded = mode
+                raise
+            except (_WorkerFailure, BrokenPipeError, EOFError, OSError):
+                self._degraded = mode
+            else:
+                if self._degraded is None and (
+                    self._workers is None
+                    or all(w is None for w in self._workers)
+                ):
+                    # Every answer came from the parent fallback: the pool
+                    # never actually recovered, so the probe failed.
+                    self._degraded = mode
+                return result
+        self.stats.degraded_decides += len(candidates)
+        if self._degraded == "parallel":
+            try:
+                session = self._parallel_session()
+                certain = session.decide_candidates(
+                    query, candidates, allow_exponential=allow, support=support
+                )
+                self._portabilize(support)
+                return certain
+            except DeadlineExceeded:
+                raise
+            except Exception:
+                self._degrade()  # thread tier failed too: drop to serial
+        certain = self._inner.decide_candidates(
+            query, candidates, allow_exponential=allow, support=support
+        )
+        self._portabilize(support)
+        self.stats.parent_decides += len(candidates)
+        return certain
+
+    def _parallel_session(self):
+        """The lazily-built thread-mode fallback session (degraded tier 2)."""
+        if self._parallel_fallback is None:
+            from ..store.intern import InternTable
+            from .parallel import ParallelCertaintySession
+
+            self._parallel_fallback = ParallelCertaintySession(
+                self._db,
+                mode="thread",
+                allow_exponential=self._allow_exponential,
+                intern_table=InternTable(),
+            )
+        return self._parallel_fallback
+
     def _scatter(
         self,
         query: ConjunctiveQuery,
@@ -752,6 +1225,7 @@ class ShardedCertaintySession:
         allow: bool,
         support: Optional[Dict[Tuple[Constant, ...], ReadSet]],
         support_index,
+        deadline: Optional[float] = None,
     ) -> List[Tuple[Constant, ...]]:
         assert self._workers is not None
         routing = self._routing_for(query)
@@ -764,15 +1238,24 @@ class ShardedCertaintySession:
                 shard = support_index.route(candidate, shard_key)
             if shard is None:
                 shard = self._guess_shard(query, candidate)
+            if shard is not None and shard != _PARENT and self._workers[shard] is None:
+                shard = None  # the owner is down: decide on the parent inline
             if shard is None or shard == _PARENT:
                 parent_side.append(candidate)
             else:
                 buckets.setdefault(shard, []).append(candidate)
         want_support = support is not None
-        replies = self._scatter_decide(buckets, query, allow, want_support)
+        replies = self._scatter_decide(buckets, query, allow, want_support, deadline)
         verdicts: Dict[Tuple[Constant, ...], bool] = {}
         for shard, bucket in buckets.items():
-            for candidate, (certain, valid, read_set) in zip(bucket, replies[shard]):
+            shard_replies = replies.get(shard)
+            if shard_replies is None:
+                # The worker died mid-decide: its whole bucket re-decides on
+                # the parent without poisoning the routing table (the
+                # restarted shard stays the natural owner).
+                parent_side.extend(bucket)
+                continue
+            for candidate, (certain, valid, read_set) in zip(bucket, shard_replies):
                 if valid:
                     verdicts[candidate] = certain
                     routing[candidate] = shard
@@ -807,25 +1290,34 @@ class ShardedCertaintySession:
         query: ConjunctiveQuery,
         allow: bool,
         want_support: bool,
+        deadline: Optional[float] = None,
     ) -> Dict[int, List[Tuple[bool, bool, Optional[ReadSet]]]]:
         """Send one decide command per non-empty shard; gather all replies.
 
         Sends complete before any receive, so the workers decide their
-        buckets concurrently.
+        buckets concurrently.  A shard that dies, errors, or misses the
+        dispatch deadline is simply absent from the result — the caller
+        re-decides its bucket on the parent.
         """
         assert self._workers is not None
+        sent: List[int] = []
         for shard in sorted(buckets):
             payload = pickle.dumps(
                 ("decide", query, tuple(buckets[shard]), allow, want_support),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
-            self._workers[shard].conn.send_bytes(payload)
+            if self._send_to(shard, payload):
+                sent.append(shard)
         replies: Dict[int, List[Tuple[bool, bool, Optional[ReadSet]]]] = {}
-        for shard in sorted(buckets):
-            reply = self._workers[shard].conn.recv()
+        for shard in sent:
+            reply = self._recv_from(shard, deadline)
+            if reply is None:
+                continue
             if reply[0] != "decided":
-                raise _WorkerFailure(reply[1])
+                self._note_failure(shard)
+                continue
             replies[shard] = reply[1]
+            self._failures[shard] = 0
         return replies
 
     # -- routing -----------------------------------------------------------------

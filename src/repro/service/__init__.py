@@ -25,6 +25,7 @@ from .admission import (
     AdmissionTicket,
     AnswerSet,
     CancelledError,
+    CircuitOpen,
 )
 from .service import CertaintyService
 from .tenant import Tenant
@@ -39,5 +40,6 @@ __all__ = [
     "AnswerSet",
     "CancelledError",
     "CertaintyService",
+    "CircuitOpen",
     "Tenant",
 ]

@@ -18,6 +18,30 @@ service:
   back-pressure signal — a tenant hammering coNP queries cannot starve the
   pool for everyone else.
 
+Failure containment adds two layers on top of back-pressure:
+
+* **Slot-accurate abandonment** — a queued request holds exactly one queue
+  slot from admission until its worker thread finishes *or* the caller
+  abandons it.  ``ticket.cancel()`` on a not-yet-started request skips the
+  work entirely; on an already-running request it marks the ticket
+  *abandoned* (counted in ``stats.abandoned``) and releases the slot
+  immediately, so a caller that gave up never pins the tenant's queue
+  capacity while the orphaned computation drains.  Every release goes
+  through a once-only guard shared by the worker, the done-callback, and
+  the abandon path — the slot can never leak or double-release.
+* **A per-tenant circuit breaker** — repeated queued-band failures or
+  ``result(timeout)`` expiries trip the tenant's breaker: further
+  queued-band submissions are *shed* (:class:`CircuitOpen`, a subclass of
+  :class:`AdmissionRejected`) for a cooldown window, after which a single
+  half-open probe decides whether to close it again.  FO-band requests are
+  never shed — the hot path stays inline even while the tenant's heavy
+  band is failing.
+
+Requests may also carry an absolute **deadline** (a ``time.monotonic``
+instant).  A queued request whose deadline expires before a worker picks
+it up fails fast with :class:`~repro.engine.shards.DeadlineExceeded`
+instead of burning pool time on an answer nobody is waiting for.
+
 Classification happens once per query *shape* process-wide (the plan cache
 and ``classify_cached`` both memoise), so admission adds one dict probe to
 the hot path.
@@ -26,11 +50,14 @@ the hot path.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from ..core.complexity import ComplexityBand
+from ..engine.shards import DeadlineExceeded
+from ..faults import fire as _fire_fault
 from ..model.symbols import Constant
 from ..query.conjunctive import ConjunctiveQuery
 
@@ -55,6 +82,26 @@ class AdmissionRejected(RuntimeError):
         self.cap = cap
 
 
+class CircuitOpen(AdmissionRejected):
+    """The tenant's circuit breaker is open: queued-band load is shed.
+
+    Subclasses :class:`AdmissionRejected` so existing back-pressure
+    handling (retry later) applies unchanged; ``retry_after`` says how
+    long until the next half-open probe is allowed.
+    """
+
+    def __init__(self, tenant_id: str, retry_after: float) -> None:
+        RuntimeError.__init__(
+            self,
+            f"tenant {tenant_id!r} circuit breaker is open "
+            f"(retry in {max(retry_after, 0.0):.2f}s); queued-band load is shed",
+        )
+        self.tenant_id = tenant_id
+        self.depth = 0
+        self.cap = 0
+        self.retry_after = retry_after
+
+
 class AdmissionStats:
     """Per-tenant admission counters.
 
@@ -68,6 +115,18 @@ class AdmissionStats:
     ``timeouts``
         ``result(timeout)`` calls that expired before completion (the
         request keeps running; a later ``result()`` can still collect it);
+    ``abandoned``
+        running requests whose caller gave up via ``cancel()`` — their
+        queue slot was released immediately while the orphaned
+        computation drained;
+    ``shed``
+        queued-band submissions refused because the tenant's circuit
+        breaker was open;
+    ``breaker_opens``
+        times this tenant's circuit breaker tripped open;
+    ``deadline_expired``
+        queued requests whose deadline passed before a worker started
+        them (failed fast without executing);
     ``max_queue_depth``
         high-water mark of this tenant's concurrently queued requests.
     """
@@ -79,6 +138,10 @@ class AdmissionStats:
         "cancelled",
         "rejected",
         "timeouts",
+        "abandoned",
+        "shed",
+        "breaker_opens",
+        "deadline_expired",
         "max_queue_depth",
     )
 
@@ -89,6 +152,10 @@ class AdmissionStats:
         self.cancelled = 0
         self.rejected = 0
         self.timeouts = 0
+        self.abandoned = 0
+        self.shed = 0
+        self.breaker_opens = 0
+        self.deadline_expired = 0
         self.max_queue_depth = 0
 
     def as_dict(self) -> dict:
@@ -102,6 +169,44 @@ class AdmissionStats:
         )
 
 
+class _SlotGuard:
+    """A once-only release of one tenant queue slot.
+
+    Shared by the worker thread's ``finally``, the cancel done-callback,
+    and the abandon path — whichever fires first wins, the rest are
+    no-ops, so a slot can neither leak (someone always releases) nor
+    double-release (only one of them does).
+    """
+
+    __slots__ = ("_controller", "_tenant_id", "_released", "_lock")
+
+    def __init__(self, controller: "AdmissionController", tenant_id: str) -> None:
+        self._controller = controller
+        self._tenant_id = tenant_id
+        self._released = False
+        self._lock = threading.Lock()
+
+    def release_once(self) -> bool:
+        with self._lock:
+            if self._released:
+                return False
+            self._released = True
+        self._controller._release(self._tenant_id)
+        return True
+
+
+class _Breaker:
+    """Per-tenant circuit-breaker state (guarded by the controller lock)."""
+
+    __slots__ = ("failures", "open_until", "probing", "opens")
+
+    def __init__(self) -> None:
+        self.failures = 0  # consecutive queued-band failures
+        self.open_until = 0.0  # monotonic instant the cooldown ends
+        self.probing = False  # one half-open probe in flight
+        self.opens = 0
+
+
 class AdmissionTicket:
     """The handle for one admitted request.
 
@@ -112,7 +217,19 @@ class AdmissionTicket:
     Boolean queries — so callers need not branch on the outcome.
     """
 
-    __slots__ = ("tenant_id", "query", "band", "outcome", "_value", "_future", "_stats")
+    __slots__ = (
+        "tenant_id",
+        "query",
+        "band",
+        "outcome",
+        "deadline",
+        "_value",
+        "_future",
+        "_stats",
+        "_guard",
+        "_controller",
+        "_abandoned",
+    )
 
     def __init__(
         self,
@@ -123,25 +240,39 @@ class AdmissionTicket:
         value: Optional[AnswerSet] = None,
         future: Optional["Future[AnswerSet]"] = None,
         stats: Optional[AdmissionStats] = None,
+        guard: Optional[_SlotGuard] = None,
+        controller: Optional["AdmissionController"] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.tenant_id = tenant_id
         self.query = query
         self.band = band
         self.outcome = outcome
+        self.deadline = deadline
         self._value = value
         self._future = future
         self._stats = stats
+        self._guard = guard
+        self._controller = controller
+        self._abandoned = False
 
     @property
     def done(self) -> bool:
         """``True`` once the answer is available (always, for inline)."""
         return self._future is None or self._future.done()
 
+    @property
+    def abandoned(self) -> bool:
+        """``True`` after :meth:`cancel` gave up on a running request."""
+        return self._abandoned
+
     def result(self, timeout: Optional[float] = None) -> AnswerSet:
         """The answer set, waiting up to *timeout* seconds for queued work.
 
         Raises :class:`concurrent.futures.TimeoutError` when the deadline
-        expires (counted in the tenant's stats; the computation keeps
+        expires (counted in the tenant's stats — and in the tenant's
+        circuit breaker, so a tenant whose heavy queries chronically
+        overrun starts shedding instead of queueing; the computation keeps
         running and a later call can still collect it) and
         :class:`concurrent.futures.CancelledError` after :meth:`cancel`.
         """
@@ -153,18 +284,32 @@ class AdmissionTicket:
         except FutureTimeoutError:
             if self._stats is not None:
                 self._stats.timeouts += 1
+            if self._controller is not None:
+                self._controller._breaker_failure(self.tenant_id)
             raise
 
     def cancel(self) -> bool:
-        """Cancel a queued request that has not started running.
+        """Cancel a not-yet-started request, or abandon a running one.
 
-        Returns ``True`` on success (the future will never run; the queue
-        slot is released immediately).  Inline and already-running requests
-        return ``False``.
+        Returns ``True`` when the future was cancelled before starting
+        (the work never runs).  A request already running cannot be
+        stopped — but its queue slot is released *immediately* and the
+        ticket is marked :attr:`abandoned` (returning ``False``), so a
+        caller that gave up never holds the tenant's queue capacity
+        hostage to an orphaned computation.  Inline requests return
+        ``False``.
         """
         if self._future is None:
             return False
-        return self._future.cancel()
+        if self._future.cancel():
+            return True
+        if not self._future.done() and not self._abandoned:
+            self._abandoned = True
+            if self._stats is not None:
+                self._stats.abandoned += 1
+            if self._guard is not None:
+                self._guard.release_once()
+        return False
 
     def __repr__(self) -> str:
         return (
@@ -181,9 +326,23 @@ class AdmissionController:
     depth table is guarded by a lock, and per-tenant execution is
     serialised by the tenant's own lock (a queued decision never interleaves
     with that tenant's mutations).
+
+    ``breaker_threshold`` consecutive queued-band failures (exceptions or
+    ``result(timeout)`` expiries) open the tenant's circuit breaker for
+    ``breaker_cooldown`` seconds; while open, queued-band submissions shed
+    with :class:`CircuitOpen` and FO-band requests still serve inline.
+    ``breaker_threshold <= 0`` disables the breaker.  *clock* injects a
+    monotonic time source for tests.
     """
 
-    def __init__(self, max_workers: int = 2, queue_depth: int = 8) -> None:
+    def __init__(
+        self,
+        max_workers: int = 2,
+        queue_depth: int = 8,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 5.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if queue_depth < 1:
@@ -193,6 +352,10 @@ class AdmissionController:
         )
         self._queue_depth = queue_depth
         self._depths: Dict[str, int] = {}
+        self._breakers: Dict[str, _Breaker] = {}
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._clock = clock or time.monotonic
         self._lock = threading.Lock()
         self._closed = False
 
@@ -206,6 +369,74 @@ class AdmissionController:
         with self._lock:
             return self._depths.get(tenant_id, 0)
 
+    def now(self) -> float:
+        """The controller's monotonic clock (injectable for tests)."""
+        return self._clock()
+
+    # -- circuit breaker ---------------------------------------------------------
+
+    def _breaker(self, tenant_id: str) -> _Breaker:
+        breaker = self._breakers.get(tenant_id)
+        if breaker is None:
+            breaker = self._breakers[tenant_id] = _Breaker()
+        return breaker
+
+    def _breaker_failure(
+        self, tenant_id: str, stats: Optional[AdmissionStats] = None
+    ) -> None:
+        """Record one queued-band failure; trip the breaker at threshold."""
+        if self._breaker_threshold <= 0:
+            return
+        with self._lock:
+            breaker = self._breaker(tenant_id)
+            breaker.failures += 1
+            breaker.probing = False
+            if breaker.failures >= self._breaker_threshold:
+                was_open = self._clock() < breaker.open_until
+                breaker.open_until = self._clock() + self._breaker_cooldown
+                if not was_open:
+                    breaker.opens += 1
+                    if stats is not None:
+                        stats.breaker_opens += 1
+
+    def _breaker_success(self, tenant_id: str) -> None:
+        with self._lock:
+            breaker = self._breakers.get(tenant_id)
+            if breaker is not None:
+                breaker.failures = 0
+                breaker.open_until = 0.0
+                breaker.probing = False
+
+    def breaker_state(self, tenant_id: str) -> dict:
+        """The tenant's breaker as a plain dict (state/failures/opens)."""
+        with self._lock:
+            breaker = self._breakers.get(tenant_id)
+            now = self._clock()
+            if breaker is None:
+                return {
+                    "state": "closed",
+                    "consecutive_failures": 0,
+                    "opens": 0,
+                    "retry_in": 0.0,
+                }
+            if now < breaker.open_until:
+                state = "open"
+            elif breaker.probing or (
+                breaker.open_until > 0.0
+                and breaker.failures >= max(self._breaker_threshold, 1)
+            ):
+                state = "half-open"
+            else:
+                state = "closed"
+            return {
+                "state": state,
+                "consecutive_failures": breaker.failures,
+                "opens": breaker.opens,
+                "retry_in": max(0.0, breaker.open_until - now),
+            }
+
+    # -- admission ---------------------------------------------------------------
+
     def submit(
         self,
         tenant_id: str,
@@ -213,20 +444,37 @@ class AdmissionController:
         band: ComplexityBand,
         execute: Callable[[], AnswerSet],
         stats: AdmissionStats,
+        deadline: Optional[float] = None,
     ) -> AdmissionTicket:
         """Admit one request: FO inline, anything harder onto the pool.
 
         *execute* is the tenant-locked thunk computing the answer set; the
-        controller decides only *where* it runs.  Raises
-        :class:`AdmissionRejected` when the tenant's queue is full.
+        controller decides only *where* it runs.  *deadline* is an
+        absolute monotonic instant: a queued request still waiting for a
+        worker when it passes fails fast with
+        :class:`~repro.engine.shards.DeadlineExceeded`.  Raises
+        :class:`AdmissionRejected` when the tenant's queue is full and
+        :class:`CircuitOpen` while the tenant's breaker sheds load.
         """
         if self._closed:
             raise RuntimeError("the admission controller is closed")
         if band.is_first_order:
+            # The hot path: never queued, never shed, never breaker-gated.
             value = execute()
             stats.inline_served += 1
             return AdmissionTicket(tenant_id, query, band, INLINE, value=value)
         with self._lock:
+            if self._breaker_threshold > 0:
+                breaker = self._breaker(tenant_id)
+                now = self._clock()
+                if now < breaker.open_until or breaker.probing:
+                    stats.shed += 1
+                    raise CircuitOpen(tenant_id, breaker.open_until - now)
+                if breaker.open_until > 0.0 and breaker.failures >= (
+                    self._breaker_threshold
+                ):
+                    # Cooldown over: admit exactly one half-open probe.
+                    breaker.probing = True
             depth = self._depths.get(tenant_id, 0)
             if depth >= self._queue_depth:
                 stats.rejected += 1
@@ -235,13 +483,32 @@ class AdmissionController:
             stats.queued += 1
             stats.max_queue_depth = max(stats.max_queue_depth, depth + 1)
 
+        guard = _SlotGuard(self, tenant_id)
+
         def run() -> AnswerSet:
             try:
-                value = execute()
+                try:
+                    if deadline is not None and self._clock() >= deadline:
+                        stats.deadline_expired += 1
+                        raise DeadlineExceeded(
+                            f"tenant {tenant_id!r}: request deadline expired "
+                            "before a worker started it"
+                        )
+                    fault = _fire_fault("service.queued")
+                    if fault is not None:
+                        if fault.kind == "stall":
+                            time.sleep(fault.delay or 0.1)
+                        else:
+                            raise OSError("injected queued-execution failure")
+                    value = execute()
+                except BaseException:
+                    self._breaker_failure(tenant_id, stats)
+                    raise
                 stats.completed += 1
+                self._breaker_success(tenant_id)
                 return value
             finally:
-                self._release(tenant_id)
+                guard.release_once()
 
         # A successful cancel() skips run() (and its slot release) entirely —
         # release the slot and count the cancellation through a done
@@ -249,12 +516,20 @@ class AdmissionController:
         def on_done(f: "Future[AnswerSet]") -> None:
             if f.cancelled():
                 stats.cancelled += 1
-                self._release(tenant_id)
+                guard.release_once()
 
         future = self._executor.submit(run)
         future.add_done_callback(on_done)
         return AdmissionTicket(
-            tenant_id, query, band, QUEUED, future=future, stats=stats
+            tenant_id,
+            query,
+            band,
+            QUEUED,
+            future=future,
+            stats=stats,
+            guard=guard,
+            controller=self,
+            deadline=deadline,
         )
 
     def _release(self, tenant_id: str) -> None:
@@ -280,4 +555,5 @@ __all__ = [
     "AdmissionTicket",
     "AnswerSet",
     "CancelledError",
+    "CircuitOpen",
 ]

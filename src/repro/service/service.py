@@ -60,6 +60,9 @@ class CertaintyService:
         clock=None,
         durability_dir=None,
         durability_sync: str = "commit",
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 5.0,
+        shard_workers: Optional[int] = None,
     ) -> None:
         """Create an empty service.
 
@@ -91,10 +94,30 @@ class CertaintyService:
         durability_sync:
             Changelog fsync policy for durable tenants (``"commit"`` /
             ``"flush"`` / ``"never"``).
+        breaker_threshold / breaker_cooldown:
+            Per-tenant circuit breaker: after *breaker_threshold*
+            consecutive queued-band failures (worker exceptions, request
+            deadline expiries, or ``result(timeout)`` overruns) the
+            tenant's heavy-band load is **shed**
+            (:class:`~repro.service.admission.CircuitOpen`) for
+            *breaker_cooldown* seconds, then one half-open probe decides
+            whether to resume.  FO-band requests keep serving inline
+            throughout.  ``breaker_threshold <= 0`` disables shedding.
+        shard_workers:
+            When set, every tenant serves open queries through a
+            supervised :class:`~repro.engine.shards.ShardedCertaintySession`
+            with this many worker processes — individual worker crashes
+            are contained per shard and degrade gracefully instead of
+            failing requests.
         """
         self._admission = AdmissionController(
-            max_workers=max_workers, queue_depth=queue_depth
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
+            clock=clock,
         )
+        self._shard_workers = shard_workers
         self._staleness = staleness
         self._plan_cache_size = plan_cache_size
         self._allow_exponential = allow_exponential
@@ -141,6 +164,7 @@ class CertaintyService:
                 clock=self._clock,
                 durability_dir=durability_dir,
                 durability_sync=self._durability_sync,
+                shard_workers=self._shard_workers,
             )
             self._tenants[tenant_id] = tenant
             return tenant
@@ -168,23 +192,39 @@ class CertaintyService:
 
     # -- serving -----------------------------------------------------------------
 
-    def submit(self, tenant_id: str, query: ConjunctiveQuery) -> AdmissionTicket:
+    def submit(
+        self,
+        tenant_id: str,
+        query: ConjunctiveQuery,
+        deadline: Optional[float] = None,
+    ) -> AdmissionTicket:
         """Admit one certainty request for *tenant_id*.
 
         FO-band queries are answered inline (the returned ticket is already
-        done); harder bands are queued onto the worker pool.  Raises
+        done); harder bands are queued onto the worker pool.  *deadline* —
+        seconds from now — becomes an end-to-end request budget carried
+        from the ticket through the tenant down to shard dispatch: an
+        expired budget raises
+        :class:`~repro.engine.shards.DeadlineExceeded` from the ticket's
+        ``result()`` instead of returning a late answer.  Raises
         :class:`~repro.service.admission.AdmissionRejected` when the
-        tenant's queue is at capacity.
+        tenant's queue is at capacity and
+        :class:`~repro.service.admission.CircuitOpen` while the tenant's
+        circuit breaker sheds heavy-band load.
         """
         self._check_open()
         tenant = self.tenant(tenant_id)
         band = tenant.band(query)
+        abs_deadline = (
+            None if deadline is None else self._admission.now() + deadline
+        )
         return self._admission.submit(
             tenant_id,
             query,
             band,
-            lambda: tenant.execute(query),
+            lambda: tenant.execute(query, deadline=abs_deadline),
             tenant.admission_stats,
+            deadline=abs_deadline,
         )
 
     def certain_answers(
@@ -192,12 +232,13 @@ class CertaintyService:
         tenant_id: str,
         query: ConjunctiveQuery,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> AnswerSet:
         """Submit and wait: the certain answers of *query* for *tenant_id*.
 
         Boolean queries come back as ``{()}`` (certain) / ``set()`` (not).
         """
-        return self.submit(tenant_id, query).result(timeout)
+        return self.submit(tenant_id, query, deadline=deadline).result(timeout)
 
     def is_certain(
         self,
@@ -263,10 +304,15 @@ class CertaintyService:
             "cancelled": 0,
             "rejected": 0,
             "timeouts": 0,
+            "abandoned": 0,
+            "shed": 0,
+            "breaker_opens": 0,
+            "deadline_expired": 0,
         }
         for tenant_id, tenant in tenants.items():
             stats = tenant.stats()
             stats["queue_depth"] = self._admission.queue_depth(tenant_id)
+            stats["breaker"] = self._admission.breaker_state(tenant_id)
             per_tenant[tenant_id] = stats
             totals["facts"] += stats["facts"]
             totals["intern_constants"] += stats["intern_memory"]["constants"]
@@ -279,6 +325,10 @@ class CertaintyService:
                 "cancelled",
                 "rejected",
                 "timeouts",
+                "abandoned",
+                "shed",
+                "breaker_opens",
+                "deadline_expired",
             ):
                 totals[key] += stats["admission"][key]
         return {

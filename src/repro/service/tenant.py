@@ -28,11 +28,13 @@ A :class:`Tenant` bundles everything one customer of the
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterable, List, Optional
 
 from ..durability import DurableStore
 from ..engine.cache import PlanCache
 from ..engine.session import CertaintySession
+from ..engine.shards import DeadlineExceeded, ShardedCertaintySession
 from ..incremental.manager import ViewManager
 from ..incremental.staleness import StalenessPolicy
 from ..incremental.view import MaterializedCertainView
@@ -64,9 +66,11 @@ class Tenant:
         clock=None,
         durability_dir=None,
         durability_sync: str = "commit",
+        shard_workers: Optional[int] = None,
     ) -> None:
         self.tenant_id = tenant_id
         self.intern_table = InternTable()
+        self._clock = clock or time.monotonic
         self.durable: Optional[DurableStore] = None
         if durability_dir is not None:
             # Recover-or-fresh: a non-empty directory wins over the *facts*
@@ -95,6 +99,19 @@ class Tenant:
             staleness=staleness if staleness is not None else StalenessPolicy(),
             **manager_kwargs,
         )
+        #: Optional supervised sharded session: open queries fan out over
+        #: ``shard_workers`` worker processes with per-shard failure
+        #: containment and graceful degradation (see
+        #: :class:`~repro.engine.shards.ShardedCertaintySession`).
+        self.sharded: Optional[ShardedCertaintySession] = None
+        if shard_workers is not None:
+            self.sharded = ShardedCertaintySession(
+                self.db,
+                n_shards=shard_workers,
+                allow_exponential=allow_exponential,
+                plan_cache=plan_cache,
+                intern_table=self.intern_table,
+            )
         self.admission_stats = AdmissionStats()
         self._lock = threading.RLock()
         self._closed = False
@@ -113,22 +130,41 @@ class Tenant:
         return self.session.plan_for(query).band
 
     def execute(
-        self, query: ConjunctiveQuery, allow_exponential: Optional[bool] = None
+        self,
+        query: ConjunctiveQuery,
+        allow_exponential: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> AnswerSet:
         """Decide *query* now, under the tenant lock.
 
         Returns the certain answers as a frozenset of constant tuples;
         Boolean queries encode their verdict as ``{()}`` / ``set()``.
         This is the thunk the admission controller runs — inline for the
-        FO band, on a background worker otherwise.
+        FO band, on a background worker otherwise.  *deadline* is an
+        absolute monotonic instant threaded down to shard dispatch (when
+        the tenant runs sharded); an expired deadline raises
+        :class:`~repro.engine.shards.DeadlineExceeded` rather than
+        returning a late answer.
         """
         with self._lock:
             self._check_open()
+            if deadline is not None and self._clock() >= deadline:
+                raise DeadlineExceeded(
+                    f"tenant {self.tenant_id!r}: deadline expired before execution"
+                )
             if query.is_boolean:
                 certain = self.session.is_certain(
                     query, allow_exponential=allow_exponential
                 )
                 return frozenset({()}) if certain else frozenset()
+            if self.sharded is not None:
+                return frozenset(
+                    self.sharded.certain_answers(
+                        query,
+                        allow_exponential=allow_exponential,
+                        deadline=deadline,
+                    )
+                )
             return frozenset(
                 self.session.certain_answers(
                     query, allow_exponential=allow_exponential
@@ -222,6 +258,17 @@ class Tenant:
                 "store_memory": store.memory_stats() if store is not None else {},
                 "staleness": self.views.staleness_stats.as_dict(),
                 "admission": self.admission_stats.as_dict(),
+                "sharded": (
+                    {
+                        "n_shards": self.sharded.n_shards,
+                        "degraded_mode": self.sharded.degraded_mode,
+                        "worker_failures": self.sharded.stats.worker_failures,
+                        "worker_restarts": self.sharded.stats.worker_restarts,
+                        "degradations": self.sharded.stats.degradations,
+                    }
+                    if self.sharded is not None
+                    else None
+                ),
                 "durability": (
                     {
                         "epoch": self.durable.epoch,
@@ -246,6 +293,8 @@ class Tenant:
             if self._closed:
                 return
             self.views.close()
+            if self.sharded is not None:
+                self.sharded.close()
             self.session.close()
             if self.durable is not None:
                 self.durable.close()

@@ -184,6 +184,76 @@ def test_inline_ticket_cannot_cancel():
         assert not ticket.cancel()
 
 
+def test_abandoning_a_running_request_releases_the_slot():
+    # Regression: cancelling a ticket whose worker thread already started
+    # used to leave the queue slot held until the thread finished — a
+    # caller that gave up could pin the tenant at its depth cap.
+    controller = AdmissionController(max_workers=1, queue_depth=1)
+    stats = AdmissionStats()
+    started = threading.Event()
+    release = threading.Event()
+
+    def blocked():
+        started.set()
+        release.wait(10)
+        return frozenset()
+
+    running = controller.submit(
+        "t", queued_query(), ComplexityBand.PTIME_NOT_FO, blocked, stats
+    )
+    assert started.wait(10)
+    # The request is running: cancel() cannot stop it, but must abandon it.
+    assert not running.cancel()
+    assert running.abandoned
+    assert stats.abandoned == 1
+    assert controller.queue_depth("t") == 0
+    # The freed slot admits new work immediately, at depth cap 1.
+    follow_up = controller.submit(
+        "t", queued_query(), ComplexityBand.PTIME_NOT_FO,
+        lambda: frozenset({("next",)}), stats,
+    )
+    release.set()
+    assert follow_up.result(timeout=10) == frozenset({("next",)})
+    # The orphaned thread finishing must not double-release the slot.
+    assert running.result(timeout=10) == frozenset()
+    assert controller.queue_depth("t") == 0
+    # A second cancel() is a no-op: no double abandon counting.
+    running.cancel()
+    assert stats.abandoned == 1
+    controller.close()
+
+
+def test_abandoned_slot_never_double_releases_under_new_load():
+    controller = AdmissionController(max_workers=2, queue_depth=2)
+    stats = AdmissionStats()
+    release = threading.Event()
+
+    def blocked():
+        release.wait(10)
+        return frozenset()
+
+    first = controller.submit(
+        "t", queued_query(), ComplexityBand.PTIME_NOT_FO, blocked, stats
+    )
+    second = controller.submit(
+        "t", queued_query(), ComplexityBand.PTIME_NOT_FO, blocked, stats
+    )
+    first.cancel()
+    second.cancel()
+    assert controller.queue_depth("t") == 0
+    release.set()
+    first.result(timeout=10)
+    second.result(timeout=10)
+    # Depth must settle at zero, not underflow past it via double releases.
+    assert controller.queue_depth("t") == 0
+    third = controller.submit(
+        "t", queued_query(), ComplexityBand.PTIME_NOT_FO,
+        lambda: frozenset(), stats,
+    )
+    assert third.result(timeout=10) == frozenset()
+    controller.close()
+
+
 # -- intern isolation (regression for the explicit table sweep) ----------------------
 
 

@@ -530,7 +530,9 @@ class TestLifecycle:
     def test_killed_worker_recovers_on_the_next_call(self):
         query = open_variant(path_query(3), "x1")
         db = synthetic_instance(query, seed=1, domain_size=6, witnesses=12)
-        with ShardedCertaintySession(db, n_shards=2, min_shard_candidates=1) as s:
+        with ShardedCertaintySession(
+            db, n_shards=2, min_shard_candidates=1, restart_backoff=0.0
+        ) as s:
             expected = certain_answers(db, query)
             assert s.certain_answers(query) == expected
             for worker in s._workers:
@@ -538,12 +540,17 @@ class TestLifecycle:
                 worker.process.join(timeout=5)
             db.add(query.atoms[0].relation.fact("post_crash", "b"))
             expected = certain_answers(db, query)
-            # Served inline while the pool restarts, then sharded again.
+            # The dead shards are detected, their candidates serve from the
+            # parent inline, and the supervisor schedules restarts.
             assert s.certain_answers(query) == expected
-            assert s.stats.worker_restarts == 1
+            assert s.stats.worker_failures >= 1
             db.add(query.atoms[0].relation.fact("post_recovery", "c"))
+            # The next dispatch restarts the dead shards individually —
+            # no full-pool re-bootstrap — and serves sharded again.
             assert s.certain_answers(query) == certain_answers(db, query)
-            assert s.stats.bootstraps == 2
+            assert s.stats.worker_restarts >= 1
+            assert s.stats.bootstraps == 1
+            assert all(w is not None for w in s._workers)
 
     def test_boolean_queries_are_rejected(self):
         query = path_query(3)
