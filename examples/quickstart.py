@@ -295,11 +295,15 @@ def main() -> None:
     #     the affected candidates inline, restarts the dead worker with a
     #     fresh bootstrap (backoff-gated), and if a shard keeps dying
     #     degrades sharded -> parallel -> serial, probing its way back up
-    #     once the faults clear.  Deadlines bound every dispatch, and the
-    #     service's per-tenant circuit breaker sheds queued-band load
-    #     (CircuitOpen) while FO-band requests stay inline.  Answers under
-    #     any fault schedule equal a fault-free recompute — failures cost
-    #     latency, never correctness.
+    #     once the faults clear.  Two deadlines bound every dispatch: the
+    #     worker's dispatch window (missing it kills the worker) and the
+    #     caller's end-to-end request budget (blowing it raises
+    #     DeadlineExceeded but leaves healthy workers alive — their late
+    #     replies are fenced by per-command sequence ids, never paired
+    #     with a later request).  The service's per-tenant circuit breaker
+    #     sheds queued-band load (CircuitOpen) while FO-band requests stay
+    #     inline.  Answers under any fault schedule equal a fault-free
+    #     recompute — failures cost latency, never correctness.
     from repro import FaultPlan, FaultSpec, inject
 
     chaos_db = UncertainDatabase(

@@ -86,6 +86,10 @@ MIN_SHARD_CANDIDATES = 4
 #: shard-local, so route it straight to the parent next time.
 _PARENT = -1
 
+#: Timeout sentinel for ``_recv_from``: "use the session's configured
+#: dispatch deadline" (``None`` already means "wait forever").
+_DEFAULT_TIMEOUT: Any = object()
+
 #: A relation signature on the wire: enough to rebuild the schema.
 _RelationSig = Tuple[str, int, int]  # (name, arity, key_size)
 
@@ -173,6 +177,10 @@ class ShardStats:
     ``deadline_timeouts``
         dispatches where a worker missed its reply deadline and was
         declared dead (a slow or stalled worker, contained per shard);
+    ``stale_replies_dropped``
+        replies discarded because their sequence id belonged to a request
+        aborted earlier (a caller deadline expired mid-gather) — fencing
+        that keeps an old verdict from pairing with a new candidate bucket;
     ``degradations``
         steps taken down the sharded→parallel→serial ladder after a shard
         exhausted its restart budget;
@@ -196,6 +204,7 @@ class ShardStats:
         "worker_restarts",
         "worker_failures",
         "deadline_timeouts",
+        "stale_replies_dropped",
         "degradations",
         "degraded_decides",
         "heartbeats",
@@ -215,6 +224,7 @@ class ShardStats:
         self.worker_restarts = 0
         self.worker_failures = 0
         self.deadline_timeouts = 0
+        self.stale_replies_dropped = 0
         self.degradations = 0
         self.degraded_decides = 0
         self.heartbeats = 0
@@ -295,13 +305,17 @@ class _DeltaRouter(DatabaseObserver):
 class _WorkerHandle:
     """Parent-side handle on one long-lived shard worker process."""
 
-    __slots__ = ("process", "conn", "watermark")
+    __slots__ = ("process", "conn", "watermark", "next_seq")
 
     def __init__(self, process, conn) -> None:
         self.process = process
         self.conn = conn
         #: Length of the wire intern table prefix already shipped.
         self.watermark = 0
+        #: Sequence id of the next command sent on this pipe.  The worker
+        #: echoes it in the reply, so the parent can discard replies that
+        #: belong to a request it already gave up on (see ``_recv_from``).
+        self.next_seq = 0
 
 
 class _WorkerFailure(RuntimeError):
@@ -396,10 +410,12 @@ def _shard_worker_main(
 
     The worker owns a persistent shard database and session for its whole
     lifetime — mutations arrive as integer-row deltas against the mirror
-    intern table, never as fresh snapshots.  Every command is answered
-    (``ok`` / ``decided`` / ``error``) so the parent can pair requests with
-    replies; unexpected exceptions ship the traceback back instead of
-    killing the process, and the parent treats them as a worker failure.
+    intern table, never as fresh snapshots.  Every command carries a
+    parent-assigned sequence id and every reply echoes it
+    (``(seq, "ok"|"decided"|"error", ...)``), so the parent pairs requests
+    with replies even after it abandoned an earlier request mid-gather;
+    unexpected exceptions ship the traceback back instead of killing the
+    process, and the parent treats them as a worker failure.
 
     *fault_specs* are the parent's active worker-process fault specs
     (shipped at spawn time because the parent's injector does not cross
@@ -433,9 +449,10 @@ def _shard_worker_main(
             payload = conn.recv_bytes()
         except (EOFError, OSError):  # parent went away
             break
+        seq = -1
         try:
             command = pickle.loads(payload)
-            kind = command[0]
+            seq, kind = command[0], command[1]
             fault = _fire_fault("shard.worker.command", shard=shard_id)
             if fault is not None:
                 if fault.kind == "kill":
@@ -443,20 +460,21 @@ def _shard_worker_main(
                 if fault.kind == "stall":
                     time.sleep(fault.delay or 0.2)
             if kind == "stop":
-                conn.send(("bye",))
+                conn.send((seq, "bye"))
                 break
             if kind == "ping":
-                conn.send(("ok", "pong"))
+                conn.send((seq, "ok", "pong"))
             elif kind == "delta":
-                _, base, values, added, discarded = command
+                _, _, base, values, added, discarded = command
                 facts = _worker_apply_delta(
                     db, mirror, relations, base, values, added, discarded
                 )
-                conn.send(("ok", facts))
+                conn.send((seq, "ok", facts))
             elif kind == "decide":
-                _, query, candidates, allow_exponential, want_support = command
+                _, _, query, candidates, allow_exponential, want_support = command
                 conn.send(
                     (
+                        seq,
                         "decided",
                         _worker_decide(
                             session,
@@ -470,12 +488,12 @@ def _shard_worker_main(
                     )
                 )
             elif kind == "stats":
-                conn.send(("ok", {"facts": len(db), "constants": len(mirror)}))
+                conn.send((seq, "ok", {"facts": len(db), "constants": len(mirror)}))
             else:
-                conn.send(("error", f"unknown shard command {kind!r}"))
+                conn.send((seq, "error", f"unknown shard command {kind!r}"))
         except Exception:
             try:
-                conn.send(("error", traceback.format_exc()))
+                conn.send((seq, "error", traceback.format_exc()))
             except (BrokenPipeError, OSError):
                 break
     conn.close()
@@ -526,6 +544,11 @@ class ShardedCertaintySession:
     degraded_probe_interval:
         Degraded dispatches between probes that try to climb back to
         sharded serving.
+    clock:
+        Injectable monotonic time source (default ``time.monotonic``) used
+        for **every** deadline and backoff comparison in this session, so
+        deadlines computed by an admission controller or service with the
+        same injected clock live on the same timeline.
 
     Guarantees
     ----------
@@ -559,6 +582,7 @@ class ShardedCertaintySession:
         max_backoff: float = 2.0,
         degrade_after_failures: int = 3,
         degraded_probe_interval: int = 8,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if n_shards is not None and n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -585,6 +609,7 @@ class ShardedCertaintySession:
             _PendingDelta() for _ in range(self._n_shards)
         ]
         # -- supervision state ----------------------------------------------
+        self._clock = clock or time.monotonic
         self._dispatch_deadline = dispatch_deadline
         self._restart_backoff = restart_backoff
         self._max_backoff = max_backoff
@@ -625,7 +650,7 @@ class ShardedCertaintySession:
         live = [w for w in self._workers if w is not None]
         for worker in live:
             try:
-                worker.conn.send_bytes(pickle.dumps(("stop",)))
+                worker.conn.send_bytes(pickle.dumps((worker.next_seq, "stop")))
             except (BrokenPipeError, OSError):
                 pass
         for worker in live:
@@ -690,9 +715,10 @@ class ShardedCertaintySession:
         assert self._workers is not None
         counts: List[int] = []
         for shard, worker in enumerate(self._workers):
-            if worker is None or not self._send_to(shard, pickle.dumps(("stats",))):
+            sent = None if worker is None else self._send_to(shard, ("stats",))
+            if sent is None:
                 raise _WorkerFailure(f"shard {shard} is down")
-            reply = self._recv_from(shard, None)
+            reply = self._recv_from(shard, sent[0], None)
             if reply is None or reply[0] != "ok":
                 raise _WorkerFailure(f"shard {shard} failed to report stats")
             counts.append(reply[1]["facts"])
@@ -710,26 +736,18 @@ class ShardedCertaintySession:
         if self._workers is None:
             return [False] * self._n_shards
         wait = self._dispatch_deadline if timeout is None else timeout
+        self.stats.heartbeats += 1
         alive: List[bool] = []
         for shard, worker in enumerate(self._workers):
             if worker is None:
                 alive.append(False)
                 continue
-            self.stats.heartbeats += 1
-            if not self._send_to(shard, pickle.dumps(("ping",))):
+            sent = self._send_to(shard, ("ping",))
+            if sent is None:
                 alive.append(False)
                 continue
-            try:
-                if wait is not None and not worker.conn.poll(wait):
-                    self._note_failure(shard)
-                    alive.append(False)
-                    continue
-                reply = worker.conn.recv()
-            except (EOFError, OSError):
-                self._note_failure(shard)
-                alive.append(False)
-                continue
-            alive.append(reply[0] == "ok")
+            reply = self._recv_from(shard, sent[0], None, dispatch_timeout=wait)
+            alive.append(reply is not None and reply[0] == "ok")
         return alive
 
     @property
@@ -747,7 +765,7 @@ class ShardedCertaintySession:
     ) -> CertaintyOutcome:
         """Decide ``db ∈ CERTAINTY(q)`` (single instance — runs inline)."""
         self._check_open()
-        if deadline is not None and time.monotonic() >= deadline:
+        if deadline is not None and self._clock() >= deadline:
             raise DeadlineExceeded("request deadline expired before solve")
         return self._inner.solve(query, allow_exponential=allow_exponential)
 
@@ -812,7 +830,7 @@ class ShardedCertaintySession:
         """One supervised restart attempt for a dead shard (backoff-gated)."""
         if self._workers is None or self._workers[shard] is not None:
             return
-        if not force and time.monotonic() < self._backoff_until[shard]:
+        if not force and self._clock() < self._backoff_until[shard]:
             return
         try:
             self._start_shard(shard)
@@ -854,8 +872,10 @@ class ShardedCertaintySession:
         if not pending and not values:
             return
         added, discarded = pending.take()
+        seq = worker.next_seq
+        worker.next_seq = seq + 1
         payload = pickle.dumps(
-            ("delta", worker.watermark, values, added, discarded),
+            (seq, "delta", worker.watermark, values, added, discarded),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         worker.conn.send_bytes(payload)
@@ -872,8 +892,8 @@ class ShardedCertaintySession:
         if timeout is not None and not worker.conn.poll(timeout):
             raise _WorkerFailure(f"shard {shard} delta flush timed out")
         reply = worker.conn.recv()
-        if reply[0] != "ok":
-            raise _WorkerFailure(reply[1])
+        if reply[0] != seq or reply[1] != "ok":
+            raise _WorkerFailure(reply[2] if len(reply) > 2 else reply)
 
     def _flush_deltas(
         self, bootstrap: bool = False, deadline: Optional[float] = None
@@ -886,7 +906,7 @@ class ShardedCertaintySession:
         database) and the flush continues for every other shard.
         """
         assert self._workers is not None
-        flushed: List[int] = []
+        flushed: List[Tuple[int, int]] = []  # (shard, command seq)
         for shard, worker in enumerate(self._workers):
             if worker is None:
                 continue
@@ -895,26 +915,24 @@ class ShardedCertaintySession:
             if not pending and not values:
                 continue
             added, discarded = pending.take()
-            payload = pickle.dumps(
-                ("delta", worker.watermark, values, added, discarded),
-                protocol=pickle.HIGHEST_PROTOCOL,
+            sent = self._send_to(
+                shard, ("delta", worker.watermark, values, added, discarded)
             )
-            if not self._send_to(shard, payload):
+            if sent is None:
                 continue
+            seq, nbytes = sent
             worker.watermark += len(values)
-            flushed.append(shard)
+            flushed.append((shard, seq))
             facts = sum(len(group[3]) for group in added + discarded)
             if bootstrap:
-                self.stats.bootstrap_bytes_shipped += len(payload)
+                self.stats.bootstrap_bytes_shipped += nbytes
             else:
                 self.stats.delta_flushes += 1
-                self.stats.delta_bytes_shipped += len(payload)
+                self.stats.delta_bytes_shipped += nbytes
                 self.stats.delta_facts_shipped += facts
-                self.stats.max_flush_bytes = max(
-                    self.stats.max_flush_bytes, len(payload)
-                )
-        for shard in flushed:
-            reply = self._recv_from(shard, deadline)
+                self.stats.max_flush_bytes = max(self.stats.max_flush_bytes, nbytes)
+        for shard, seq in flushed:
+            reply = self._recv_from(shard, seq, deadline)
             if reply is None:
                 continue  # failure noted; the restart re-bootstraps the shard
             if reply[0] != "ok":
@@ -924,12 +942,24 @@ class ShardedCertaintySession:
 
     # -- supervision -------------------------------------------------------------
 
-    def _send_to(self, shard: int, payload: bytes) -> bool:
-        """Send one command to a live shard; note the failure on a dead pipe."""
+    def _send_to(
+        self, shard: int, command: Tuple[Any, ...]
+    ) -> Optional[Tuple[int, int]]:
+        """Envelope and send one command to a live shard.
+
+        Allocates the worker's next sequence id, prepends it to *command*,
+        and returns ``(seq, payload_bytes)`` — or ``None`` (after noting
+        the failure) on a dead pipe.  The worker echoes the sequence id in
+        its reply, which is what lets :meth:`_recv_from` fence replies
+        belonging to requests this session already abandoned.
+        """
         assert self._workers is not None
         worker = self._workers[shard]
         if worker is None:
-            return False
+            return None
+        seq = worker.next_seq
+        worker.next_seq = seq + 1
+        payload = pickle.dumps((seq,) + command, protocol=pickle.HIGHEST_PROTOCOL)
         fault = _fire_fault("shard.pipe", shard=shard)
         if fault is not None and fault.kind == "drop":
             try:
@@ -938,43 +968,83 @@ class ShardedCertaintySession:
                 pass
         try:
             worker.conn.send_bytes(payload)
-            return True
+            return seq, len(payload)
         except (BrokenPipeError, OSError):
             self._note_failure(shard)
-            return False
+            return None
 
-    def _recv_from(self, shard: int, deadline: Optional[float]) -> Optional[tuple]:
-        """One reply from a shard, bounded by the dispatch deadline.
+    def _recv_from(
+        self,
+        shard: int,
+        seq: int,
+        deadline: Optional[float],
+        dispatch_timeout: Optional[float] = _DEFAULT_TIMEOUT,
+    ) -> Optional[tuple]:
+        """The reply to command *seq* from a shard, bounded by two deadlines.
 
-        Returns ``None`` (after noting the failure) when the worker is
-        dead, errored, or missed its deadline.  Raises
-        :class:`DeadlineExceeded` only for the *caller's* end-to-end
-        deadline — a single slow worker is contained, a blown request
-        budget is surfaced.
+        Returns the reply with its sequence id stripped, ``None`` (after
+        noting the failure) when the worker is dead, errored, or missed
+        its **dispatch** deadline, and raises :class:`DeadlineExceeded`
+        when the *caller's* end-to-end deadline expires first.  The two
+        timeouts are deliberately distinct: only a blown dispatch window
+        kills and penalises the worker — a healthy worker polled with a
+        tiny remaining request budget stays alive, its in-flight reply
+        fenced by the sequence id (stale replies, including those left
+        behind by a previous gather the caller abandoned, are discarded
+        here, never paired with a later request).
         """
         assert self._workers is not None
         worker = self._workers[shard]
         if worker is None:
             return None
-        timeout = self._dispatch_deadline
-        if deadline is not None:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise DeadlineExceeded("request deadline expired at shard dispatch")
-            timeout = remaining if timeout is None else min(timeout, remaining)
-        try:
-            if timeout is not None and not worker.conn.poll(timeout):
+        if dispatch_timeout is _DEFAULT_TIMEOUT:
+            dispatch_timeout = self._dispatch_deadline
+        now = self._clock()
+        dispatch_by = None if dispatch_timeout is None else now + dispatch_timeout
+        if deadline is not None and now >= deadline:
+            raise DeadlineExceeded("request deadline expired at shard dispatch")
+        while True:
+            now = self._clock()
+            wait = None if dispatch_by is None else dispatch_by - now
+            if deadline is not None:
+                remaining = deadline - now
+                wait = remaining if wait is None else min(wait, remaining)
+            # DeadlineExceeded is a TimeoutError, hence an OSError: the
+            # try blocks below must cover ONLY the pipe operations, or the
+            # leave-the-worker-alive raises would be swallowed by the
+            # dead-pipe handler and kill a healthy worker.
+            try:
+                ready = wait is None or worker.conn.poll(max(wait, 0.0))
+            except (EOFError, OSError):
+                self._note_failure(shard)
+                return None
+            if not ready:
+                now = self._clock()
+                if deadline is not None and now >= deadline and (
+                    dispatch_by is None or now < dispatch_by
+                ):
+                    # The request budget ran out while the worker was
+                    # still inside its dispatch window: the worker is
+                    # not at fault, so leave it alive.
+                    raise DeadlineExceeded(
+                        "request deadline expired waiting on a shard reply"
+                    )
                 self.stats.deadline_timeouts += 1
                 self._note_failure(shard)
-                if deadline is not None and time.monotonic() >= deadline:
+                if deadline is not None and now >= deadline:
                     raise DeadlineExceeded(
                         "request deadline expired waiting on a shard reply"
                     )
                 return None
-            return worker.conn.recv()
-        except (EOFError, OSError):
-            self._note_failure(shard)
-            return None
+            try:
+                reply = worker.conn.recv()
+            except (EOFError, OSError):
+                self._note_failure(shard)
+                return None
+            if reply[0] != seq:
+                self.stats.stale_replies_dropped += 1
+                continue
+            return tuple(reply[1:])
 
     def _note_failure(self, shard: int) -> None:
         """Declare one shard dead: kill it, schedule a backoff-gated restart.
@@ -1005,7 +1075,7 @@ class ShardedCertaintySession:
             self._restart_backoff * (2 ** (self._failures[shard] - 1)),
             self._max_backoff,
         )
-        self._backoff_until[shard] = time.monotonic() + delay
+        self._backoff_until[shard] = self._clock() + delay
         if self._failures[shard] >= self._degrade_after:
             self._degrade()
 
@@ -1055,14 +1125,14 @@ class ShardedCertaintySession:
         Identical to the sequential session's answer set: candidates are
         enumerated once on the live (parent) database, scattered to the
         shards that own their supporting blocks, and every non-shard-local
-        decision re-runs on the parent.  *deadline* is an absolute
-        ``time.monotonic`` instant; blowing it raises
-        :class:`DeadlineExceeded` instead of degrading silently.
+        decision re-runs on the parent.  *deadline* is an absolute instant
+        on the session clock (``time.monotonic`` unless injected); blowing
+        it raises :class:`DeadlineExceeded` instead of degrading silently.
         """
         self._check_open()
         if query.is_boolean:
             raise ValueError("certain_answers expects a query with free variables")
-        if deadline is not None and time.monotonic() >= deadline:
+        if deadline is not None and self._clock() >= deadline:
             raise DeadlineExceeded("request deadline expired before dispatch")
         candidates = self._inner.candidate_answers(query)
         return set(
@@ -1103,7 +1173,7 @@ class ShardedCertaintySession:
         exhausted *deadline* escapes as :class:`DeadlineExceeded`.
         """
         self._check_open()
-        if deadline is not None and time.monotonic() >= deadline:
+        if deadline is not None and self._clock() >= deadline:
             raise DeadlineExceeded("request deadline expired before dispatch")
         allow = (
             self._allow_exponential if allow_exponential is None else allow_exponential
@@ -1152,7 +1222,7 @@ class ShardedCertaintySession:
         its failure ledger and retries the sharded path once; a clean run
         promotes back, another failure drops straight back down.
         """
-        if deadline is not None and time.monotonic() >= deadline:
+        if deadline is not None and self._clock() >= deadline:
             raise DeadlineExceeded("request deadline expired in degraded mode")
         self._degraded_since_probe += 1
         if self._degraded_since_probe > self._probe_interval:
@@ -1300,17 +1370,16 @@ class ShardedCertaintySession:
         re-decides its bucket on the parent.
         """
         assert self._workers is not None
-        sent: List[int] = []
+        sent: List[Tuple[int, int]] = []  # (shard, command seq)
         for shard in sorted(buckets):
-            payload = pickle.dumps(
-                ("decide", query, tuple(buckets[shard]), allow, want_support),
-                protocol=pickle.HIGHEST_PROTOCOL,
+            dispatched = self._send_to(
+                shard, ("decide", query, tuple(buckets[shard]), allow, want_support)
             )
-            if self._send_to(shard, payload):
-                sent.append(shard)
+            if dispatched is not None:
+                sent.append((shard, dispatched[0]))
         replies: Dict[int, List[Tuple[bool, bool, Optional[ReadSet]]]] = {}
-        for shard in sent:
-            reply = self._recv_from(shard, deadline)
+        for shard, seq in sent:
+            reply = self._recv_from(shard, seq, deadline)
             if reply is None:
                 continue
             if reply[0] != "decided":

@@ -198,12 +198,13 @@ class _SlotGuard:
 class _Breaker:
     """Per-tenant circuit-breaker state (guarded by the controller lock)."""
 
-    __slots__ = ("failures", "open_until", "probing", "opens")
+    __slots__ = ("failures", "open_until", "probing", "probe_deadline", "opens")
 
     def __init__(self) -> None:
         self.failures = 0  # consecutive queued-band failures
         self.open_until = 0.0  # monotonic instant the cooldown ends
         self.probing = False  # one half-open probe in flight
+        self.probe_deadline = 0.0  # instant a silent probe is presumed lost
         self.opens = 0
 
 
@@ -331,6 +332,10 @@ class AdmissionController:
     ``result(timeout)`` expiries) open the tenant's circuit breaker for
     ``breaker_cooldown`` seconds; while open, queued-band submissions shed
     with :class:`CircuitOpen` and FO-band requests still serve inline.
+    A half-open probe that never gets to report back — cancelled before a
+    worker picked it up, or refused at the queue-depth cap — releases its
+    claim immediately, and a probe silent for ``breaker_cooldown`` seconds
+    is presumed lost, so a stuck probing flag can never wedge the tenant.
     ``breaker_threshold <= 0`` disables the breaker.  *clock* injects a
     monotonic time source for tests.
     """
@@ -399,6 +404,13 @@ class AdmissionController:
                     if stats is not None:
                         stats.breaker_opens += 1
 
+    def _probe_aborted(self, tenant_id: str) -> None:
+        """A half-open probe was cancelled before it ran: allow another."""
+        with self._lock:
+            breaker = self._breakers.get(tenant_id)
+            if breaker is not None:
+                breaker.probing = False
+
     def _breaker_success(self, tenant_id: str) -> None:
         with self._lock:
             breaker = self._breakers.get(tenant_id)
@@ -463,10 +475,17 @@ class AdmissionController:
             value = execute()
             stats.inline_served += 1
             return AdmissionTicket(tenant_id, query, band, INLINE, value=value)
+        is_probe = False
         with self._lock:
             if self._breaker_threshold > 0:
                 breaker = self._breaker(tenant_id)
                 now = self._clock()
+                if breaker.probing and now >= breaker.probe_deadline:
+                    # The in-flight probe never reported back (e.g. its
+                    # ticket was cancelled before a worker picked it up):
+                    # presume it lost and allow a fresh one, rather than
+                    # shedding this tenant forever.
+                    breaker.probing = False
                 if now < breaker.open_until or breaker.probing:
                     stats.shed += 1
                     raise CircuitOpen(tenant_id, breaker.open_until - now)
@@ -475,8 +494,14 @@ class AdmissionController:
                 ):
                     # Cooldown over: admit exactly one half-open probe.
                     breaker.probing = True
+                    breaker.probe_deadline = now + self._breaker_cooldown
+                    is_probe = True
             depth = self._depths.get(tenant_id, 0)
             if depth >= self._queue_depth:
+                if is_probe:
+                    # The probe was never actually admitted: don't leave
+                    # the flag claiming one is in flight.
+                    breaker.probing = False
                 stats.rejected += 1
                 raise AdmissionRejected(tenant_id, depth, self._queue_depth)
             self._depths[tenant_id] = depth + 1
@@ -512,10 +537,14 @@ class AdmissionController:
 
         # A successful cancel() skips run() (and its slot release) entirely —
         # release the slot and count the cancellation through a done
-        # callback, which fires exactly once per future.
+        # callback, which fires exactly once per future.  A cancelled
+        # half-open probe also never reaches the breaker bookkeeping in
+        # run(), so its probing flag is cleared here.
         def on_done(f: "Future[AnswerSet]") -> None:
             if f.cancelled():
                 stats.cancelled += 1
+                if is_probe:
+                    self._probe_aborted(tenant_id)
                 guard.release_once()
 
         future = self._executor.submit(run)

@@ -105,12 +105,15 @@ class Tenant:
         #: :class:`~repro.engine.shards.ShardedCertaintySession`).
         self.sharded: Optional[ShardedCertaintySession] = None
         if shard_workers is not None:
+            # The tenant's clock threads down to shard dispatch so ticket
+            # deadlines and shard deadline checks share one timeline.
             self.sharded = ShardedCertaintySession(
                 self.db,
                 n_shards=shard_workers,
                 allow_exponential=allow_exponential,
                 plan_cache=plan_cache,
                 intern_table=self.intern_table,
+                clock=clock,
             )
         self.admission_stats = AdmissionStats()
         self._lock = threading.RLock()

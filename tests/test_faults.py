@@ -10,7 +10,9 @@ its seed alone.
 """
 
 import os
+import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import pytest
 
@@ -35,7 +37,13 @@ from repro.faults import (
 from repro.model.symbols import Variable
 from repro.query import ConjunctiveQuery, figure2_q1, figure4_query
 from repro.query.families import cycle_query_c, path_query
-from repro.service import CircuitOpen
+from repro.core.complexity import ComplexityBand
+from repro.service import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionStats,
+    CircuitOpen,
+)
 from repro.workloads import apply_batch, mutation_stream, synthetic_instance
 
 CHAOS_SHARD_COUNTS = (2, 4)
@@ -220,6 +228,46 @@ class TestShardChaosDifferential:
                 assert session.certain_answers(query) == expected
                 assert session.stats.deadline_timeouts >= 1
                 assert session.stats.worker_failures >= 1
+
+    def test_caller_deadline_leaves_workers_alive_and_fences_replies(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=2, domain_size=6, witnesses=12)
+        # Stall shard 0's second command (the first post-bootstrap delta)
+        # well past the caller's request budget but well inside the 30s
+        # dispatch window.  The budget must be generous enough that it is
+        # still unspent when the gather starts polling — expiring earlier
+        # takes the cheap entry-check path and never reaches the
+        # poll-timeout branch this regression pins down.
+        plan = FaultPlan(
+            [FaultSpec("shard.worker.command", "stall", at=2, delay=1.0, shard=0)]
+        )
+        with inject(plan):
+            with ShardedCertaintySession(
+                db,
+                n_shards=2,
+                min_shard_candidates=1,
+                dispatch_deadline=30.0,
+                restart_backoff=0.0,
+            ) as session:
+                with pytest.raises(DeadlineExceeded):
+                    session.certain_answers(
+                        query, deadline=time.monotonic() + 0.2
+                    )
+                # The stalled worker was inside its dispatch window when
+                # the *caller's* budget ran out: it must stay alive and
+                # unpenalised — a tight request deadline is not a fault,
+                # and only a blown dispatch window may count as one.
+                assert session.stats.worker_failures == 0
+                assert session.stats.deadline_timeouts == 0
+                assert session.degraded_mode is None
+                # The aborted gather left replies in the pipes; the next
+                # dispatch must fence them by sequence id instead of
+                # pairing stale verdicts with its fresh candidate buckets.
+                assert session.certain_answers(query) == certain_answers(
+                    db, query
+                )
+                assert session.stats.stale_replies_dropped >= 1
+                assert session.stats.worker_failures == 0
 
     def test_dropped_pipe_is_contained(self):
         query = open_variant(path_query(3), "x1")
@@ -637,6 +685,107 @@ class TestServiceContainment:
                 expected = frozenset(certain_answers(tenant.db, fo_query))
                 assert third == expected
                 assert svc.stats()["tenants"]["acme"]["sharded"] is not None
+
+
+class TestBreakerProbeContainment:
+    """A half-open probe that never reports back must not wedge the tenant.
+
+    The probing flag is normally cleared by the probe's own success or
+    failure; these regressions cover the paths where the probe never runs
+    at all — cancelled before a worker picked it up, refused at the
+    queue-depth cap, or silently stuck behind other work past its window.
+    """
+
+    BAND = ComplexityBand.CONP_COMPLETE
+
+    def _controller(self, **kwargs):
+        fake_now = [0.0]
+        controller = AdmissionController(
+            breaker_threshold=1,
+            breaker_cooldown=5.0,
+            clock=lambda: fake_now[0],
+            **kwargs,
+        )
+        return controller, fake_now
+
+    def _blocker(self, controller, tenant_id, stats):
+        """Occupy the pool's only worker until the returned event is set."""
+        release = threading.Event()
+        ticket = controller.submit(
+            tenant_id,
+            figure2_q1(),
+            self.BAND,
+            lambda: release.wait(10.0) and frozenset(),
+            stats,
+        )
+        return release, ticket
+
+    def _submit(self, controller, stats, thunk=lambda: frozenset()):
+        return controller.submit("acme", figure2_q1(), self.BAND, thunk, stats)
+
+    def test_cancelled_probe_unwedges_the_breaker(self):
+        controller, fake_now = self._controller(max_workers=1, queue_depth=4)
+        stats, other_stats = AdmissionStats(), AdmissionStats()
+
+        def boom():
+            raise OSError("injected failure")
+
+        with pytest.raises(OSError):
+            self._submit(controller, stats, boom).result(timeout=10.0)
+        with pytest.raises(CircuitOpen):
+            self._submit(controller, stats)
+        fake_now[0] = 6.0  # cooldown over: the next submission is the probe
+        release, _blocker = self._blocker(controller, "other", other_stats)
+        try:
+            probe = self._submit(controller, stats)
+            assert probe.cancel()  # cancelled before the busy pool ran it
+            # The cancelled probe released its claim, so a fresh probe is
+            # admitted instead of CircuitOpen shedding the tenant forever.
+            ticket = self._submit(controller, stats)
+        finally:
+            release.set()
+        assert ticket.result(timeout=10.0) == frozenset()
+        assert controller.breaker_state("acme")["state"] == "closed"
+        controller.close()
+
+    def test_probe_refused_at_the_queue_cap_clears_probing(self):
+        controller, fake_now = self._controller(max_workers=1, queue_depth=1)
+        stats = AdmissionStats()
+        release, blocker = self._blocker(controller, "acme", stats)
+        try:
+            # Trip the breaker with a result-timeout while the tenant's
+            # only queue slot stays occupied by the running blocker.
+            with pytest.raises(FutureTimeoutError):
+                blocker.result(timeout=0.01)
+            fake_now[0] = 6.0  # cooldown over: the next submission probes
+            for _ in range(2):
+                # Both submissions must be refused at the *cap* — the
+                # refused probe may not leave its flag shedding the tenant.
+                with pytest.raises(AdmissionRejected) as refused:
+                    self._submit(controller, stats)
+                assert not isinstance(refused.value, CircuitOpen)
+        finally:
+            release.set()
+        controller.close()
+
+    def test_silent_probe_expires_after_the_cooldown(self):
+        controller, fake_now = self._controller(max_workers=1, queue_depth=4)
+        stats, other_stats = AdmissionStats(), AdmissionStats()
+        release, _blocker = self._blocker(controller, "other", other_stats)
+        try:
+            queued = self._submit(controller, stats)
+            with pytest.raises(FutureTimeoutError):
+                queued.result(timeout=0.01)  # trips the breaker
+            fake_now[0] = 6.0
+            self._submit(controller, stats)  # the probe, stuck in the queue
+            with pytest.raises(CircuitOpen):
+                self._submit(controller, stats)  # one probe at a time
+            fake_now[0] = 12.0  # probe silent past its window: presumed lost
+            replacement = self._submit(controller, stats)
+        finally:
+            release.set()
+        assert replacement.result(timeout=10.0) == frozenset()
+        controller.close()
 
 
 class TestChaosSmoke:

@@ -25,7 +25,7 @@ from repro import (
     parse_query,
     shard_of_key,
 )
-from repro.engine.shards import _read_set_is_local
+from repro.engine.shards import DeadlineExceeded, _read_set_is_local
 from repro.fo.compile import ReadSet
 from repro.incremental.support import SupportIndex
 from repro.model.symbols import Constant, Variable
@@ -551,6 +551,32 @@ class TestLifecycle:
             assert s.stats.worker_restarts >= 1
             assert s.stats.bootstraps == 1
             assert all(w is not None for w in s._workers)
+
+    def test_heartbeat_counts_sweeps_not_workers(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=1, domain_size=6, witnesses=12)
+        with ShardedCertaintySession(db, n_shards=4, min_shard_candidates=1) as s:
+            s.certain_answers(query)
+            assert s.heartbeat() == [True] * 4
+            assert s.stats.heartbeats == 1  # one sweep, not one per worker
+            s.heartbeat()
+            assert s.stats.heartbeats == 2
+
+    def test_injected_clock_governs_request_deadlines(self):
+        query = open_variant(path_query(3), "x1")
+        db = synthetic_instance(query, seed=1, domain_size=6, witnesses=12)
+        fake_now = [1e9]  # far beyond any plausible time.monotonic()
+        with ShardedCertaintySession(
+            db, n_shards=2, min_shard_candidates=1, clock=lambda: fake_now[0]
+        ) as s:
+            # A deadline in the fake timeline's future is honoured even
+            # though the real clock passed it long ago...
+            assert s.certain_answers(query, deadline=2e9) == certain_answers(
+                db, query
+            )
+            # ...and one in the fake past expires immediately.
+            with pytest.raises(DeadlineExceeded):
+                s.certain_answers(query, deadline=fake_now[0] - 1.0)
 
     def test_boolean_queries_are_rejected(self):
         query = path_query(3)
